@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table/figure) at a
+laptop-friendly scale and asserts the paper's *shape* (who wins, by
+roughly what factor, where crossovers fall) rather than absolute
+numbers.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``-s`` to also see the regenerated tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.ids import reset_id_counter
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_id_counter()
+    yield
+    reset_id_counter()

@@ -1,0 +1,45 @@
+"""Sec. 4.3 ablation — the consensus-propagation optimisation.
+
+"Without this optimization, after each consensus, a single active object
+is collected and the consensus must start again" (Sec. 5.2).  The
+benchmark collects a compound cycle with the optimisation on and off and
+asserts the on-variant is strictly faster and needs fewer consensus
+rounds.
+"""
+
+import pytest
+
+from repro.harness.ablation import compare_consensus_propagation
+from repro.harness.report import render_table
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_consensus_propagation(cycle_size=4)
+
+
+def test_ablation_consensus_propagation(benchmark, comparison):
+    benchmark.pedantic(
+        lambda: compare_consensus_propagation(cycle_size=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(
+            ["variant", "collection (s)", "consensus rounds"],
+            [
+                ["with propagation", f"{comparison.enabled_s:.2f}",
+                 comparison.enabled_consensus_rounds],
+                ["without", f"{comparison.disabled_s:.2f}",
+                 comparison.disabled_consensus_rounds],
+            ],
+            title="Sec. 4.3 ablation — consensus propagation",
+        )
+    )
+    assert comparison.enabled_s < comparison.disabled_s
+    assert comparison.speedup > 1.2
+    assert (
+        comparison.disabled_consensus_rounds
+        > comparison.enabled_consensus_rounds
+    )

@@ -1,0 +1,57 @@
+"""Sec. 3.1 ablation — the TTB/TTA trade-off.
+
+"Increasing TTB lowers the overhead of the DGC but makes it slower to
+reclaim garbage."  The benchmark sweeps TTB (with TTA proportional, as
+in the paper's own configurations) over a fixed ring workload and
+asserts the trade-off's direction on both axes.
+"""
+
+import pytest
+
+from repro.harness.ablation import sweep_ttb_tta
+from repro.harness.report import render_table
+
+TTB_VALUES = (0.5, 1.0, 2.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep_ttb_tta(ttb_values=TTB_VALUES, ring_size=6)
+
+
+def test_ablation_ttb_tta_tradeoff(benchmark, points):
+    benchmark.pedantic(
+        lambda: sweep_ttb_tta(ttb_values=(1.0,), ring_size=4),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(
+            ["TTB (s)", "TTA (s)", "DGC MB until collected",
+             "reclamation (s)"],
+            [
+                [
+                    f"{point.ttb:.1f}",
+                    f"{point.tta:.1f}",
+                    f"{point.dgc_bandwidth_mb:.4f}",
+                    f"{point.reclamation_s:.1f}",
+                ]
+                for point in points
+            ],
+            title="Sec. 3.1 — TTB vs overhead and reclamation latency",
+        )
+    )
+    reclamations = [point.reclamation_s for point in points]
+    # Slower beats reclaim strictly later...
+    assert reclamations == sorted(reclamations)
+    assert reclamations[-1] > 2 * reclamations[0]
+
+
+def test_ablation_ttb_bandwidth_rate(points):
+    """Per-second DGC cost falls as TTB grows (the actual overhead the
+    paper's trade-off is about)."""
+    rates = [
+        point.dgc_bandwidth_mb / point.reclamation_s for point in points
+    ]
+    assert rates[0] > rates[-1]

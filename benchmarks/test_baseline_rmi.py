@@ -1,0 +1,58 @@
+"""Baseline — RMI-style lease DGC vs the paper's DGC.
+
+Claims benchmarked (Sec. 1/6): the reference-listing DGC has a
+comparable per-edge cost profile for acyclic garbage but cannot collect
+cycles at all, which is the gap the paper's algorithm closes.
+"""
+
+import pytest
+
+from repro.baselines.comparison import run_probe
+from repro.harness.report import render_table
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {
+        name: run_probe(name, chain_length=4, ring_size=4)
+        for name in ("paper", "rmi")
+    }
+
+
+def test_baseline_rmi_vs_paper(benchmark, outcomes):
+    benchmark.pedantic(
+        lambda: run_probe("rmi", chain_length=3, ring_size=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        render_table(
+            ["collector", "chain collected", "ring collected", "DGC bytes"],
+            [
+                [
+                    name,
+                    str(outcome.chain_collected),
+                    str(outcome.ring_collected),
+                    outcome.dgc_bytes,
+                ]
+                for name, outcome in outcomes.items()
+            ],
+            title="Baseline — RMI-style reference listing",
+        )
+    )
+    assert outcomes["paper"].chain_collected
+    assert outcomes["paper"].ring_collected
+    assert outcomes["rmi"].chain_collected
+    # The headline incompleteness: cycles survive forever under RMI.
+    assert not outcomes["rmi"].ring_collected
+
+
+def test_baseline_rmi_acyclic_cost_same_order(outcomes):
+    """Acyclic collection cost is the same order of magnitude (both are
+    per-edge fixed-size periodic messages)."""
+    paper_bytes = outcomes["paper"].dgc_bytes
+    rmi_bytes = outcomes["rmi"].dgc_bytes
+    assert rmi_bytes > 0 and paper_bytes > 0
+    ratio = paper_bytes / rmi_bytes
+    assert 0.05 < ratio < 20.0

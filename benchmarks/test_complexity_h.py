@@ -1,0 +1,63 @@
+"""Sec. 4.3 — complexity: detection O(h*TTB), collection +TTA.
+
+The paper gives no measured table for this claim; this benchmark makes
+it measurable: rings of height h = 1, 3, 7, 15 are collected and the
+detection delay is reported in TTB units.
+"""
+
+import pytest
+
+from repro.harness.complexity import (
+    collection_overhead,
+    detection_bound_factor,
+    sweep_ring_heights,
+)
+from repro.harness.report import render_table
+
+SIZES = (2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep_ring_heights(sizes=SIZES)
+
+
+def test_complexity_detection_scales_with_h(benchmark, points):
+    benchmark.pedantic(
+        lambda: sweep_ring_heights(sizes=(8,)), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["ring", "h", "detect (s)", "detect (TTB)", "collect (s)",
+             "bound factor"],
+            [
+                [
+                    point.ring_size,
+                    point.height,
+                    f"{point.detection_s:.2f}",
+                    f"{point.detection_beats:.1f}",
+                    f"{point.collection_s:.2f}",
+                    f"{detection_bound_factor(point):.2f}",
+                ]
+                for point in points
+            ],
+            title="Sec. 4.3 — detection/collection vs spanning-tree height",
+        )
+    )
+    # Detection grows with h...
+    detections = [point.detection_s for point in points]
+    assert detections == sorted(detections)
+    # ...within a small constant factor of h*TTB (O(h*TTB)).
+    for point in points:
+        assert detection_bound_factor(point) < 8.0
+    # Larger rings take more beats in absolute terms.
+    assert points[-1].detection_s > 2 * points[0].detection_s
+
+
+def test_complexity_collection_adds_tta(points):
+    """Full collection ~ detection + TTA (the doomed wait)."""
+    for point in points:
+        overhead = collection_overhead(point)
+        assert overhead >= 0.8 * point.tta
+        assert overhead <= 3 * point.tta + point.height * point.ttb

@@ -1,0 +1,63 @@
+"""Fig. 8 — bandwidth overhead of the DGC on the NAS kernels.
+
+Paper (256 AOs, class C, Grid'5000):
+
+    CG 194351.81 MB -> 223639.83 MB   (+15.07 %)
+    EP     69.75 MB ->    717.92 MB   (+929.28 %)
+    FT  41999.48 MB ->  48187.78 MB   (+14.73 %)
+
+Shape asserted here (scaled skeletons): CG and FT overheads are small
+(single-digit to low-tens percent); EP's is an order of magnitude
+larger because the DGC traffic dwarfs its application traffic.
+"""
+
+import pytest
+
+from repro.core.config import NAS_CONFIG
+from repro.harness.tables import fig8_table, run_comparisons
+
+AO_COUNT = 32
+NODES = 16
+SEEDS = (1,)
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    return run_comparisons(
+        kernels=("CG", "EP", "FT"),
+        ao_count=AO_COUNT,
+        dgc=NAS_CONFIG,
+        seeds=SEEDS,
+        node_count=NODES,
+    )
+
+
+def test_fig8_bandwidth_overhead(benchmark, comparisons):
+    def regenerate():
+        return run_comparisons(
+            kernels=("EP",),
+            ao_count=AO_COUNT,
+            dgc=NAS_CONFIG,
+            seeds=SEEDS,
+            node_count=NODES,
+        )
+
+    benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    by_kernel = {c.kernel: c for c in comparisons}
+    print()
+    print(fig8_table(comparisons))
+
+    # Heavy-communication kernels: modest overhead (paper ~15 %).
+    assert 0 < by_kernel["CG"].bandwidth_overhead_pct < 40
+    assert 0 < by_kernel["FT"].bandwidth_overhead_pct < 40
+    # EP: DGC dominates (paper ~929 %, an order of magnitude above).
+    assert by_kernel["EP"].bandwidth_overhead_pct > 100
+    assert (
+        by_kernel["EP"].bandwidth_overhead_pct
+        > 5 * by_kernel["CG"].bandwidth_overhead_pct
+    )
+    # DGC never reduces traffic.
+    for comparison in comparisons:
+        assert (
+            comparison.dgc_bandwidth.mean > comparison.nodgc_bandwidth.mean
+        )

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Compare the paper's DGC against the related-work baselines.
+
+Runs the same probe workload — an acyclic chain plus a reference ring —
+under four collectors:
+
+* ``paper``     — this reproduction (complete: acyclic + cyclic),
+* ``rmi``       — lease-based reference listing (acyclic only),
+* ``veiga``     — Veiga & Ferreira-style cycle detection messages
+  (complete, but messages grow with the explored subgraph),
+* ``lefessant`` — mark-propagation sketch (complete on quiescent graphs).
+
+Run::
+
+    python examples/collector_comparison.py
+"""
+
+from repro.baselines.comparison import run_all_probes
+from repro.harness.report import render_table
+
+
+def main() -> None:
+    outcomes = run_all_probes(chain_length=4, ring_size=4)
+    print(render_table(
+        ["collector", "chain (acyclic)", "ring (cycle)", "DGC bytes"],
+        [
+            [
+                outcome.name,
+                "collected" if outcome.chain_collected else "LEAKED",
+                "collected" if outcome.ring_collected else "LEAKED",
+                outcome.dgc_bytes,
+            ]
+            for outcome in outcomes
+        ],
+        title="Same workload, four collectors",
+    ))
+    print()
+    print(
+        "The RMI-style collector leaks the ring: reference listing can "
+        "never reclaim distributed cycles — the gap the paper's "
+        "consensus-on-a-final-activity-clock closes with fixed-size "
+        "messages and no extra connectivity."
+    )
+
+
+if __name__ == "__main__":
+    main()

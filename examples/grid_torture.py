@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The DGC torture test (paper Sec. 5.3 / Fig. 10), scaled down.
+
+A master and a fleet of slaves exchange references for a while, weaving
+"a very complex reference graph", then everything goes idle and the DGC
+must collapse the tangle.  Prints the Fig. 10 idle/collected evolution
+as an ASCII plot plus the bandwidth totals.
+
+Run::
+
+    python examples/grid_torture.py [slave_count] [active_seconds]
+"""
+
+import sys
+
+from repro import DgcConfig, uniform_topology
+from repro.harness.report import render_series, render_table
+from repro.workloads.torture import run_torture
+
+
+def main() -> None:
+    slave_count = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 180.0
+    config = DgcConfig(ttb=10.0, tta=50.0)
+    print(
+        f"torture: {slave_count} slaves, {duration:.0f}s active phase, "
+        f"TTB={config.ttb:.0f}s TTA={config.tta:.0f}s ..."
+    )
+    result = run_torture(
+        dgc=config,
+        slave_count=slave_count,
+        active_duration=duration,
+        topology=uniform_topology(8),
+        seed=1,
+        sample_period=duration / 40.0,
+        safety_checks=True,
+    )
+    print(render_series(
+        result.series,
+        title=f"Idle / collected evolution ({result.ao_count} activities)",
+    ))
+    print()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["all collected", str(result.all_collected)],
+            ["last collection (s)", f"{result.last_collected_s:.0f}"],
+            ["cyclic / acyclic",
+             f"{result.collected_cyclic} / {result.collected_acyclic}"],
+            ["total bandwidth (MB)", f"{result.total_bandwidth_mb:.2f}"],
+            ["  app (MB)", f"{result.app_bandwidth_mb:.2f}"],
+            ["  DGC (MB)", f"{result.dgc_bandwidth_mb:.2f}"],
+            ["dead letters", str(result.dead_letters)],
+        ],
+        title="Totals",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: watch the complete DGC collect acyclic and cyclic garbage.
+
+Builds a tiny grid, creates a chain (acyclic garbage once released) and a
+ring (a distributed cycle — the case RMI-style collectors can never
+reclaim), releases the driver's references and lets the DGC work.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import DgcConfig, World, uniform_topology
+from repro.workloads.app import Peer, link, release_all
+
+
+def main() -> None:
+    # A 4-node grid; 1 s heartbeat (TTB), 3 s alone-timeout (TTA).
+    world = World(
+        uniform_topology(4),
+        dgc=DgcConfig(ttb=1.0, tta=3.0),
+        seed=42,
+        safety_checks=True,  # oracle-verified: raises on wrongful kills
+    )
+    driver = world.create_driver()  # stands in for main(): a DGC root
+    ctx = driver.context
+
+    # Acyclic garbage: head -> tail.
+    head = ctx.create(Peer(), name="head")
+    tail = ctx.create(Peer(), name="tail")
+    link(driver, head, tail)
+
+    # Cyclic garbage: r0 -> r1 -> r2 -> r0.
+    ring = [ctx.create(Peer(), name=f"r{i}") for i in range(3)]
+    for index, source in enumerate(ring):
+        link(driver, source, ring[(index + 1) % 3], key="next")
+
+    world.run_for(2.0)
+    print(f"[t={world.kernel.now:6.1f}s] live activities:",
+          len(world.live_non_roots()))
+
+    # main() returns: the driver drops every stub.  Everything is now
+    # garbage — but only transitively: the ring keeps itself alive
+    # through its own references, which is exactly what the consensus on
+    # the final activity clock untangles.
+    release_all(driver, [head, tail] + ring)
+
+    collected = world.run_until_collected(timeout=120.0)
+    stats = world.stats
+    print(f"[t={world.kernel.now:6.1f}s] all collected: {collected}")
+    print(f"  acyclic (heartbeat/TTA) : {stats.collected_acyclic}")
+    print(f"  cyclic  (consensus)     : {stats.collected_cyclic}")
+    print(f"  wrongful collections    : {stats.safety_violations}")
+    print(f"  DGC bytes on the wire   : {world.accountant.dgc_bytes}")
+    for activity_id, time in sorted(
+        stats.collected_by_id.items(), key=lambda item: item[1]
+    ):
+        print(f"    {time:7.2f}s  {activity_id}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Baseline distributed garbage collectors for comparison.
+
+* :mod:`repro.baselines.rmi` — a lease-based reference-listing DGC in the
+  style of Java RMI's (paper Sec. 1/6): collects acyclic garbage with a
+  cost profile similar to the paper's heartbeat, but is structurally
+  unable to collect cycles.
+* :mod:`repro.baselines.veiga` — a cycle-detection-message traversal in
+  the style of Veiga & Ferreira [4]: complete, but its messages grow with
+  the explored subgraph ("the growth of the message is limited only by
+  the total size of the distributed system").
+* :mod:`repro.baselines.lefessant` — a simplified mark-propagation
+  collector in the style of Le Fessant [13], used for qualitative
+  comparison of the related-work section's claims.
+
+These baselines implement the same collector interface the runtime
+expects (attach with ``World(collector_factory=...)``), so every workload
+runs unmodified under any of them.
+"""
+
+from repro.baselines.rmi import RmiDgcCollector, RmiDgcConfig, rmi_collector_factory
+from repro.baselines.veiga import (
+    VeigaCollector,
+    VeigaConfig,
+    veiga_collector_factory,
+)
+from repro.baselines.lefessant import (
+    LeFessantCollector,
+    LeFessantConfig,
+    lefessant_collector_factory,
+)
+
+__all__ = [
+    "RmiDgcCollector",
+    "RmiDgcConfig",
+    "rmi_collector_factory",
+    "VeigaCollector",
+    "VeigaConfig",
+    "veiga_collector_factory",
+    "LeFessantCollector",
+    "LeFessantConfig",
+    "lefessant_collector_factory",
+]

@@ -1,0 +1,101 @@
+"""Cross-collector comparison harness.
+
+Runs the same workload under the paper's DGC and each baseline, giving
+the qualitative table the related-work section argues from:
+
+=================  ========  =======  =============================
+collector          acyclic   cyclic   cost signature
+=================  ========  =======  =============================
+paper (this work)  yes       yes      fixed-size messages, per-edge
+rmi                yes       no       fixed-size leases, per-edge
+veiga              yes       yes      messages grow with cycle size
+lefessant          yes       yes*     per-edge marks (*quiescent)
+=================  ========  =======  =============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.lefessant import LeFessantConfig, lefessant_collector_factory
+from repro.baselines.rmi import RmiDgcConfig, rmi_collector_factory
+from repro.baselines.veiga import VeigaConfig, veiga_collector_factory
+from repro.core.config import DgcConfig
+from repro.net.topology import uniform_topology
+from repro.workloads.app import release_all
+from repro.workloads.synthetic import build_chain, build_ring
+from repro.world import World
+
+
+@dataclass
+class CollectorOutcome:
+    """Behaviour of one collector on the chain+ring probe workload."""
+
+    name: str
+    chain_collected: bool
+    ring_collected: bool
+    dgc_bytes: int
+    horizon_s: float
+
+
+def _world_for(name: str, beat: float, seed: int) -> World:
+    topology = uniform_topology(4)
+    if name == "paper":
+        return World(
+            topology, dgc=DgcConfig(ttb=beat, tta=3 * beat), seed=seed
+        )
+    factories: Dict[str, Callable] = {
+        "rmi": rmi_collector_factory(RmiDgcConfig(lease_s=3 * beat)),
+        "veiga": veiga_collector_factory(
+            VeigaConfig(
+                heartbeat_s=beat,
+                alone_after_s=3 * beat,
+                suspect_after_s=2 * beat,
+            )
+        ),
+        "lefessant": lefessant_collector_factory(
+            LeFessantConfig(heartbeat_s=beat, alone_after_s=3 * beat)
+        ),
+    }
+    return World(
+        topology, dgc=None, collector_factory=factories[name], seed=seed
+    )
+
+
+COLLECTORS = ("paper", "rmi", "veiga", "lefessant")
+
+
+def run_probe(
+    name: str,
+    *,
+    chain_length: int = 3,
+    ring_size: int = 3,
+    beat: float = 1.0,
+    horizon_beats: float = 120.0,
+    seed: int = 1,
+) -> CollectorOutcome:
+    """Chain (acyclic probe) + ring (cyclic probe) under one collector."""
+    world = _world_for(name, beat, seed)
+    driver = world.create_driver()
+    chain = build_chain(world, driver, chain_length, name_prefix="chain")
+    ring = build_ring(world, driver, ring_size, name_prefix="ring")
+    world.run_for(2.0)
+    chain_ids = {proxy.activity_id for proxy in chain}
+    ring_ids = {proxy.activity_id for proxy in ring}
+    release_all(driver, chain + ring)
+    horizon = horizon_beats * beat
+    world.kernel.run_until_quiescent(world.all_collected, beat, horizon)
+    live = {activity.id for activity in world.live_non_roots()}
+    return CollectorOutcome(
+        name=name,
+        chain_collected=not (chain_ids & live),
+        ring_collected=not (ring_ids & live),
+        dgc_bytes=world.accountant.dgc_bytes,
+        horizon_s=horizon,
+    )
+
+
+def run_all_probes(**kwargs) -> List[CollectorOutcome]:
+    """Run the probe under every collector."""
+    return [run_probe(name, **kwargs) for name in COLLECTORS]

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: the complete DGC for activities.
+
+* :mod:`repro.core.config` — TTB/TTA parameters and the safety margin
+  ``TTA > 2*TTB + MaxComm`` (paper Sec. 3.1),
+* :mod:`repro.core.clock` — the named Lamport *activity clock*
+  (paper Sec. 3.2),
+* :mod:`repro.core.wire` — DGC messages and responses,
+* :mod:`repro.core.referencers` / :mod:`repro.core.referenced` — the
+  per-activity neighbour tables (paper Sec. 2.2, Fig. 2),
+* :mod:`repro.core.protocol` — pure-functional renderings of the paper's
+  Algorithms 1-4,
+* :mod:`repro.core.collector` — the per-activity DGC engine tying it all
+  to the runtime (broadcast loop, clock-increment occasions, doomed-state
+  consensus propagation).
+"""
+
+from repro.core.clock import ActivityClock
+from repro.core.config import DgcConfig
+from repro.core.collector import DgcCollector
+from repro.core.wire import DgcMessage, DgcResponse
+
+__all__ = [
+    "ActivityClock",
+    "DgcConfig",
+    "DgcCollector",
+    "DgcMessage",
+    "DgcResponse",
+]

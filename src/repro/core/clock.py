@@ -1,0 +1,75 @@
+"""The named Lamport activity clock (paper Sec. 3.2).
+
+"The cyclic garbage collector algorithm requires every active object to
+maintain a named Lamport logical clock, which is used to determine which
+activity was the last active.  The clock is named in the sense that the ID
+of the active object incrementing the clock is embedded in the clock.
+This additional information provides a total ordering of the named clocks
+by letting the comparison function first compare the clock values and then
+the active object IDs if the clock values are identical."
+
+Clocks are immutable value objects; ``incremented(owner)`` returns a new
+clock ``owner:value+1`` and merging is simply ``max``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.ids import ActivityId
+
+
+class ActivityClock:
+    """An immutable named Lamport clock ``owner:value``."""
+
+    __slots__ = ("value", "owner")
+
+    def __init__(self, value: int, owner: ActivityId) -> None:
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "owner", owner)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("ActivityClock is immutable")
+
+    def incremented(self, new_owner: ActivityId) -> "ActivityClock":
+        """``ID:Value`` incremented by ``new_owner`` becomes
+        ``new_owner:Value+1`` (paper Sec. 3.2)."""
+        return ActivityClock(self.value + 1, new_owner)
+
+    def merge(self, other: "ActivityClock") -> "ActivityClock":
+        """Lamport merge: the greater of the two clocks."""
+        return other if other > self else self
+
+    # -- total order -----------------------------------------------------
+
+    def _key(self):
+        return (self.value, self.owner)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ActivityClock):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other: "ActivityClock") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "ActivityClock") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "ActivityClock") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "ActivityClock") -> bool:
+        return self._key() >= other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"{self.owner}:{self.value}"

@@ -1,0 +1,318 @@
+"""The per-activity DGC engine.
+
+Ties the pure protocol (:mod:`repro.core.protocol`) to the runtime:
+
+* a periodic TTB broadcast (paper Algorithm 2) with optional start jitter,
+* the three clock-increment occasions (Sec. 3.2): becoming idle, loss of
+  a referencer, loss of a referenced,
+* acyclic termination by TTA timeout and cyclic termination by consensus,
+* the Sec. 4.3 optimisation: on consensus the activity becomes *doomed* —
+  it stops heart-beating, keeps answering DGC messages with
+  ``consensus_reached`` so the whole cycle learns the verdict, and
+  terminates after TTA.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import events
+from repro.core.clock import ActivityClock
+from repro.core.config import DgcConfig
+from repro.core.protocol import (
+    DgcState,
+    acyclic_timeout_expired,
+    consensus_flag_for,
+    cyclic_consensus_made,
+    process_message,
+    process_response,
+)
+from repro.core.wire import DgcMessage, DgcResponse
+from repro.runtime.activeobject import Activity
+from repro.runtime.proxy import Proxy, RemoteRef, StubTag
+from repro.sim.timers import PeriodicTimer
+
+
+class DgcCollector:
+    """One DGC engine attached to one activity."""
+
+    def __init__(self, activity: Activity, config: DgcConfig) -> None:
+        self.activity = activity
+        self.config = config
+        self._kernel = activity.node.kernel
+        self._tracer = activity.node.tracer
+        self._node = activity.node
+        self.self_ref = RemoteRef(activity.id, activity.node.name)
+        self.state = DgcState(
+            self_id=activity.id,
+            clock=ActivityClock(0, activity.id),
+            last_message_timestamp=self._kernel.now,
+        )
+        self.doomed_since: Optional[float] = None
+        self._stopped = False
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.responses_received = 0
+        #: Current beat period; differs from ``config.ttb`` only when the
+        #: dynamic-TTB extension (Sec. 7.1) accelerates the beat.
+        self.current_ttb = config.ttb
+        if config.start_jitter:
+            rng = activity.node.rng_registry.stream(f"dgc:{activity.id}")
+            initial_delay = rng.uniform(0.0, config.ttb)
+        else:
+            initial_delay = config.ttb
+        self._timer = PeriodicTimer(
+            self._kernel,
+            config.ttb,
+            self._tick,
+            initial_delay=initial_delay,
+            label=f"dgc.tick:{activity.id}",
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> ActivityClock:
+        return self.state.clock
+
+    @property
+    def parent(self) -> Optional[str]:
+        return self.state.parent
+
+    @property
+    def doomed(self) -> bool:
+        return self.doomed_since is not None
+
+    # ------------------------------------------------------------------
+    # Runtime hooks
+    # ------------------------------------------------------------------
+
+    def on_became_idle(self) -> None:
+        """Clock-increment occasion 1 (Sec. 3.2): the activity became
+        idle; without this, interleavings of idle/busy during a traversal
+        would make the outcome inconsistent."""
+        if self._stopped or self.doomed:
+            return
+        self._increment_clock("idle")
+
+    def on_reference_deserialized(self, proxy: Proxy) -> None:
+        """A stub was deserialized: establish/refresh the referenced edge
+        and re-arm the mandatory first heartbeat (Sec. 3.1)."""
+        if self._stopped:
+            return
+        self.state.referenced.on_deserialized(proxy.ref, proxy.tag)
+
+    def on_reference_dropped(self, tag: StubTag) -> None:
+        """The local GC collected every stub behind ``tag``."""
+        if self._stopped:
+            return
+        record = self.state.referenced.on_tag_dead(tag)
+        if record is not None and record.removable:
+            self._remove_referenced()
+
+    def on_terminated(self) -> None:
+        """The activity is gone; silence the engine."""
+        self._stopped = True
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    # DGC wire handlers
+    # ------------------------------------------------------------------
+
+    def on_dgc_message(self, message: DgcMessage) -> None:
+        if self._stopped:
+            return
+        self.messages_received += 1
+        now = self._kernel.now
+        if self.doomed:
+            # Decision already taken: do not adopt clocks or mutate state;
+            # just keep propagating the verdict (Sec. 4.3 optimisation).
+            response = DgcResponse(
+                responder=self.state.self_id,
+                clock=self.state.clock,
+                has_parent=True,
+                consensus_reached=True,
+            )
+        else:
+            response = process_message(self.state, message, now)
+        self._node.send_dgc_response(message.sender_ref, response)
+
+    def on_dgc_response(self, response: DgcResponse) -> None:
+        if self._stopped or self.doomed:
+            return
+        self.responses_received += 1
+        if (
+            response.consensus_reached
+            and self.config.consensus_propagation
+            and response.clock == self.state.clock
+            and self.activity.is_idle()
+        ):
+            # Our referenced activity is part of an established consensus
+            # on our very clock: we belong to the same garbage cycle.
+            self._become_doomed(propagated=True)
+            return
+        process_response(
+            self.state, response, bfs=self.config.bfs_parent_election
+        )
+
+    # ------------------------------------------------------------------
+    # The TTB broadcast (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        now = self._kernel.now
+        if self.doomed:
+            # Doomed activities no longer beat; termination is scheduled.
+            return
+        lost = self.state.referencers.expire(
+            now,
+            self.config.tta,
+            base_ttb=self.config.ttb,
+            honor_sender_ttb=self.config.heterogeneous_params,
+        )
+        if lost and self.config.increment_on_referencer_loss:
+            # Clock-increment occasion 2 (Fig. 5): a referencer vanished;
+            # the final clock owner must remain inside the referencer
+            # closure, so refresh ownership.
+            self._increment_clock("referencer_loss")
+        if self.activity.is_idle():
+            if acyclic_timeout_expired(self.state, now, self._acyclic_tta()):
+                self._terminate(events.REASON_ACYCLIC)
+                return
+            if cyclic_consensus_made(self.state):
+                self._tracer.record(
+                    now,
+                    events.DGC_CONSENSUS,
+                    self.activity.id,
+                    clock=repr(self.state.clock),
+                )
+                if self.config.consensus_propagation:
+                    self._become_doomed(propagated=False)
+                else:
+                    self._terminate(events.REASON_CYCLIC)
+                return
+        self._broadcast()
+
+    def _broadcast(self) -> None:
+        is_idle = self.activity.is_idle()
+        declared_ttb = (
+            self.current_ttb if self.config.heterogeneous_params else 0.0
+        )
+        for record in self.state.referenced.records():
+            consensus = consensus_flag_for(self.state, record, is_idle)
+            message = DgcMessage(
+                sender=self.state.self_id,
+                clock=self.state.clock,
+                consensus=consensus,
+                sender_ref=self.self_ref,
+                sender_ttb=declared_ttb,
+            )
+            self._node.send_dgc_message(record.ref, message)
+            self.messages_sent += 1
+            record.messages_sent += 1
+            record.needs_send = False
+        if self.state.referenced.pop_removable():
+            self._remove_referenced(already_popped=True)
+        if self.config.dynamic_ttb:
+            self._adjust_beat(is_idle)
+
+    # ------------------------------------------------------------------
+    # Sec. 7.1 extensions: heterogeneous and dynamic parameters
+    # ------------------------------------------------------------------
+
+    def _acyclic_tta(self) -> float:
+        """Effective alone-timeout; stretched for slow referencers when
+        heterogeneous parameters are honoured."""
+        tta = self.config.tta
+        if not self.config.heterogeneous_params:
+            return tta
+        slowest = self.state.referencers.max_declared_ttb()
+        if slowest > self.config.ttb:
+            tta += 2.0 * (slowest - self.config.ttb)
+        return tta
+
+    def _suspects_garbage(self) -> bool:
+        """Paper Sec. 7.1: garbage is suspected "when an active object
+        gets a parent and some of its referencers agree with the
+        consensus" (or when it owns an agreed-upon clock itself)."""
+        connected = self.state.parent is not None or (
+            self.state.owns_clock and self.activity.is_idle()
+        )
+        if not connected:
+            return False
+        return any(
+            record.consensus
+            for record in (
+                self.state.referencers.get(rid)
+                for rid in self.state.referencers.ids()
+            )
+            if record is not None
+        )
+
+    def _adjust_beat(self, is_idle: bool) -> None:
+        if is_idle and self._suspects_garbage():
+            floor = self.config.ttb * self.config.dynamic_min_ttb_factor
+            target = max(floor, self.config.ttb * self.config.dynamic_accel)
+        else:
+            target = self.config.ttb
+        if target != self.current_ttb:
+            self.current_ttb = target
+            self._timer.set_period(target)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _remove_referenced(self, already_popped: bool = False) -> None:
+        """Loss of a referenced (Fig. 6): clock-increment occasion 3."""
+        if not already_popped:
+            removed = self.state.referenced.pop_removable()
+            if not removed:
+                return
+        if self.config.increment_on_referenced_loss:
+            self._increment_clock("referenced_loss")
+        # With the rule ablated (DESIGN.md Sec. 6 item 4) the naive
+        # protocol keeps its possibly-dangling parent and foreign clock —
+        # exactly the broken-reverse-spanning-tree condition Fig. 6 warns
+        # about; tests/integration/test_fig6_referenced_loss.py shows the
+        # resulting wrongful collection.
+
+    def _increment_clock(self, reason: str) -> None:
+        self.state.increment_clock()
+        self._tracer.record(
+            self._kernel.now,
+            events.DGC_CLOCK_INCREMENT,
+            self.activity.id,
+            reason=reason,
+            clock=repr(self.state.clock),
+        )
+
+    def _become_doomed(self, propagated: bool) -> None:
+        self.doomed_since = self._kernel.now
+        self._tracer.record(
+            self._kernel.now,
+            events.DGC_DOOMED,
+            self.activity.id,
+            propagated=propagated,
+            clock=repr(self.state.clock),
+        )
+        # Sec. 4.3: wait TTA before terminating, giving every member of
+        # the cycle the time to learn the verdict through our responses.
+        self._kernel.schedule(
+            self.config.tta,
+            self._finish_doomed,
+            label=f"dgc.doom:{self.activity.id}",
+        )
+
+    def _finish_doomed(self) -> None:
+        if self._stopped:
+            return
+        self._terminate(events.REASON_CYCLIC)
+
+    def _terminate(self, reason: str) -> None:
+        self._timer.stop()
+        self.activity.terminate(reason)

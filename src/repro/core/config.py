@@ -1,0 +1,105 @@
+"""DGC configuration.
+
+The algorithm is configured by only two parameters (paper Sec. 7.1):
+
+* ``TTB`` (TimeToBeat) — the heartbeat/broadcast period (Sec. 3.1);
+* ``TTA`` (TimeToAlone) — the silence window after which an activity
+  considers that all of its referencers are gone.
+
+Safety requires ``TTA > 2*TTB + MaxComm`` (Sec. 3.1): the worst case is a
+reference to B handed by A to C right before A's broadcast while C has
+just broadcast; C then needs up to ``2*TTB + Comm`` before its first
+heartbeat reaches B.
+
+The remaining switches expose the paper's optimisation and the
+clock-increment rules for the ablation studies in DESIGN.md Sec. 6; they
+all default to the paper's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DgcConfig:
+    """Parameters and feature switches of the DGC algorithm."""
+
+    ttb: float = 30.0
+    tta: float = 61.0
+    #: Sec. 4.3 optimisation: on consensus, wait TTA in a *doomed* state,
+    #: stop heart-beating, and propagate ``consensus_reached`` through DGC
+    #: responses so the whole cycle collects at once.
+    consensus_propagation: bool = True
+    #: Fig. 5 rule: increment the activity clock when a referencer is lost.
+    increment_on_referencer_loss: bool = True
+    #: Fig. 6 rule: increment the activity clock when a referenced is lost.
+    increment_on_referenced_loss: bool = True
+    #: Desynchronise broadcasts by starting each activity's beat at a
+    #: uniformly random offset in [0, TTB).
+    start_jitter: bool = True
+    #: Sec. 7.1 extension: honour the ``sender_ttb`` declared in DGC
+    #: messages when expiring referencer records, so activities with
+    #: heterogeneous (or dynamically adjusted) beat periods interoperate
+    #: safely: a slower referencer's record lives
+    #: ``TTA + 2*(sender_ttb - TTB)`` instead of plain TTA.
+    heterogeneous_params: bool = False
+    #: Sec. 7.1 extension: dynamically accelerate the beat when garbage
+    #: is suspected ("an active object gets a parent and some of its
+    #: referencers agree with the consensus") and relax it otherwise.
+    dynamic_ttb: bool = False
+    #: Multiplier applied to TTB while garbage is suspected (< 1).
+    dynamic_accel: float = 0.5
+    #: Floor for the accelerated beat, as a fraction of TTB.
+    dynamic_min_ttb_factor: float = 0.25
+    #: Sec. 7.2 extension: breadth-first reverse-spanning-tree election —
+    #: responses carry the responder's depth and referencers re-elect a
+    #: shallower parent when one appears, minimising the height ``h``
+    #: that bounds detection time (Sec. 4.3).
+    bfs_parent_election: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ttb <= 0:
+            raise ConfigurationError(f"TTB must be positive, got {self.ttb}")
+        if self.tta <= 0:
+            raise ConfigurationError(f"TTA must be positive, got {self.tta}")
+        if not 0.0 < self.dynamic_accel <= 1.0:
+            raise ConfigurationError(
+                f"dynamic_accel must be in (0, 1], got {self.dynamic_accel}"
+            )
+        if not 0.0 < self.dynamic_min_ttb_factor <= 1.0:
+            raise ConfigurationError(
+                "dynamic_min_ttb_factor must be in (0, 1], got "
+                f"{self.dynamic_min_ttb_factor}"
+            )
+
+    def validate_against(self, max_comm: float) -> None:
+        """Enforce the paper's safety margin ``TTA > 2*TTB + MaxComm``."""
+        bound = 2.0 * self.ttb + max_comm
+        if self.tta <= bound:
+            raise ConfigurationError(
+                f"TTA={self.tta} violates TTA > 2*TTB + MaxComm = {bound} "
+                f"(TTB={self.ttb}, MaxComm={max_comm}); wrongful collection "
+                f"becomes possible (paper Sec. 3.1)"
+            )
+
+    def satisfies_margin(self, max_comm: float) -> bool:
+        """Non-raising form of :meth:`validate_against`."""
+        return self.tta > 2.0 * self.ttb + max_comm
+
+    def with_overrides(self, **changes) -> "DgcConfig":
+        """Functional update (configs are immutable)."""
+        return replace(self, **changes)
+
+
+#: The configuration used for the paper's NAS benchmarks (Sec. 5.2):
+#: "the TTB is set to 30 seconds and the TTA to 61 seconds".
+NAS_CONFIG = DgcConfig(ttb=30.0, tta=61.0)
+
+#: Fig. 10(a) torture-test configuration.
+TORTURE_FAST_CONFIG = DgcConfig(ttb=30.0, tta=150.0)
+
+#: Fig. 10(b) torture-test configuration.
+TORTURE_SLOW_CONFIG = DgcConfig(ttb=300.0, tta=1500.0)

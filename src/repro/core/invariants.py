@@ -1,0 +1,100 @@
+"""Runtime invariant checking for the DGC state machines.
+
+These predicates formalise internal consistency conditions implied by
+the paper's algorithms.  They are *not* needed for operation; the
+invariant monitor exists so tests (and debugging sessions) can scan a
+whole world every few beats and fail fast on state corruption — much
+closer to the broken step than an eventual wrongful collection.
+
+Checked per collector:
+
+* the parent, if any, is a currently-referenced activity (the reverse
+  spanning tree uses real edges);
+* the clock owner never has a parent (the originator is the root);
+* a doomed activity is idle and stays doomed (decisions are final) and
+  its doom is no older than TTA (it must have terminated by then);
+* any referenced record past its first broadcast has sent a message
+  (the Sec. 3.1 needs_send rule);
+* the advertised depth is 0 iff the activity owns the clock.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.collector import DgcCollector
+from repro.sim.timers import PeriodicTimer
+
+
+class InvariantViolation(AssertionError):
+    """An internal DGC invariant does not hold."""
+
+
+def check_collector_invariants(collector: DgcCollector, now: float) -> List[str]:
+    """Return a list of human-readable violations (empty when healthy)."""
+    problems: List[str] = []
+    state = collector.state
+    if state.parent is not None and state.parent not in state.referenced:
+        problems.append(
+            f"parent {state.parent} is not a referenced activity"
+        )
+    if state.owns_clock and state.parent is not None:
+        problems.append("clock owner has a parent")
+    if state.owns_clock and state.current_depth() != 0:
+        problems.append("clock owner does not advertise depth 0")
+    if collector.doomed:
+        if not collector.activity.is_idle() and not collector.activity.terminated:
+            problems.append("doomed activity is not idle")
+        assert collector.doomed_since is not None
+        grace = collector.config.tta + 2 * collector.config.ttb
+        if now - collector.doomed_since > grace:
+            problems.append(
+                f"doomed since {collector.doomed_since} but still alive "
+                f"at {now}"
+            )
+    for record in state.referenced.records():
+        if not record.needs_send and record.messages_sent == 0:
+            problems.append(
+                f"referenced {record.target}: needs_send cleared without "
+                f"any message sent"
+            )
+    if state.last_message_timestamp > now + 1e-9:
+        problems.append("last_message_timestamp is in the future")
+    return problems
+
+
+def check_world_invariants(world) -> List[str]:
+    """Scan every live collector; returns all violations found."""
+    problems: List[str] = []
+    now = world.kernel.now
+    for activity in world.live_activities():
+        collector = activity.collector
+        if isinstance(collector, DgcCollector):
+            for problem in check_collector_invariants(collector, now):
+                problems.append(f"{activity.id}: {problem}")
+    return problems
+
+
+class InvariantMonitor:
+    """Periodically scans a world and raises on the first violation."""
+
+    def __init__(self, world, period: float) -> None:
+        self.world = world
+        self.checks = 0
+        self._timer = PeriodicTimer(
+            world.kernel, period, self._check, label="invariant.monitor"
+        )
+
+    def _check(self) -> None:
+        self.checks += 1
+        problems = check_world_invariants(self.world)
+        if problems:
+            raise InvariantViolation("; ".join(problems))
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+
+def install_invariant_monitor(world, period: float = 1.0) -> InvariantMonitor:
+    """Attach an :class:`InvariantMonitor` to ``world``."""
+    return InvariantMonitor(world, period)

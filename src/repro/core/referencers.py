@@ -1,0 +1,121 @@
+"""The referencer table (paper Sec. 2.2, Fig. 2).
+
+Referencers are tracked by ID only — the DGC never contacts them; it just
+"stores the ID of the active objects contacting it".  For each referencer
+the table remembers the last DGC message's clock and consensus flag (used
+by Algorithm 1) and its arrival time (used to detect the *loss of a
+referencer*, Sec. 3.2 / Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.clock import ActivityClock
+from repro.runtime.ids import ActivityId
+
+
+@dataclass
+class ReferencerRecord:
+    """Last-known state of one referencer.
+
+    ``sender_ttb`` is the referencer's declared beat period (Sec. 7.1
+    extension); 0 means undeclared (paper baseline).
+    """
+
+    referencer: ActivityId
+    clock: ActivityClock
+    consensus: bool
+    last_message_time: float
+    sender_ttb: float = 0.0
+
+
+class ReferencerTable:
+    """All known referencers of one activity."""
+
+    def __init__(self) -> None:
+        self._records: Dict[ActivityId, ReferencerRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, referencer: ActivityId) -> bool:
+        return referencer in self._records
+
+    def get(self, referencer: ActivityId) -> Optional[ReferencerRecord]:
+        return self._records.get(referencer)
+
+    def ids(self) -> List[ActivityId]:
+        return list(self._records.keys())
+
+    def update(
+        self,
+        referencer: ActivityId,
+        clock: ActivityClock,
+        consensus: bool,
+        now: float,
+        sender_ttb: float = 0.0,
+    ) -> bool:
+        """Record a DGC message from ``referencer``; True if it is new."""
+        record = self._records.get(referencer)
+        if record is None:
+            self._records[referencer] = ReferencerRecord(
+                referencer, clock, consensus, now, sender_ttb
+            )
+            return True
+        record.clock = clock
+        record.consensus = consensus
+        record.last_message_time = now
+        record.sender_ttb = sender_ttb
+        return False
+
+    def agree(self, clock: ActivityClock) -> bool:
+        """Paper Algorithm 1: do all referencers accept ``clock``?
+
+        Vacuously true when the table is empty — callers that need the
+        non-vacuous variant (the cyclic termination test) must check
+        emptiness themselves.
+        """
+        for record in self._records.values():
+            if record.clock != clock or not record.consensus:
+                return False
+        return True
+
+    def expire(
+        self,
+        now: float,
+        tta: float,
+        base_ttb: float = 0.0,
+        honor_sender_ttb: bool = False,
+    ) -> List[ActivityId]:
+        """Drop referencers silent for more than TTA; returns the lost ids.
+
+        This is the *loss of a referencer* detection (Sec. 3.2): "it has
+        not received DGC messages from this referencer in a TTA period".
+
+        With ``honor_sender_ttb`` (Sec. 7.1 extension) a referencer that
+        declared a beat period slower than ours gets its deadline
+        stretched by ``2 * (sender_ttb - base_ttb)``, preserving the
+        TTA > 2*TTB + MaxComm margin relative to *its* beat.
+        """
+        lost = []
+        for referencer, record in self._records.items():
+            deadline = tta
+            if honor_sender_ttb and record.sender_ttb > base_ttb:
+                deadline = tta + 2.0 * (record.sender_ttb - base_ttb)
+            if now - record.last_message_time > deadline:
+                lost.append(referencer)
+        for referencer in lost:
+            del self._records[referencer]
+        return lost
+
+    def max_declared_ttb(self) -> float:
+        """Slowest declared beat among live referencers (Sec. 7.1)."""
+        if not self._records:
+            return 0.0
+        return max(record.sender_ttb for record in self._records.values())
+
+    def forget(self, referencer: ActivityId) -> None:
+        """Remove one referencer record (used by tests/baselines)."""
+        self._records.pop(referencer, None)

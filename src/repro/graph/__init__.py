@@ -1,0 +1,27 @@
+"""Reference-graph tooling: snapshots, ground-truth oracle, analysis.
+
+These modules sit *outside* the protocol: they read runtime state with a
+global view no real participant has, providing the verification oracle
+(paper Eq. 1) and the structural metrics (spanning-tree height ``h``)
+used by the complexity experiments.
+"""
+
+from repro.graph.refgraph import ReferenceGraphSnapshot, snapshot_reference_graph
+from repro.graph.oracle import compute_garbage, is_garbage
+from repro.graph.analysis import (
+    process_graph,
+    reverse_spanning_tree_height,
+    spanning_tree_height,
+    strongly_connected_components,
+)
+
+__all__ = [
+    "ReferenceGraphSnapshot",
+    "snapshot_reference_graph",
+    "compute_garbage",
+    "is_garbage",
+    "process_graph",
+    "reverse_spanning_tree_height",
+    "spanning_tree_height",
+    "strongly_connected_components",
+]

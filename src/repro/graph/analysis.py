@@ -1,0 +1,111 @@
+"""Structural analysis of reference graphs.
+
+Provides the quantities the paper's complexity discussion (Sec. 4.3) is
+phrased in — in particular ``h``, "the maximum height of all spanning
+trees and reverse spanning trees", which bounds detection time by
+``O(h * TTB)`` — plus the process-graph coarsening of Sec. 4.1 used when
+the no-sharing property is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.graph.refgraph import ReferenceGraphSnapshot
+from repro.runtime.ids import ActivityId
+
+
+def _digraph(snapshot: ReferenceGraphSnapshot) -> "nx.DiGraph":
+    graph = nx.DiGraph()
+    graph.add_nodes_from(snapshot.idle.keys())
+    graph.add_edges_from(snapshot.edge_list())
+    return graph
+
+
+def strongly_connected_components(
+    snapshot: ReferenceGraphSnapshot,
+) -> List[Set[ActivityId]]:
+    """SCCs of the reference graph, largest first."""
+    components = nx.strongly_connected_components(_digraph(snapshot))
+    return sorted((set(c) for c in components), key=len, reverse=True)
+
+
+def spanning_tree_height(
+    snapshot: ReferenceGraphSnapshot, root: ActivityId
+) -> int:
+    """Height of a BFS spanning tree over *forward* edges from ``root``
+    (how far DGC messages must propagate the final activity clock)."""
+    graph = _digraph(snapshot)
+    if root not in graph:
+        return 0
+    lengths = nx.single_source_shortest_path_length(graph, root)
+    return max(lengths.values()) if lengths else 0
+
+
+def reverse_spanning_tree_height(
+    snapshot: ReferenceGraphSnapshot, root: ActivityId
+) -> int:
+    """Height of a BFS spanning tree over *reverse* edges from ``root``
+    (how far DGC responses must funnel the consensus back)."""
+    graph = _digraph(snapshot).reverse(copy=False)
+    if root not in graph:
+        return 0
+    lengths = nx.single_source_shortest_path_length(graph, root)
+    return max(lengths.values()) if lengths else 0
+
+
+def max_tree_height(snapshot: ReferenceGraphSnapshot) -> int:
+    """The paper's ``h``: the max over all activities of both heights."""
+    worst = 0
+    for activity_id in snapshot.idle:
+        worst = max(
+            worst,
+            spanning_tree_height(snapshot, activity_id),
+            reverse_spanning_tree_height(snapshot, activity_id),
+        )
+    return worst
+
+
+def process_graph(
+    snapshot: ReferenceGraphSnapshot,
+) -> Dict[str, Set[str]]:
+    """The Sec. 4.1 coarsening: lift reference edges to hosting processes.
+
+    ``forall (x, y) in R, (Proc(x), Proc(y)) in P`` — when the no-sharing
+    property is unavailable only this graph is observable, limiting cycle
+    collection to whole processes.
+    """
+    edges: Dict[str, Set[str]] = {}
+    for source, target in snapshot.edge_list():
+        source_proc = snapshot.hosting[source]
+        target_proc = snapshot.hosting.get(target)
+        if target_proc is None:
+            continue
+        edges.setdefault(source_proc, set()).add(target_proc)
+    return edges
+
+
+def process_graph_garbage(
+    snapshot: ReferenceGraphSnapshot,
+) -> Set[str]:
+    """Processes collectable under the coarse graph: a process is garbage
+    only if every activity reachable from any process that reaches it
+    (at process granularity) is idle."""
+    edges = process_graph(snapshot)
+    processes = set(snapshot.hosting.values())
+    busy_processes = {
+        snapshot.hosting[activity_id]
+        for activity_id, idle in snapshot.idle.items()
+        if not idle
+    }
+    reachable: Set[str] = set(busy_processes)
+    frontier = list(busy_processes)
+    while frontier:
+        current = frontier.pop()
+        for target in edges.get(current, ()):  # pragma: no branch
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    return processes - reachable

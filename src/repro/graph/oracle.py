@@ -1,0 +1,80 @@
+"""Ground-truth garbage oracle (paper Eq. 1).
+
+``Garbage(x) <=> (forall y, y ->* x => Idle(y))`` — an activity is garbage
+iff the reflexive transitive closure of its referencers is entirely idle.
+
+Equivalently (and cheaper to compute for the whole world at once):
+the *non*-garbage set is the forward closure, along reference edges, of
+every non-idle seed.  Seeds are:
+
+* non-idle activities (busy or root),
+* activities with an in-flight application request heading their way
+  (the request will make them busy),
+* activities whose reference is currently in flight inside a request or
+  reply (an unknown future holder may activate them — this is exactly the
+  race the paper's "at least one DGC message" rule, Sec. 3.1, protects).
+
+The oracle has a global, instantaneous view no real participant has; it
+exists to *verify* the protocol, never to assist it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.graph.refgraph import ReferenceGraphSnapshot, snapshot_reference_graph
+from repro.runtime.ids import ActivityId
+
+
+def compute_garbage(
+    world,
+    *,
+    include: Iterable = (),
+) -> Set[ActivityId]:
+    """The set of activity ids that are garbage per Eq. 1, right now.
+
+    ``include`` lists activities to consider *in addition to* the world's
+    live set — used by the safety monitor, which runs while the activity
+    being checked is already removed from the world index (its own edges
+    are gone with it, which can only make other activities look *less*
+    garbage, never more; its own garbage-ness is judged by who can reach
+    it).
+    """
+    snapshot = snapshot_reference_graph(world)
+    for activity in include:
+        snapshot.idle.setdefault(activity.id, True)
+        snapshot.hosting.setdefault(activity.id, activity.node.name)
+    return garbage_of_snapshot(snapshot, pinned=world.inflight_pinned())
+
+
+def garbage_of_snapshot(
+    snapshot: ReferenceGraphSnapshot,
+    *,
+    pinned: Optional[Set[ActivityId]] = None,
+) -> Set[ActivityId]:
+    """Eq. 1 evaluated on a snapshot (+ externally pinned activities)."""
+    seeds: Set[ActivityId] = set()
+    for activity_id, idle in snapshot.idle.items():
+        if not idle:
+            seeds.add(activity_id)
+    if pinned:
+        seeds.update(pinned)
+    reachable: Set[ActivityId] = set()
+    frontier = [seed for seed in seeds if seed in snapshot.idle]
+    reachable.update(frontier)
+    while frontier:
+        current = frontier.pop()
+        for target in snapshot.edges.get(current, ()):  # pragma: no branch
+            if target not in reachable and target in snapshot.idle:
+                reachable.add(target)
+                frontier.append(target)
+    return {
+        activity_id
+        for activity_id in snapshot.idle
+        if activity_id not in reachable
+    }
+
+
+def is_garbage(world, activity_id: ActivityId) -> bool:
+    """Point query of Eq. 1 for one live activity."""
+    return activity_id in compute_garbage(world)

@@ -1,0 +1,34 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+* :mod:`repro.harness.tables` — Fig. 8 (bandwidth overhead) and Fig. 9
+  (time overhead) for the NAS kernels,
+* :mod:`repro.harness.figures` — Fig. 10 (torture-test evolution),
+* :mod:`repro.harness.report` — plain-text tables and ASCII series plots,
+* :mod:`repro.harness.experiment` — shared multi-seed running/aggregation.
+
+Command line::
+
+    python -m repro.harness fig8 [--scale N] [--runs K]
+    python -m repro.harness fig9 [--scale N] [--runs K]
+    python -m repro.harness fig10 [--slaves N]
+    python -m repro.harness all
+"""
+
+from repro.harness.experiment import Aggregate, aggregate, run_seeds
+from repro.harness.metrics import (
+    CollectionReport,
+    LatencySummary,
+    collection_report,
+)
+from repro.harness.report import render_series, render_table
+
+__all__ = [
+    "Aggregate",
+    "aggregate",
+    "run_seeds",
+    "CollectionReport",
+    "LatencySummary",
+    "collection_report",
+    "render_series",
+    "render_table",
+]

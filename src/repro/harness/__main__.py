@@ -1,0 +1,93 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.harness fig8
+    python -m repro.harness fig9 --ao-count 32 --runs 1
+    python -m repro.harness fig10 --slaves 160
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.figures import fig10_report, run_fig10
+from repro.harness.tables import fig8_table, fig9_table, run_comparisons
+
+
+def _add_nas_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ao-count", type=int, default=None,
+        help="workers per kernel (default: the scaled preset, 64; "
+        "paper scale is 256)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=3, help="seeds per configuration"
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=32, help="nodes in the topology"
+    )
+    parser.add_argument(
+        "--kernels", default="CG,EP,FT", help="comma-separated kernel list"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.harness")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig8 = subparsers.add_parser("fig8", help="bandwidth-overhead table")
+    _add_nas_args(fig8)
+    fig9 = subparsers.add_parser("fig9", help="time-overhead table")
+    _add_nas_args(fig9)
+
+    fig10 = subparsers.add_parser("fig10", help="torture-test evolution")
+    fig10.add_argument("--slaves", type=int, default=320)
+    fig10.add_argument("--duration", type=float, default=600.0)
+    fig10.add_argument("--nodes", type=int, default=32)
+    fig10.add_argument("--seed", type=int, default=1)
+    fig10.add_argument(
+        "--skip-slow", action="store_true",
+        help="skip the TTB=300 run (it simulates ~5 hours)",
+    )
+
+    everything = subparsers.add_parser("all", help="all artifacts, scaled")
+    _add_nas_args(everything)
+    everything.add_argument("--slaves", type=int, default=160)
+    everything.add_argument("--duration", type=float, default=600.0)
+    everything.add_argument("--seed", type=int, default=1)
+
+    args = parser.parse_args(argv)
+
+    if args.command in ("fig8", "fig9", "all"):
+        comparisons = run_comparisons(
+            kernels=tuple(args.kernels.split(",")),
+            ao_count=args.ao_count,
+            seeds=tuple(range(1, args.runs + 1)),
+            node_count=args.nodes,
+        )
+        if args.command in ("fig8", "all"):
+            print(fig8_table(comparisons))
+            print()
+        if args.command in ("fig9", "all"):
+            print(fig9_table(comparisons))
+            print()
+
+    if args.command in ("fig10", "all"):
+        results = run_fig10(
+            slave_count=args.slaves,
+            active_duration=args.duration,
+            node_count=args.nodes,
+            seed=args.seed,
+            include_slow=not getattr(args, "skip_slow", False),
+        )
+        print(fig10_report(results))
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Ablation runners for the design decisions DESIGN.md Sec. 6 lists.
+
+* ``sweep_ttb_tta`` — the Sec. 3.1 trade-off: larger TTB lowers DGC
+  bandwidth but delays reclamation (both measured on the same workload);
+* ``compare_consensus_propagation`` — the Sec. 4.3 optimisation:
+  collection time of a compound cycle with and without verdict
+  propagation;
+* ``compare_bfs_election`` — the Sec. 7.2 extension: detection delay on
+  chord-rich graphs with and without breadth-first parent election.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import events
+from repro.core.config import DgcConfig
+from repro.errors import SimulationError
+from repro.net.topology import uniform_topology
+from repro.workloads.app import link, release_all
+from repro.workloads.synthetic import build_compound_cycles, build_ring
+from repro.world import World
+
+
+@dataclass
+class TtbPoint:
+    """One TTB/TTA setting measured on the ring workload."""
+
+    ttb: float
+    tta: float
+    dgc_bandwidth_mb: float
+    reclamation_s: float
+
+
+def sweep_ttb_tta(
+    ttb_values: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    *,
+    ring_size: int = 6,
+    tta_factor: float = 3.0,
+    seed: int = 1,
+) -> List[TtbPoint]:
+    """Collect one ring per TTB setting; measure cost vs latency.
+
+    ``TTA = tta_factor * TTB`` keeps the safety margin proportional, as
+    the paper's own configurations do (30/61, 30/150, 300/1500).
+    """
+    points = []
+    for ttb in ttb_values:
+        config = DgcConfig(ttb=ttb, tta=tta_factor * ttb)
+        world = World(
+            uniform_topology(4), dgc=config, seed=seed, safety_checks=True
+        )
+        driver = world.create_driver()
+        ring = build_ring(world, driver, ring_size)
+        world.run_for(2.0)
+        garbage_at = world.kernel.now
+        release_all(driver, ring)
+        if not world.run_until_collected(1_000 * config.tta):
+            raise SimulationError(f"ring not collected at ttb={ttb}")
+        last = max(world.stats.collected_by_id.values())
+        points.append(
+            TtbPoint(
+                ttb=ttb,
+                tta=config.tta,
+                dgc_bandwidth_mb=world.accountant.dgc_bytes / 1e6,
+                reclamation_s=last - garbage_at,
+            )
+        )
+    return points
+
+
+@dataclass
+class AblationComparison:
+    """Collection timings for a feature on/off pair."""
+
+    enabled_s: float
+    disabled_s: float
+    enabled_consensus_rounds: int
+    disabled_consensus_rounds: int
+
+    @property
+    def speedup(self) -> float:
+        return self.disabled_s / self.enabled_s if self.enabled_s else 0.0
+
+
+def _collect_compound(config: DgcConfig, seed: int, size: int) -> Tuple[float, int]:
+    world = World(
+        uniform_topology(4), dgc=config, seed=seed, safety_checks=True
+    )
+    driver = world.create_driver()
+    ring_a, ring_b = build_compound_cycles(world, driver, size, size)
+    world.run_for(2.0)
+    start = world.kernel.now
+    release_all(driver, ring_a + ring_b)
+    if not world.run_until_collected(2_000 * config.tta):
+        raise SimulationError("compound cycle not collected")
+    last = max(world.stats.collected_by_id.values())
+    return last - start, world.tracer.count(events.DGC_CONSENSUS)
+
+
+def compare_consensus_propagation(
+    *,
+    cycle_size: int = 4,
+    ttb: float = 1.0,
+    tta: float = 3.0,
+    seed: int = 3,
+) -> AblationComparison:
+    """The Sec. 4.3 optimisation, on vs off, on a compound cycle."""
+    base = DgcConfig(ttb=ttb, tta=tta)
+    with_time, with_rounds = _collect_compound(base, seed, cycle_size)
+    without_time, without_rounds = _collect_compound(
+        base.with_overrides(consensus_propagation=False), seed, cycle_size
+    )
+    return AblationComparison(
+        enabled_s=with_time,
+        disabled_s=without_time,
+        enabled_consensus_rounds=with_rounds,
+        disabled_consensus_rounds=without_rounds,
+    )
+
+
+def _detect_chorded_ring(config: DgcConfig, seed: int, size: int) -> float:
+    world = World(
+        uniform_topology(4), dgc=config, seed=seed, safety_checks=True
+    )
+    driver = world.create_driver()
+    ring = build_ring(world, driver, size)
+    # Chords halve the reachable depth for a BFS-elected tree.
+    for index in range(0, size, 2):
+        link(driver, ring[index], ring[(index + size // 2) % size],
+             key="chord")
+    world.run_for(2.0)
+    start = world.kernel.now
+    release_all(driver, ring)
+    if not world.run_until_collected(2_000 * config.tta):
+        raise SimulationError("chorded ring not collected")
+    consensus = world.tracer.first(events.DGC_CONSENSUS)
+    return consensus.time - start
+
+
+def compare_bfs_election(
+    *,
+    ring_size: int = 12,
+    ttb: float = 1.0,
+    tta: float = 3.0,
+    seed: int = 2,
+) -> Tuple[float, float]:
+    """Detection delay (seconds) with and without BFS parent election."""
+    base = DgcConfig(ttb=ttb, tta=tta)
+    with_bfs = _detect_chorded_ring(
+        base.with_overrides(bfs_parent_election=True), seed, ring_size
+    )
+    without_bfs = _detect_chorded_ring(base, seed, ring_size)
+    return with_bfs, without_bfs

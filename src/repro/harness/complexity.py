@@ -1,0 +1,107 @@
+"""Sec. 4.3 complexity claims, measured.
+
+The paper derives:
+
+* detection time ``O(h * TTB)`` — ``h`` bounds the spanning-tree /
+  reverse-spanning-tree heights over which clocks (messages) and
+  consensus candidates (responses) propagate;
+* full collection ``O(h * TTB) + TTA`` — the doomed-state wait.
+
+``sweep_ring_heights`` collects rings of growing size (a ring of n has
+``h = n - 1``) and reports, per size, the consensus-detection delay and
+the full-collection delay after the ring became garbage.  The benchmark
+asserts the paper's shape: detection grows roughly linearly with h and
+stays within a small constant times ``h * TTB + TTA``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core import events
+from repro.core.config import DgcConfig
+from repro.errors import SimulationError
+from repro.net.topology import uniform_topology
+from repro.workloads.app import release_all
+from repro.workloads.synthetic import build_ring
+from repro.world import World
+
+
+@dataclass
+class HeightPoint:
+    """Measured timings for one ring size."""
+
+    ring_size: int
+    height: int
+    ttb: float
+    tta: float
+    detection_s: float
+    collection_s: float
+
+    @property
+    def detection_beats(self) -> float:
+        """Detection delay in TTB units (the paper's natural unit)."""
+        return self.detection_s / self.ttb
+
+
+def measure_ring(
+    ring_size: int,
+    *,
+    config: Optional[DgcConfig] = None,
+    seed: int = 1,
+    node_count: int = 4,
+) -> HeightPoint:
+    """Collect one ring; measure detection and collection delays."""
+    dgc = config if config is not None else DgcConfig(ttb=1.0, tta=3.0)
+    world = World(
+        uniform_topology(node_count), dgc=dgc, seed=seed, safety_checks=True
+    )
+    driver = world.create_driver()
+    ring = build_ring(world, driver, ring_size)
+    world.run_for(2.0)
+    garbage_at = world.kernel.now
+    release_all(driver, ring)
+    if not world.run_until_collected(1_000 * dgc.tta):
+        raise SimulationError(f"ring of {ring_size} not collected")
+    consensus = world.tracer.first(events.DGC_CONSENSUS)
+    if consensus is None:
+        raise SimulationError("no consensus event recorded")
+    last_collected = max(world.stats.collected_by_id.values())
+    return HeightPoint(
+        ring_size=ring_size,
+        height=ring_size - 1,
+        ttb=dgc.ttb,
+        tta=dgc.tta,
+        detection_s=consensus.time - garbage_at,
+        collection_s=last_collected - garbage_at,
+    )
+
+
+def sweep_ring_heights(
+    sizes: Sequence[int] = (2, 4, 8, 16),
+    *,
+    config: Optional[DgcConfig] = None,
+    seed: int = 1,
+) -> List[HeightPoint]:
+    """Measure detection/collection over growing ring heights."""
+    return [
+        measure_ring(size, config=config, seed=seed) for size in sizes
+    ]
+
+
+def detection_bound_factor(point: HeightPoint) -> float:
+    """Measured detection over the paper's ``h * TTB`` bound unit.
+
+    The clock of the eventual owner needs up to ``h`` beats to reach
+    every member, plus one beat each for the response/consensus waves; a
+    small constant factor is therefore expected, not exact equality.
+    """
+    bound = max(point.height, 1) * point.ttb
+    return point.detection_s / bound
+
+
+def collection_overhead(point: HeightPoint) -> float:
+    """Measured collection minus detection; the paper predicts ~TTA plus
+    the verdict-propagation beats."""
+    return point.collection_s - point.detection_s

@@ -1,0 +1,49 @@
+"""Shared experiment plumbing: multi-seed runs and aggregation.
+
+The paper reports "the average and standard deviation ... over 3 runs";
+we re-run with distinct seeds and aggregate the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean and (population) standard deviation of one metric."""
+
+    mean: float
+    std: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.std:.2f}"
+
+
+def aggregate(values: Sequence[float]) -> Aggregate:
+    """Aggregate a series the way the paper's tables do."""
+    if not values:
+        return Aggregate(float("nan"), float("nan"), 0)
+    mean = sum(values) / len(values)
+    variance = sum((value - mean) ** 2 for value in values) / len(values)
+    return Aggregate(mean, math.sqrt(variance), len(values))
+
+
+def run_seeds(
+    run_one: Callable[[int], T],
+    seeds: Iterable[int],
+) -> List[T]:
+    """Run ``run_one(seed)`` for every seed, returning all results."""
+    return [run_one(seed) for seed in seeds]
+
+
+def overhead_percent(with_value: float, without_value: float) -> float:
+    """The paper's overhead metric ``(T_dgc - T_nodgc) / T_nodgc`` in %."""
+    if without_value == 0:
+        return float("inf")
+    return (with_value - without_value) / without_value * 100.0

@@ -1,0 +1,97 @@
+"""Collection-latency metrics extracted from world traces.
+
+Turns a finished run into the distributions a systems evaluation needs:
+per-activity *reclamation latency* (garbage-to-collected time), split by
+collection reason, with percentile summaries.  Used by tests and
+available to downstream users profiling their own workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import events
+
+
+@dataclass
+class LatencySummary:
+    """Percentile summary of a latency sample."""
+
+    count: int
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            nan = float("nan")
+            return cls(0, nan, nan, nan, nan, nan, nan)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            minimum=ordered[0],
+            p50=percentile(ordered, 50.0),
+            p90=percentile(ordered, 90.0),
+            p99=percentile(ordered, 99.0),
+            maximum=ordered[-1],
+            mean=sum(ordered) / len(ordered),
+        )
+
+
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank-with-interpolation percentile of a *sorted* sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class CollectionReport:
+    """Reclamation latencies of one run, keyed by collection reason."""
+
+    released_at: float
+    latencies_by_reason: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def all_latencies(self) -> List[float]:
+        merged: List[float] = []
+        for samples in self.latencies_by_reason.values():
+            merged.extend(samples)
+        return merged
+
+    def summary(self, reason: Optional[str] = None) -> LatencySummary:
+        if reason is None:
+            return LatencySummary.of(self.all_latencies)
+        return LatencySummary.of(self.latencies_by_reason.get(reason, []))
+
+
+def collection_report(world, released_at: float) -> CollectionReport:
+    """Build a report from a world's trace.
+
+    ``released_at`` is the instant the activities became garbage (e.g.
+    when the driver dropped its stubs); latencies are termination times
+    minus that instant.  Requires tracing to be enabled.
+    """
+    report = CollectionReport(released_at=released_at)
+    for event in world.tracer.events(kind=events.ACTIVITY_TERMINATED):
+        if event.time < released_at:
+            continue
+        reason = event.details.get("reason", "unknown")
+        report.latencies_by_reason.setdefault(reason, []).append(
+            event.time - released_at
+        )
+    return report

@@ -1,0 +1,149 @@
+"""Fig. 8 (bandwidth overhead) and Fig. 9 (time overhead) regeneration.
+
+Paper protocol (Sec. 5.2): NAS CG/EP/FT, class C, 256 activities
+round-robin on 128 nodes, TTB=30s, TTA=61s, average and standard
+deviation over 3 runs.  We run the communication skeletons (scaled by
+default; pass ``ao_count=256`` and a 128-node topology for paper scale)
+with and without the DGC and report the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import DgcConfig, NAS_CONFIG
+from repro.harness.experiment import Aggregate, aggregate, overhead_percent
+from repro.harness.report import render_table
+from repro.net.topology import Topology, uniform_topology
+from repro.workloads.nas import KERNELS, NasKernelSpec, run_nas_kernel
+
+
+@dataclass
+class KernelComparison:
+    """One kernel's with/without-DGC aggregates (one row of each table)."""
+
+    kernel: str
+    nodgc_bandwidth: Aggregate
+    dgc_bandwidth: Aggregate
+    bandwidth_overhead_pct: float
+    nodgc_time: Aggregate
+    dgc_time_total: Aggregate
+    time_overhead_pct: float
+    dgc_collect_time: Aggregate
+
+
+def compare_kernel(
+    spec: NasKernelSpec,
+    *,
+    dgc: DgcConfig = NAS_CONFIG,
+    seeds: Sequence[int] = (1, 2, 3),
+    topology_factory=lambda: uniform_topology(32),
+) -> KernelComparison:
+    """Run one kernel under both regimes over all seeds."""
+    with_runs = [
+        run_nas_kernel(spec, dgc=dgc, seed=seed, topology=topology_factory())
+        for seed in seeds
+    ]
+    without_runs = [
+        run_nas_kernel(spec, dgc=None, seed=seed, topology=topology_factory())
+        for seed in seeds
+    ]
+    with_bw = aggregate([run.bandwidth_mb for run in with_runs])
+    without_bw = aggregate([run.bandwidth_mb for run in without_runs])
+    with_time = aggregate([run.app_time_s for run in with_runs])
+    without_time = aggregate([run.app_time_s for run in without_runs])
+    collect_time = aggregate([run.dgc_time_s for run in with_runs])
+    return KernelComparison(
+        kernel=spec.name,
+        nodgc_bandwidth=without_bw,
+        dgc_bandwidth=with_bw,
+        bandwidth_overhead_pct=overhead_percent(with_bw.mean, without_bw.mean),
+        nodgc_time=without_time,
+        dgc_time_total=with_time,
+        time_overhead_pct=overhead_percent(with_time.mean, without_time.mean),
+        dgc_collect_time=collect_time,
+    )
+
+
+def run_comparisons(
+    *,
+    kernels: Sequence[str] = ("CG", "EP", "FT"),
+    ao_count: Optional[int] = None,
+    dgc: DgcConfig = NAS_CONFIG,
+    seeds: Sequence[int] = (1, 2, 3),
+    node_count: int = 32,
+) -> List[KernelComparison]:
+    """Run every kernel; shared by the fig8 and fig9 renderers."""
+    results = []
+    for name in kernels:
+        spec = KERNELS[name]
+        if ao_count is not None:
+            spec = spec.scaled(ao_count)
+        results.append(
+            compare_kernel(
+                spec,
+                dgc=dgc,
+                seeds=seeds,
+                topology_factory=lambda: uniform_topology(node_count),
+            )
+        )
+    return results
+
+
+def fig8_table(comparisons: Sequence[KernelComparison]) -> str:
+    """Fig. 8: bandwidth overhead."""
+    rows = [
+        [
+            comparison.kernel,
+            f"{comparison.nodgc_bandwidth.mean:.2f} MB",
+            f"{comparison.nodgc_bandwidth.std:.2f} MB",
+            f"{comparison.dgc_bandwidth.mean:.2f} MB",
+            f"{comparison.dgc_bandwidth.std:.2f} MB",
+            f"{comparison.bandwidth_overhead_pct:.2f} %",
+        ]
+        for comparison in comparisons
+    ]
+    return render_table(
+        [
+            "Kernel",
+            "No DGC avg",
+            "No DGC std",
+            "DGC avg",
+            "DGC std",
+            "Overhead",
+        ],
+        rows,
+        title="Fig. 8 — Bandwidth overhead",
+    )
+
+
+def fig9_table(comparisons: Sequence[KernelComparison]) -> str:
+    """Fig. 9: time overhead and DGC collection time."""
+    rows = [
+        [
+            comparison.kernel,
+            f"{comparison.nodgc_time.mean:.2f} s",
+            f"{comparison.nodgc_time.std:.2f} s",
+            f"{comparison.dgc_time_total.mean:.2f} s",
+            f"{comparison.dgc_time_total.std:.2f} s",
+            f"{comparison.time_overhead_pct:.2f} %",
+            f"{comparison.dgc_collect_time.mean:.2f} s",
+            f"{comparison.dgc_collect_time.std:.2f} s",
+        ]
+        for comparison in comparisons
+    ]
+    return render_table(
+        [
+            "Kernel",
+            "No DGC avg",
+            "No DGC std",
+            "DGC avg",
+            "DGC std",
+            "Overhead",
+            "DGC time avg",
+            "DGC time std",
+        ],
+        rows,
+        title="Fig. 9 — Time overhead",
+    )

@@ -1,0 +1,157 @@
+"""A wall-clock kernel with the same interface as the simulator's.
+
+All callbacks run on one dedicated scheduler thread, preserving the
+single-threaded execution model every component was written for; other
+threads only *schedule* work (thread-safe) and *poll* state (reads of
+counters/collections under the GIL).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SchedulingInPastError, SimulationError
+from repro.sim.kernel import Event
+
+
+class LiveKernel:
+    """Drop-in kernel executing events at real (monotonic) times."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._shutdown = False
+        self._fired = 0
+        self._scheduled = 0
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-live-kernel", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Kernel interface (mirrors repro.sim.kernel.SimKernel)
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Seconds since kernel start (monotonic)."""
+        return time.monotonic() - self._origin
+
+    @property
+    def fired_count(self) -> int:
+        return self._fired
+
+    @property
+    def scheduled_count(self) -> int:
+        return self._scheduled
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        if delay < 0:
+            raise SchedulingInPastError(
+                f"cannot schedule {label or callback!r} with negative "
+                f"delay {delay}"
+            )
+        return self.schedule_at(self.now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        with self._wakeup:
+            if self._shutdown:
+                raise SimulationError("kernel is shut down")
+            event = Event(when, next(self._seq), callback, args, label)
+            heapq.heappush(self._heap, event)
+            self._scheduled += 1
+            self._wakeup.notify()
+        return event
+
+    def run(self, until: Optional[float] = None, max_events=None) -> int:
+        """Block the calling thread until wall time reaches ``until``.
+
+        The scheduler thread keeps firing events throughout; this only
+        provides the ``world.run_for`` blocking semantics.
+        """
+        if until is None:
+            raise SimulationError(
+                "LiveKernel.run requires 'until' (it cannot drain an "
+                "open-ended real-time queue)"
+            )
+        remaining = until - self.now
+        if remaining > 0:
+            time.sleep(remaining)
+        return 0
+
+    def run_until_quiescent(
+        self,
+        predicate: Callable[[], bool],
+        check_interval: float,
+        timeout: float,
+    ) -> bool:
+        """Poll ``predicate`` every ``check_interval`` real seconds."""
+        deadline = self.now + timeout
+        while True:
+            if predicate():
+                return True
+            if self.now >= deadline:
+                return predicate()
+            time.sleep(min(check_interval, max(deadline - self.now, 0.001)))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self, join_timeout: float = 2.0) -> None:
+        """Stop the scheduler thread; pending events are dropped."""
+        with self._wakeup:
+            self._shutdown = True
+            self._wakeup.notify()
+        self._thread.join(timeout=join_timeout)
+
+    # ------------------------------------------------------------------
+    # Scheduler loop
+    # ------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while True:
+                    if self._shutdown:
+                        return
+                    if not self._heap:
+                        self._wakeup.wait()
+                        continue
+                    head = self._heap[0]
+                    if head.cancelled:
+                        heapq.heappop(self._heap)
+                        continue
+                    delay = head.time - self.now
+                    if delay > 0:
+                        self._wakeup.wait(timeout=delay)
+                        continue
+                    event = heapq.heappop(self._heap)
+                    break
+            # Fire outside the lock so callbacks can schedule freely.
+            self._fired += 1
+            try:
+                event.callback(*event.args)
+            except Exception:  # pragma: no cover - surfaced by tests
+                import traceback
+
+                traceback.print_exc()

@@ -1,0 +1,92 @@
+"""Bandwidth accounting, mirroring the paper's instrumented SOCKS proxy.
+
+Paper Sec. 5: "we measured the total network traffic by using an
+instrumented local SOCKS server on every machine ... our communication
+numbers only include the TCP payload ... DGC messages and responses
+transmitted inside a single JVM are not accounted as they are directly
+passed by reference."
+
+The accountant therefore only sees envelopes that actually cross a node
+boundary; the network fabric never routes intra-node messages through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.net.message import (
+    KIND_APP_REPLY,
+    KIND_APP_REQUEST,
+    KIND_DGC_MESSAGE,
+    KIND_DGC_RESPONSE,
+    Envelope,
+)
+
+
+@dataclass
+class TrafficCategory:
+    """Aggregated bytes and message counts for one traffic kind."""
+
+    bytes: int = 0
+    messages: int = 0
+
+    def add(self, size: int) -> None:
+        self.bytes += size
+        self.messages += 1
+
+
+class BandwidthAccountant:
+    """Counts cross-node payload bytes per traffic kind."""
+
+    def __init__(self) -> None:
+        self._by_kind: Dict[str, TrafficCategory] = {}
+        self._by_pair: Dict[Tuple[str, str], int] = {}
+
+    def observe(self, envelope: Envelope) -> None:
+        """Record one cross-node envelope."""
+        category = self._by_kind.get(envelope.kind)
+        if category is None:
+            category = TrafficCategory()
+            self._by_kind[envelope.kind] = category
+        category.add(envelope.size_bytes)
+        pair = (envelope.source_node, envelope.dest_node)
+        self._by_pair[pair] = self._by_pair.get(pair, 0) + envelope.size_bytes
+
+    def bytes_for(self, kind: str) -> int:
+        category = self._by_kind.get(kind)
+        return category.bytes if category else 0
+
+    def messages_for(self, kind: str) -> int:
+        category = self._by_kind.get(kind)
+        return category.messages if category else 0
+
+    @property
+    def total_bytes(self) -> int:
+        """All cross-node payload bytes (the paper's headline number)."""
+        return sum(category.bytes for category in self._by_kind.values())
+
+    @property
+    def app_bytes(self) -> int:
+        """Application traffic only (requests + replies)."""
+        return self.bytes_for(KIND_APP_REQUEST) + self.bytes_for(KIND_APP_REPLY)
+
+    @property
+    def dgc_bytes(self) -> int:
+        """DGC traffic only (messages + responses)."""
+        return self.bytes_for(KIND_DGC_MESSAGE) + self.bytes_for(KIND_DGC_RESPONSE)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(category.messages for category in self._by_kind.values())
+
+    def summary(self) -> Dict[str, TrafficCategory]:
+        """Copy of the per-kind aggregates."""
+        return {
+            kind: TrafficCategory(cat.bytes, cat.messages)
+            for kind, cat in self._by_kind.items()
+        }
+
+    def megabytes(self) -> float:
+        """Total cross-node traffic in MB (10^6 bytes, as in the paper)."""
+        return self.total_bytes / 1e6

@@ -1,0 +1,74 @@
+"""Per-(source, destination) FIFO channels.
+
+The DGC's correctness argument (paper Sec. 3.2) leans on the fact that DGC
+messages, DGC responses and application messages between two activities
+share one FIFO connection and therefore never race each other.  We model a
+FIFO channel per ordered node pair: delivery times are non-decreasing in
+send order even when the latency model would allow overtaking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.message import Envelope
+from repro.sim.kernel import SimKernel
+
+
+class FifoChannel:
+    """One-directional FIFO pipe between two nodes.
+
+    ``latency_fn`` returns the propagation delay for an envelope; the
+    channel clamps each delivery to be no earlier than the previous one so
+    FIFO order is preserved under jittery latency.
+    """
+
+    __slots__ = (
+        "source",
+        "dest",
+        "_kernel",
+        "_latency_fn",
+        "_last_delivery_time",
+        "sent_count",
+        "delivered_count",
+    )
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        source: str,
+        dest: str,
+        latency_fn: Callable[[Envelope], float],
+    ) -> None:
+        self._kernel = kernel
+        self.source = source
+        self.dest = dest
+        self._latency_fn = latency_fn
+        self._last_delivery_time = 0.0
+        self.sent_count = 0
+        self.delivered_count = 0
+
+    def send(self, envelope: Envelope, sink: Callable[[Envelope], None]) -> float:
+        """Schedule delivery of ``envelope`` into ``sink``; return the
+        delivery time."""
+        latency = self._latency_fn(envelope)
+        if latency < 0:
+            latency = 0.0
+        delivery_time = self._kernel.now + latency
+        if delivery_time < self._last_delivery_time:
+            delivery_time = self._last_delivery_time
+        self._last_delivery_time = delivery_time
+        envelope.sent_at = self._kernel.now
+        self.sent_count += 1
+        self._kernel.schedule_at(
+            delivery_time,
+            self._deliver,
+            envelope,
+            sink,
+            label=f"deliver:{self.source}->{self.dest}",
+        )
+        return delivery_time
+
+    def _deliver(self, envelope: Envelope, sink: Callable[[Envelope], None]) -> None:
+        self.delivered_count += 1
+        sink(envelope)

@@ -1,0 +1,89 @@
+"""Fault and delay injection.
+
+The algorithm is *hard real-time* (paper Sec. 4.2): a missed deadline —
+a DGC message delayed beyond the ``TTA > 2*TTB + MaxComm`` margin — can
+cause a wrongful collection.  The fault plan lets tests and the TTA-margin
+ablation inject exactly such delays deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.net.message import Envelope
+
+
+@dataclass
+class DelayRule:
+    """Adds ``extra_delay_s`` to envelopes matched by ``predicate``
+    within the [start, end) simulated-time window."""
+
+    predicate: Callable[[Envelope], bool]
+    extra_delay_s: float
+    start: float = 0.0
+    end: float = float("inf")
+
+    def applies(self, envelope: Envelope, now: float) -> bool:
+        return self.start <= now < self.end and self.predicate(envelope)
+
+
+class FaultPlan:
+    """A set of delay rules and node partitions applied by the fabric.
+
+    Partitioned node pairs hold messages forever (modelling an undetected
+    failure, which the paper notes is indistinguishable from a transient
+    one for fully asynchronous collectors).
+    """
+
+    def __init__(self) -> None:
+        self._delay_rules: List[DelayRule] = []
+        self._partitioned: Set[Tuple[str, str]] = set()
+        self.dropped_count = 0
+
+    def add_delay(
+        self,
+        extra_delay_s: float,
+        *,
+        predicate: Optional[Callable[[Envelope], bool]] = None,
+        source: Optional[str] = None,
+        dest: Optional[str] = None,
+        kind: Optional[str] = None,
+        start: float = 0.0,
+        end: float = float("inf"),
+    ) -> None:
+        """Register a delay rule; the keyword filters are ANDed together."""
+
+        def match(envelope: Envelope) -> bool:
+            if source is not None and envelope.source_node != source:
+                return False
+            if dest is not None and envelope.dest_node != dest:
+                return False
+            if kind is not None and envelope.kind != kind:
+                return False
+            if predicate is not None and not predicate(envelope):
+                return False
+            return True
+
+        self._delay_rules.append(DelayRule(match, extra_delay_s, start, end))
+
+    def partition(self, node_a: str, node_b: str) -> None:
+        """Silently drop all traffic between the two nodes (both ways)."""
+        self._partitioned.add((node_a, node_b))
+        self._partitioned.add((node_b, node_a))
+
+    def heal(self, node_a: str, node_b: str) -> None:
+        """Remove a partition."""
+        self._partitioned.discard((node_a, node_b))
+        self._partitioned.discard((node_b, node_a))
+
+    def is_partitioned(self, source: str, dest: str) -> bool:
+        return (source, dest) in self._partitioned
+
+    def extra_delay(self, envelope: Envelope, now: float) -> float:
+        """Total additional delay for this envelope at time ``now``."""
+        return sum(
+            rule.extra_delay_s
+            for rule in self._delay_rules
+            if rule.applies(envelope, now)
+        )

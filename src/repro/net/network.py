@@ -1,0 +1,106 @@
+"""The network fabric: routes envelopes between nodes.
+
+Responsibilities:
+
+* keep one :class:`FifoChannel` per ordered node pair (lazily created),
+* apply the latency model from the :class:`Topology` plus any fault-plan
+  extra delays,
+* short-circuit intra-node messages (delivered at the same simulated time,
+  bypassing the accountant — paper Sec. 5: intra-JVM messages are passed
+  by reference and not accounted),
+* feed every cross-node envelope to the :class:`BandwidthAccountant`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import UnknownDestinationError
+from repro.net.accounting import BandwidthAccountant
+from repro.net.channel import FifoChannel
+from repro.net.faults import FaultPlan
+from repro.net.message import Envelope
+from repro.net.topology import Topology
+from repro.sim.kernel import SimKernel
+
+
+class Network:
+    """Connects registered node sinks through FIFO channels."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        topology: Topology,
+        *,
+        accountant: Optional[BandwidthAccountant] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self._kernel = kernel
+        self._topology = topology
+        self.accountant = accountant if accountant is not None else BandwidthAccountant()
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
+        self._sinks: Dict[str, Callable[[Envelope], None]] = {}
+        self._channels: Dict[Tuple[str, str], FifoChannel] = {}
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def kernel(self) -> SimKernel:
+        return self._kernel
+
+    def register_node(self, node: str, sink: Callable[[Envelope], None]) -> None:
+        """Attach a node's receive dispatcher to the fabric."""
+        self._sinks[node] = sink
+
+    def max_comm(self) -> float:
+        """Upper bound on one-way communication time (MaxComm, Sec. 3.1)."""
+        return self._topology.max_one_way_latency()
+
+    def send(self, envelope: Envelope) -> None:
+        """Route ``envelope`` to its destination node."""
+        sink = self._sinks.get(envelope.dest_node)
+        if sink is None:
+            raise UnknownDestinationError(
+                f"node {envelope.dest_node!r} is not registered"
+            )
+        if self.fault_plan.is_partitioned(envelope.source_node, envelope.dest_node):
+            self.fault_plan.dropped_count += 1
+            return
+        if envelope.source_node == envelope.dest_node:
+            # Intra-node: delivered immediately (same tick), not accounted.
+            self._kernel.schedule(
+                0.0, self._deliver_local, envelope, sink, label="deliver:local"
+            )
+            return
+        self.accountant.observe(envelope)
+        channel = self._channel(envelope.source_node, envelope.dest_node)
+        channel.send(envelope, self._dispatch)
+
+    def _deliver_local(
+        self, envelope: Envelope, sink: Callable[[Envelope], None]
+    ) -> None:
+        sink(envelope)
+
+    def _dispatch(self, envelope: Envelope) -> None:
+        sink = self._sinks.get(envelope.dest_node)
+        if sink is None:
+            # Destination vanished mid-flight (node shut down): drop.
+            self.fault_plan.dropped_count += 1
+            return
+        sink(envelope)
+
+    def _channel(self, source: str, dest: str) -> FifoChannel:
+        key = (source, dest)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = FifoChannel(self._kernel, source, dest, self._latency)
+            self._channels[key] = channel
+        return channel
+
+    def _latency(self, envelope: Envelope) -> float:
+        base = self._topology.one_way_latency(
+            envelope.source_node, envelope.dest_node
+        )
+        return base + self.fault_plan.extra_delay(envelope, self._kernel.now)

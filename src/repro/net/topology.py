@@ -1,0 +1,115 @@
+"""Site/latency topologies, including the paper's Grid'5000 layout.
+
+Paper Sec. 5.1: three sites (Bordeaux 49 nodes, Sophia 39, Rennes 40;
+128 nodes total).  Intra-site RTTs 0.1-0.2 ms; inter-site RTTs 8 ms
+(Rennes-Bordeaux), 10 ms (Bordeaux-Sophia), 20 ms (Rennes-Sophia).
+One-way latency is modelled as RTT/2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Site:
+    """A cluster site: a name, a node count and an intra-site RTT."""
+
+    name: str
+    node_count: int
+    intra_rtt_s: float
+
+
+class Topology:
+    """Maps node names to sites and yields pairwise one-way latencies."""
+
+    def __init__(
+        self,
+        sites: Sequence[Site],
+        inter_rtt_s: Dict[Tuple[str, str], float],
+    ) -> None:
+        if not sites:
+            raise ConfigurationError("a topology needs at least one site")
+        self._sites = list(sites)
+        self._inter_rtt: Dict[Tuple[str, str], float] = {}
+        for (a, b), rtt in inter_rtt_s.items():
+            self._inter_rtt[(a, b)] = rtt
+            self._inter_rtt[(b, a)] = rtt
+        self._node_site: Dict[str, Site] = {}
+        self._nodes: List[str] = []
+        for site in self._sites:
+            for index in range(site.node_count):
+                node = f"{site.name}-{index}"
+                self._node_site[node] = site
+                self._nodes.append(node)
+
+    @property
+    def nodes(self) -> List[str]:
+        """All node names, grouped by site, stable order."""
+        return list(self._nodes)
+
+    @property
+    def sites(self) -> List[Site]:
+        return list(self._sites)
+
+    def site_of(self, node: str) -> Site:
+        try:
+            return self._node_site[node]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {node!r}") from None
+
+    def one_way_latency(self, source: str, dest: str) -> float:
+        """One-way latency between two nodes (RTT/2); zero for self."""
+        if source == dest:
+            return 0.0
+        site_a = self.site_of(source)
+        site_b = self.site_of(dest)
+        if site_a.name == site_b.name:
+            return site_a.intra_rtt_s / 2.0
+        try:
+            rtt = self._inter_rtt[(site_a.name, site_b.name)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no inter-site RTT configured for {site_a.name}<->{site_b.name}"
+            ) from None
+        return rtt / 2.0
+
+    def max_one_way_latency(self) -> float:
+        """Upper bound on one-way latency; feeds MaxComm."""
+        worst = max(site.intra_rtt_s for site in self._sites) / 2.0
+        for rtt in self._inter_rtt.values():
+            worst = max(worst, rtt / 2.0)
+        return worst
+
+
+def grid5000_topology(scale: float = 1.0) -> Topology:
+    """The paper's three-site Grid'5000 testbed.
+
+    ``scale`` shrinks node counts proportionally (minimum one node per
+    site) so laptop-scale experiments keep the site structure.
+    """
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+
+    def scaled(count: int) -> int:
+        return max(1, round(count * scale))
+
+    sites = [
+        Site("bordeaux", scaled(49), intra_rtt_s=0.0002),
+        Site("sophia", scaled(39), intra_rtt_s=0.0001),
+        Site("rennes", scaled(40), intra_rtt_s=0.0001),
+    ]
+    inter = {
+        ("rennes", "bordeaux"): 0.008,
+        ("bordeaux", "sophia"): 0.010,
+        ("rennes", "sophia"): 0.020,
+    }
+    return Topology(sites, inter)
+
+
+def uniform_topology(node_count: int, rtt_s: float = 0.001) -> Topology:
+    """A single-site topology: ``node_count`` nodes, uniform RTT."""
+    return Topology([Site("site", node_count, intra_rtt_s=rtt_s)], {})

@@ -1,0 +1,37 @@
+"""Activity identifiers.
+
+Paper Sec. 2.2 / Fig. 2: referencers only need to be *identified* by a
+unique ID (the DGC never contacts them directly), while referenced
+activities need a full remote reference.  ``ActivityId`` is the former;
+:class:`repro.runtime.proxy.RemoteRef` is the latter.
+
+Ids embed a monotonically increasing counter so they are totally ordered,
+which the named Lamport clock uses to break value ties (paper Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+#: An activity id is an opaque, totally-ordered string.
+ActivityId = str
+
+_counter = itertools.count(1)
+
+
+def make_activity_id(name: str = "") -> ActivityId:
+    """Mint a fresh unique activity id, optionally carrying a debug name.
+
+    The numeric component is zero-padded so lexicographic order equals
+    creation order, giving a deterministic total order for clock
+    tie-breaking.
+    """
+    number = next(_counter)
+    suffix = f":{name}" if name else ""
+    return f"ao-{number:08d}{suffix}"
+
+
+def reset_id_counter() -> None:
+    """Reset the global counter (test isolation only)."""
+    global _counter
+    _counter = itertools.count(1)

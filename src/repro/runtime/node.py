@@ -1,0 +1,279 @@
+"""Nodes: the JVM/process equivalents hosting activities.
+
+A node owns its activities, a local garbage collector, and its attachment
+to the network fabric.  All traffic in and out of an activity flows
+through its node, which is where requests are serialized/deserialized and
+where DGC envelopes are dispatched to per-activity collectors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import NoSuchActivityError, RuntimeModelError
+from repro.net.message import (
+    KIND_APP_REPLY,
+    KIND_APP_REQUEST,
+    KIND_DGC_MESSAGE,
+    KIND_DGC_RESPONSE,
+    Envelope,
+)
+from repro.runtime.activeobject import Activity
+from repro.runtime.future import Future
+from repro.runtime.ids import ActivityId
+from repro.runtime.localgc import LocalGarbageCollector
+from repro.runtime.proxy import Proxy, RemoteRef
+from repro.runtime.request import Reply, ReplyAddress, Request
+from repro.runtime.serialization import deserialize_refs, serialize_refs
+
+
+class Node:
+    """One address space hosting activities."""
+
+    def __init__(self, world, name: str, *, gc_delay: float = 0.0) -> None:
+        self.world = world
+        self.name = name
+        self.kernel = world.kernel
+        self.network = world.network
+        self.tracer = world.tracer
+        self.rng_registry = world.rng_registry
+        self.wire_sizes = world.wire_sizes
+        self.local_gc = LocalGarbageCollector(self.kernel, gc_delay=gc_delay)
+        self.activities: Dict[ActivityId, Activity] = {}
+        self._pending_futures: Dict[int, Future] = {}
+        self.dead_letter_count = 0
+        self.network.register_node(name, self._on_envelope)
+
+    # ------------------------------------------------------------------
+    # Activity management
+    # ------------------------------------------------------------------
+
+    def add_activity(self, activity: Activity) -> None:
+        self.activities[activity.id] = activity
+
+    def get_activity(self, activity_id: ActivityId) -> Activity:
+        try:
+            return self.activities[activity_id]
+        except KeyError:
+            raise NoSuchActivityError(
+                f"{activity_id} is not hosted on {self.name}"
+            ) from None
+
+    def find_activity(self, activity_id: ActivityId) -> Optional[Activity]:
+        return self.activities.get(activity_id)
+
+    def on_activity_terminated(self, activity: Activity, reason: str) -> None:
+        self.activities.pop(activity.id, None)
+        self.tracer.record(
+            self.kernel.now, "activity.terminated", activity.id, reason=reason
+        )
+        self.world.on_activity_terminated(activity, reason)
+
+    def deserialize_ref(self, activity: Activity, ref: RemoteRef) -> Proxy:
+        """Out-of-band acquisition (e.g. registry lookup) — one stub."""
+        return deserialize_refs(activity, [ref])[0]
+
+    # ------------------------------------------------------------------
+    # Application traffic
+    # ------------------------------------------------------------------
+
+    def send_request(
+        self,
+        sender: Activity,
+        target: Union[Proxy, RemoteRef],
+        method: str,
+        *,
+        payload_bytes: int = 0,
+        refs: Sequence[Union[Proxy, RemoteRef]] = (),
+        data: Any = None,
+        expect_reply: bool = False,
+    ) -> Optional[Future]:
+        if isinstance(target, Proxy):
+            if target.released:
+                raise RuntimeModelError(
+                    f"{sender.id} calling through released {target!r}"
+                )
+            target_ref = target.ref
+        else:
+            target_ref = target
+        wire_refs = serialize_refs(refs)
+        future: Optional[Future] = None
+        reply_to: Optional[ReplyAddress] = None
+        if expect_reply:
+            future = Future()
+            self._pending_futures[future.future_id] = future
+            reply_to = ReplyAddress(self.name, sender.id, future.future_id)
+        request = Request(
+            method=method,
+            sender=sender.id,
+            target=target_ref.activity_id,
+            payload_bytes=payload_bytes,
+            refs=wire_refs,
+            data=data,
+            reply_to=reply_to,
+        )
+        size = self.wire_sizes.request_size(payload_bytes, len(wire_refs))
+        envelope = Envelope(
+            source_node=self.name,
+            dest_node=target_ref.node,
+            kind=KIND_APP_REQUEST,
+            size_bytes=size,
+            payload=request,
+            deliver=lambda payload: None,
+        )
+        self.world.note_request_sent(request)
+        self.network.send(envelope)
+        return future
+
+    def send_reply(self, sender: Activity, request: Request, result: Any) -> None:
+        reply_to = request.reply_to
+        assert reply_to is not None
+        payload_bytes = 0
+        refs: Sequence[Union[Proxy, RemoteRef]] = ()
+        data: Any = result
+        if isinstance(result, ReplyPayload):
+            payload_bytes = result.payload_bytes
+            refs = result.refs
+            data = result.data
+        wire_refs = serialize_refs(refs)
+        reply = Reply(
+            future_id=reply_to.future_id,
+            target_activity=reply_to.activity,
+            payload_bytes=payload_bytes,
+            refs=wire_refs,
+            data=data,
+        )
+        size = self.wire_sizes.reply_size(payload_bytes, len(wire_refs))
+        envelope = Envelope(
+            source_node=self.name,
+            dest_node=reply_to.node,
+            kind=KIND_APP_REPLY,
+            size_bytes=size,
+            payload=reply,
+            deliver=lambda payload: None,
+        )
+        self.world.note_reply_sent(reply)
+        self.network.send(envelope)
+
+    # ------------------------------------------------------------------
+    # DGC traffic (called by the per-activity collectors)
+    # ------------------------------------------------------------------
+
+    def send_dgc_message(
+        self,
+        target_ref: RemoteRef,
+        message: Any,
+        *,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        envelope = Envelope(
+            source_node=self.name,
+            dest_node=target_ref.node,
+            kind=KIND_DGC_MESSAGE,
+            size_bytes=(
+                size_bytes
+                if size_bytes is not None
+                else self.wire_sizes.dgc_message_bytes
+            ),
+            payload=(target_ref.activity_id, message),
+            deliver=lambda payload: None,
+        )
+        self.network.send(envelope)
+
+    def send_dgc_response(self, target_ref: RemoteRef, response: Any) -> None:
+        envelope = Envelope(
+            source_node=self.name,
+            dest_node=target_ref.node,
+            kind=KIND_DGC_RESPONSE,
+            size_bytes=self.wire_sizes.dgc_response_bytes,
+            payload=(target_ref.activity_id, response),
+            deliver=lambda payload: None,
+        )
+        self.network.send(envelope)
+
+    # ------------------------------------------------------------------
+    # Inbound dispatch
+    # ------------------------------------------------------------------
+
+    def _on_envelope(self, envelope: Envelope) -> None:
+        kind = envelope.kind
+        if kind == KIND_APP_REQUEST:
+            self._on_request(envelope.payload)
+        elif kind == KIND_APP_REPLY:
+            self._on_reply(envelope.payload)
+        elif kind == KIND_DGC_MESSAGE:
+            activity_id, message = envelope.payload
+            self._on_dgc_message(activity_id, message)
+        elif kind == KIND_DGC_RESPONSE:
+            activity_id, response = envelope.payload
+            self._on_dgc_response(activity_id, response)
+        else:
+            raise RuntimeModelError(f"unknown envelope kind {kind!r}")
+
+    def _on_request(self, request: Request) -> None:
+        self.world.note_request_delivered(request)
+        activity = self.activities.get(request.target)
+        if activity is None or activity.terminated:
+            self.dead_letter_count += 1
+            self.world.on_dead_letter()
+            self.tracer.record(
+                self.kernel.now,
+                "message.dead_letter",
+                request.target,
+                method=request.method,
+                sender=request.sender,
+            )
+            return
+        proxies = deserialize_refs(activity, request.refs)
+        activity.deliver(request, proxies)
+
+    def _on_reply(self, reply: Reply) -> None:
+        self.world.note_reply_delivered(reply)
+        future = self._pending_futures.pop(reply.future_id, None)
+        activity = self.activities.get(reply.target_activity)
+        if future is None:
+            self.dead_letter_count += 1
+            return
+        if activity is None or activity.terminated:
+            # Reference orientation (paper Sec. 4.1): updating the future
+            # of a collected caller is simply dropped.
+            self.dead_letter_count += 1
+            return
+        proxies = deserialize_refs(activity, reply.refs)
+        future.resolve(reply.data, tuple(proxies))
+
+    def _on_dgc_message(self, activity_id: ActivityId, message: Any) -> None:
+        activity = self.activities.get(activity_id)
+        if activity is None or activity.collector is None:
+            # Referenced activity already collected/terminated: silence.
+            return
+        activity.collector.on_dgc_message(message)
+
+    def _on_dgc_response(self, activity_id: ActivityId, response: Any) -> None:
+        activity = self.activities.get(activity_id)
+        if activity is None or activity.collector is None:
+            return
+        activity.collector.on_dgc_response(response)
+
+
+class ReplyPayload:
+    """Wrap a handler return value to control reply size and references.
+
+    Returning a plain value sends a zero-payload reply; returning
+    ``ReplyPayload(data, payload_bytes=..., refs=[...])`` models a sized
+    reply that may carry remote references (which create DGC edges at the
+    caller when deserialized).
+    """
+
+    __slots__ = ("data", "payload_bytes", "refs")
+
+    def __init__(
+        self,
+        data: Any = None,
+        *,
+        payload_bytes: int = 0,
+        refs: Sequence[Union[Proxy, RemoteRef]] = (),
+    ) -> None:
+        self.data = data
+        self.payload_bytes = payload_bytes
+        self.refs = tuple(refs)

@@ -1,0 +1,157 @@
+"""Stubs (proxies), remote references and shared stub tags.
+
+Paper Sec. 2.2: a local activity may hold several stubs for the same remote
+activity; the reference-graph edge must only disappear when *all* of them
+are gone.  Rather than tracking each stub, the implementation places a
+common *tag* in every stub for the same (holder, target) pair and keeps a
+weak reference to the tag: the tag dies exactly when the last stub dies.
+
+Our simulated equivalent: the :class:`ProxyTable` of an activity counts
+live stubs per target; the :class:`StubTag` is shared by all of them and
+is reported dead by the local GC once the count reaches zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import RuntimeModelError
+from repro.runtime.ids import ActivityId
+
+
+@dataclass(frozen=True)
+class RemoteRef:
+    """The serialized form of a reference: enough to contact the target.
+
+    This is what crosses the wire inside requests/replies; deserialization
+    turns it into a :class:`Proxy` registered in the recipient's table.
+    """
+
+    activity_id: ActivityId
+    node: str
+
+
+class StubTag:
+    """Tag shared by every stub of one (holder, target) pair.
+
+    ``generation`` distinguishes successive tags for the same pair: if the
+    edge dies and is later re-created, a new tag is minted, exactly like a
+    fresh dummy object in the Java implementation.
+    """
+
+    __slots__ = ("holder", "target", "generation", "dead")
+
+    def __init__(self, holder: ActivityId, target: ActivityId, generation: int) -> None:
+        self.holder = holder
+        self.target = target
+        self.generation = generation
+        self.dead = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "dead" if self.dead else "live"
+        return f"StubTag({self.holder}->{self.target} gen={self.generation} {state})"
+
+
+class Proxy:
+    """A stub held by one activity, pointing at a remote activity."""
+
+    __slots__ = ("ref", "tag", "_released")
+
+    def __init__(self, ref: RemoteRef, tag: StubTag) -> None:
+        self.ref = ref
+        self.tag = tag
+        self._released = False
+
+    @property
+    def activity_id(self) -> ActivityId:
+        return self.ref.activity_id
+
+    @property
+    def node(self) -> str:
+        return self.ref.node
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Proxy({self.tag.holder}->{self.activity_id})"
+
+
+class _TargetEntry:
+    """Book-keeping for one (holder, target) pair."""
+
+    __slots__ = ("ref", "tag", "live_count")
+
+    def __init__(self, ref: RemoteRef, tag: StubTag) -> None:
+        self.ref = ref
+        self.tag = tag
+        self.live_count = 0
+
+
+class ProxyTable:
+    """All stubs held by one activity, grouped per target.
+
+    The no-sharing property (paper Sec. 2.1) guarantees a stub belongs to
+    exactly one activity, so a per-activity table is exact.
+    """
+
+    def __init__(self, holder: ActivityId) -> None:
+        self.holder = holder
+        self._entries: Dict[ActivityId, _TargetEntry] = {}
+        self._generations: Dict[ActivityId, int] = {}
+
+    def acquire(self, ref: RemoteRef) -> Proxy:
+        """Materialise a stub for ``ref`` (deserialization of a reference).
+
+        Returns a new :class:`Proxy` sharing the per-target tag.
+        """
+        entry = self._entries.get(ref.activity_id)
+        if entry is None:
+            generation = self._generations.get(ref.activity_id, 0) + 1
+            self._generations[ref.activity_id] = generation
+            tag = StubTag(self.holder, ref.activity_id, generation)
+            entry = _TargetEntry(ref, tag)
+            self._entries[ref.activity_id] = entry
+        entry.live_count += 1
+        return Proxy(entry.ref, entry.tag)
+
+    def release(self, proxy: Proxy) -> bool:
+        """Drop one stub; returns True when this was the last stub for the
+        target (the tag is now collectible)."""
+        if proxy._released:
+            raise RuntimeModelError(f"{proxy!r} released twice")
+        proxy._released = True
+        entry = self._entries.get(proxy.activity_id)
+        if entry is None or entry.tag is not proxy.tag:
+            # The tag generation was already retired (e.g. activity
+            # termination released everything); nothing further to do.
+            return False
+        entry.live_count -= 1
+        if entry.live_count <= 0:
+            del self._entries[proxy.activity_id]
+            return True
+        return False
+
+    def release_all(self) -> List[StubTag]:
+        """Drop every stub (activity termination); returns the dead tags."""
+        tags = [entry.tag for entry in self._entries.values()]
+        self._entries.clear()
+        return tags
+
+    def holds(self, target: ActivityId) -> bool:
+        """Does the activity currently hold at least one stub for target?"""
+        return target in self._entries
+
+    def live_count(self, target: ActivityId) -> int:
+        entry = self._entries.get(target)
+        return entry.live_count if entry else 0
+
+    def targets(self) -> List[ActivityId]:
+        """Targets currently referenced through at least one stub."""
+        return list(self._entries.keys())
+
+    def ref_for(self, target: ActivityId) -> Optional[RemoteRef]:
+        entry = self._entries.get(target)
+        return entry.ref if entry else None

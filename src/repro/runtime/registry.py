@@ -1,0 +1,58 @@
+"""Name registry for activities.
+
+Paper Sec. 4.1: "registered active objects [are roots] as anyone can look
+them up at any time".  Binding a name marks the target activity as a root
+(never idle for the DGC); unbinding releases the root pin, making the
+activity collectable again once unreferenced and idle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import RegistryError
+from repro.runtime.proxy import RemoteRef
+
+
+class Registry:
+    """A world-global name -> remote reference table."""
+
+    def __init__(self, world) -> None:
+        self._world = world
+        self._bindings: Dict[str, RemoteRef] = {}
+
+    def bind(self, name: str, ref: RemoteRef) -> None:
+        """Publish ``ref`` under ``name``; pins the target as a DGC root."""
+        if name in self._bindings:
+            raise RegistryError(f"name {name!r} already bound")
+        activity = self._world.find_activity(ref.activity_id)
+        if activity is None:
+            raise RegistryError(f"cannot bind dead activity {ref.activity_id}")
+        activity.is_root = True
+        self._bindings[name] = ref
+
+    def unbind(self, name: str) -> None:
+        """Remove a binding and release the root pin."""
+        try:
+            ref = self._bindings.pop(name)
+        except KeyError:
+            raise RegistryError(f"name {name!r} is not bound") from None
+        activity = self._world.find_activity(ref.activity_id)
+        if activity is not None and not self._is_still_bound(ref):
+            activity.is_root = False
+
+    def lookup(self, name: str) -> RemoteRef:
+        """Resolve a name; the caller must ``acquire`` the ref to hold it."""
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise RegistryError(f"name {name!r} is not bound") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._bindings)
+
+    def _is_still_bound(self, ref: RemoteRef) -> bool:
+        return any(
+            bound.activity_id == ref.activity_id
+            for bound in self._bindings.values()
+        )

@@ -1,0 +1,63 @@
+"""Application-level requests and replies.
+
+A request names a method on the target activity's behavior, carries a
+modelled payload size (bytes on the wire, for bandwidth accounting) and a
+tuple of serialized remote references (:class:`RemoteRef`).  Deserializing
+those references at the recipient is what creates reference-graph edges
+(paper Sec. 2.2).
+
+Replies update the caller's future.  Following the paper's reference
+orientation (Sec. 4.1), a reply does **not** create a DGC edge from callee
+to caller, and a reply to an already-collected caller is dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.runtime.ids import ActivityId
+from repro.runtime.proxy import RemoteRef
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class Request:
+    """An asynchronous method invocation on an activity."""
+
+    method: str
+    sender: ActivityId
+    target: ActivityId
+    payload_bytes: int = 0
+    refs: Tuple[RemoteRef, ...] = ()
+    data: Any = None
+    reply_to: Optional["ReplyAddress"] = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request(#{self.request_id} {self.method} "
+            f"{self.sender}->{self.target})"
+        )
+
+
+@dataclass(frozen=True)
+class ReplyAddress:
+    """Where the reply (future update) must be delivered."""
+
+    node: str
+    activity: ActivityId
+    future_id: int
+
+
+@dataclass
+class Reply:
+    """A future update: the result of a served request."""
+
+    future_id: int
+    target_activity: ActivityId
+    payload_bytes: int = 0
+    refs: Tuple[RemoteRef, ...] = ()
+    data: Any = None

@@ -1,0 +1,22 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper evaluates the DGC on the Grid'5000 testbed; this package provides
+the deterministic, laptop-scale equivalent: a heap-based event kernel
+(:mod:`repro.sim.kernel`), periodic timers used for the TTB heartbeat
+(:mod:`repro.sim.timers`), reproducible per-component random streams
+(:mod:`repro.sim.rng`) and structured traces (:mod:`repro.sim.tracing`).
+"""
+
+from repro.sim.kernel import Event, SimKernel
+from repro.sim.timers import PeriodicTimer
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "Event",
+    "SimKernel",
+    "PeriodicTimer",
+    "RngRegistry",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,196 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic heap-ordered event queue with a simulated clock
+measured in seconds (floats).  Everything in the reproduction — network
+latency, request service times, the TTB heartbeat, TTA expiry — is driven
+by this single clock, which makes every run fully deterministic for a given
+seed and schedule.
+
+Determinism matters here because the DGC algorithm is specified in terms of
+physical-time bounds (``TTA > 2*TTB + MaxComm``); a deterministic clock lets
+the test-suite probe exactly the boundary cases the paper reasons about.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingInPastError, SimulationError
+
+
+class Event:
+    """A scheduled callback; returned by :meth:`SimKernel.schedule`.
+
+    Events are cancellable: :meth:`cancel` marks the event dead and the
+    kernel skips it when popped.  This avoids an O(n) heap removal.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        label: str,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel never fires it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.3f}, label={self.label!r}, {state})"
+
+
+class SimKernel:
+    """Heap-based discrete-event scheduler with a simulated clock.
+
+    Ties are broken by scheduling order (FIFO among same-time events), which
+    is essential for the per-connection FIFO guarantee the DGC relies on.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._fired = 0
+        self._scheduled = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of scheduled, not-yet-fired, not-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def fired_count(self) -> int:
+        """Total number of events that have executed."""
+        return self._fired
+
+    @property
+    def scheduled_count(self) -> int:
+        """Total number of events ever scheduled."""
+        return self._scheduled
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingInPastError(
+                f"cannot schedule {label or callback!r} with negative delay {delay}"
+            )
+        return self.schedule_at(self._now + delay, callback, *args, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SchedulingInPastError(
+                f"cannot schedule {label or callback!r} at {time} < now {self._now}"
+            )
+        event = Event(time, next(self._seq), callback, args, label)
+        heapq.heappush(self._heap, event)
+        self._scheduled += 1
+        return event
+
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns ``False`` when the queue is exhausted.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._fired += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the number of events fired.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fired earlier, mirroring "run for N seconds".
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._fired += 1
+                event.callback(*event.args)
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return fired
+
+    def run_until_quiescent(
+        self,
+        predicate: Callable[[], bool],
+        check_interval: float,
+        timeout: float,
+    ) -> bool:
+        """Run, polling ``predicate`` every ``check_interval`` simulated
+        seconds; return ``True`` as soon as it holds, ``False`` at timeout.
+        """
+        deadline = self._now + timeout
+        while self._now < deadline:
+            if predicate():
+                return True
+            self.run(until=min(self._now + check_interval, deadline))
+            if not self._heap and predicate():
+                return True
+            if not self._heap:
+                return predicate()
+        return predicate()

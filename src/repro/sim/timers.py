@@ -1,0 +1,82 @@
+"""Periodic timers on top of the event kernel.
+
+The DGC broadcast loop ("every TTB on every active object", paper Alg. 2)
+is a periodic timer.  The timer supports an optional start jitter so that
+activities created at the same instant do not broadcast in lock-step, which
+is how the paper's implementation behaves (each activity starts its own
+beat when created).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Event, SimKernel
+
+
+class PeriodicTimer:
+    """Fires ``callback()`` every ``period`` simulated seconds until stopped."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        initial_delay: Optional[float] = None,
+        label: str = "periodic",
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"timer period must be positive, got {period}")
+        self._kernel = kernel
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._event: Optional[Event] = None
+        self._stopped = False
+        self._ticks = 0
+        first = period if initial_delay is None else initial_delay
+        self._event = kernel.schedule(first, self._fire, label=label)
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the timer has fired."""
+        return self._ticks
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    def stop(self) -> None:
+        """Cancel the timer; the callback will never fire again."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def set_period(self, period: float) -> None:
+        """Change the period; takes effect from the *next* re-arm.
+
+        Used by the dynamic-TTB extension (paper Sec. 7.1): collectors
+        speed their beat up when garbage is suspected and relax it when
+        the system is loaded.
+        """
+        if period <= 0:
+            raise SimulationError(f"timer period must be positive, got {period}")
+        self._period = period
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._ticks += 1
+        # Re-arm before the callback so a callback that stops the timer
+        # cancels the already-scheduled next tick.
+        self._event = self._kernel.schedule(
+            self._period, self._fire, label=self._label
+        )
+        self._callback()

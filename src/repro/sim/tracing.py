@@ -1,0 +1,92 @@
+"""Structured event traces.
+
+The harness reconstructs the paper's figures (e.g. Fig. 10's idle/collected
+time series) from traces rather than from ad-hoc counters, so the same run
+can regenerate several artifacts.  A trace is a flat, append-only list of
+:class:`TraceEvent` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record.
+
+    ``kind`` is a stable string key (e.g. ``"activity.idle"``,
+    ``"dgc.collected"``); ``subject`` identifies the entity;
+    ``details`` carries kind-specific payload.
+    """
+
+    time: float
+    kind: str
+    subject: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Append-only trace sink with cheap filtering helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+        self._listeners: List[Callable[[TraceEvent], None]] = []
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        subject: str,
+        **details: Any,
+    ) -> None:
+        """Append a record (no-op when the tracer is disabled)."""
+        if not self.enabled:
+            return
+        event = TraceEvent(time, kind, subject, details)
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Invoke ``listener`` for every subsequent record."""
+        self._listeners.append(listener)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Return records matching the given kind and/or subject."""
+        result = self._events
+        if kind is not None:
+            result = [event for event in result if event.kind == kind]
+        if subject is not None:
+            result = [event for event in result if event.subject == subject]
+        return list(result) if result is self._events else result
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        """Earliest record of ``kind``, or None."""
+        for event in self._events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        """Latest record of ``kind``, or None."""
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def count(self, kind: str) -> int:
+        """Number of records of ``kind``."""
+        return sum(1 for event in self._events if event.kind == kind)

@@ -1,0 +1,33 @@
+"""Workloads driving the DGC experiments.
+
+* :mod:`repro.workloads.app` — reusable behaviors (reference-keeping
+  peers) and graph-building helpers,
+* :mod:`repro.workloads.synthetic` — rings, chains, compound cycles and
+  the paper's Figs. 4-7 scenarios,
+* :mod:`repro.workloads.nas` — communication skeletons of the NAS CG/EP/FT
+  kernels (paper Sec. 5.2),
+* :mod:`repro.workloads.torture` — the DGC torture test (paper Sec. 5.3).
+"""
+
+from repro.workloads.app import Peer, link, links_settled, release_all
+from repro.workloads.synthetic import (
+    build_chain,
+    build_complete_graph,
+    build_compound_cycles,
+    build_random_graph,
+    build_ring,
+    create_peers,
+)
+
+__all__ = [
+    "Peer",
+    "link",
+    "links_settled",
+    "release_all",
+    "build_chain",
+    "build_complete_graph",
+    "build_compound_cycles",
+    "build_random_graph",
+    "build_ring",
+    "create_peers",
+]

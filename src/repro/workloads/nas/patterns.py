@@ -1,0 +1,59 @@
+"""Per-iteration communication patterns of the NAS kernel skeletons.
+
+A pattern maps ``(worker_index, worker_count, iteration)`` to the list of
+``(partner_index, payload_bytes)`` messages the worker sends after that
+iteration's compute step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+Pattern = Callable[[int, int, int], List[Tuple[int, int]]]
+
+#: Small control/reduction message size (bytes).
+REDUCTION_BYTES = 256
+
+
+def cg_pattern(payload_bytes: int, reduce_every: int = 5) -> Pattern:
+    """CG: nearest-neighbour vector exchanges plus periodic reductions.
+
+    The conjugate-gradient kernel exchanges boundary vectors with row and
+    column partners every iteration; every ``reduce_every`` iterations a
+    scalar reduction converges on worker 0.
+    """
+
+    def pattern(index: int, count: int, iteration: int) -> List[Tuple[int, int]]:
+        sends = [
+            ((index + 1) % count, payload_bytes),
+            ((index - 1) % count, payload_bytes),
+        ]
+        if iteration % reduce_every == reduce_every - 1 and index != 0:
+            sends.append((0, REDUCTION_BYTES))
+        return sends
+
+    return pattern
+
+
+def ep_pattern() -> Pattern:
+    """EP: embarrassingly parallel — silence until one final reduction."""
+
+    def pattern(index: int, count: int, iteration: int) -> List[Tuple[int, int]]:
+        if index != 0:
+            return [(0, REDUCTION_BYTES)]
+        return []
+
+    return pattern
+
+
+def ft_pattern(payload_bytes: int) -> Pattern:
+    """FT: 3-D FFT — an all-to-all transpose every iteration."""
+
+    def pattern(index: int, count: int, iteration: int) -> List[Tuple[int, int]]:
+        return [
+            (partner, payload_bytes)
+            for partner in range(count)
+            if partner != index
+        ]
+
+    return pattern

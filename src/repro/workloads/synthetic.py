@@ -1,0 +1,144 @@
+"""Synthetic reference-graph builders.
+
+These construct the shapes the paper reasons about:
+
+* rings (pure cycles) and chains (pure acyclic garbage),
+* the Fig. 7 *compound cycle* (two cycles sharing a junction, optionally
+  kept alive by one live object),
+* complete graphs (the NAS barrier shape),
+* random graphs for property-based testing.
+
+All builders send real application messages from a driver; callers must
+run the world briefly (e.g. ``world.run_for(settle)``) for the edges to
+materialise before relying on them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.runtime.activeobject import Activity
+from repro.runtime.proxy import Proxy
+from repro.workloads.app import Peer, link
+
+
+def create_peers(
+    world,
+    driver: Activity,
+    count: int,
+    *,
+    name_prefix: str = "peer",
+    behavior_factory: Callable[[], Peer] = Peer,
+    node: Optional[str] = None,
+) -> List[Proxy]:
+    """Create ``count`` Peer activities; the driver holds one stub each."""
+    return [
+        driver.context.create(
+            behavior_factory(), name=f"{name_prefix}{index}", node=node
+        )
+        for index in range(count)
+    ]
+
+
+def build_ring(
+    world,
+    driver: Activity,
+    count: int,
+    *,
+    name_prefix: str = "ring",
+) -> List[Proxy]:
+    """A cycle ``p0 -> p1 -> ... -> p(count-1) -> p0``."""
+    peers = create_peers(world, driver, count, name_prefix=name_prefix)
+    for index, source in enumerate(peers):
+        target = peers[(index + 1) % count]
+        link(driver, source, target, key="next")
+    return peers
+
+
+def build_chain(
+    world,
+    driver: Activity,
+    count: int,
+    *,
+    name_prefix: str = "chain",
+) -> List[Proxy]:
+    """An acyclic chain ``p0 -> p1 -> ... -> p(count-1)``."""
+    peers = create_peers(world, driver, count, name_prefix=name_prefix)
+    for source, target in zip(peers, peers[1:]):
+        link(driver, source, target, key="next")
+    return peers
+
+
+def build_complete_graph(
+    world,
+    driver: Activity,
+    count: int,
+    *,
+    name_prefix: str = "node",
+) -> List[Proxy]:
+    """Every peer references every other peer (the NAS barrier shape)."""
+    peers = create_peers(world, driver, count, name_prefix=name_prefix)
+    for index, source in enumerate(peers):
+        targets = [peer for j, peer in enumerate(peers) if j != index]
+        keys = [f"peer{j}" for j in range(count) if j != index]
+        driver.context.call(source, "hold", refs=targets, data=keys)
+    return peers
+
+
+def build_compound_cycles(
+    world,
+    driver: Activity,
+    cycle_a: int,
+    cycle_b: int,
+    *,
+    name_prefix: str = "compound",
+) -> Tuple[List[Proxy], List[Proxy]]:
+    """Fig. 7's compound structure: two cycles joined at a junction.
+
+    Cycle A is ``a0 -> a1 -> ... -> a0``; cycle B is ``b0 -> ... -> b0``;
+    additionally ``a0 -> b0`` and ``b0 -> a0``, so the two cycles form one
+    strongly connected component with sub-cycles — the case where the
+    consensus-propagation optimisation matters (Sec. 4.3).
+    """
+    ring_a = build_ring(world, driver, cycle_a, name_prefix=f"{name_prefix}A")
+    ring_b = build_ring(world, driver, cycle_b, name_prefix=f"{name_prefix}B")
+    link(driver, ring_a[0], ring_b[0], key="bridge")
+    link(driver, ring_b[0], ring_a[0], key="bridge")
+    return ring_a, ring_b
+
+
+def build_random_graph(
+    world,
+    driver: Activity,
+    count: int,
+    edge_probability: float,
+    rng: random.Random,
+    *,
+    name_prefix: str = "rand",
+) -> List[Proxy]:
+    """A random directed graph over ``count`` peers (G(n, p) on edges)."""
+    peers = create_peers(world, driver, count, name_prefix=name_prefix)
+    for i, source in enumerate(peers):
+        for j, target in enumerate(peers):
+            if i != j and rng.random() < edge_probability:
+                link(driver, source, target, key=f"edge{j}")
+    return peers
+
+
+def build_two_oriented_cycles(
+    world,
+    driver: Activity,
+    cycle_size: int,
+    *,
+    name_prefix: str = "oriented",
+) -> Tuple[List[Proxy], List[Proxy]]:
+    """Fig. 4's shape: cycle C1 whose members also reference cycle C2.
+
+    Edges go C1 -> C2 only, so (references being oriented) C2's state must
+    never prevent C1's collection, while C1 keeps C2 alive.
+    """
+    c1 = build_ring(world, driver, cycle_size, name_prefix=f"{name_prefix}C1")
+    c2 = build_ring(world, driver, cycle_size, name_prefix=f"{name_prefix}C2")
+    link(driver, c1[0], c2[0], key="down")
+    return c1, c2

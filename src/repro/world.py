@@ -1,0 +1,289 @@
+"""The world: one simulated distributed system.
+
+A :class:`World` wires the event kernel, the network fabric, the nodes,
+the registry and (optionally) the DGC together, and offers the high-level
+API used by examples, workloads and tests::
+
+    world = World(uniform_topology(4), dgc=DgcConfig(ttb=1.0, tta=2.5))
+    driver = world.create_driver()
+    worker = driver.context.create(MyBehavior(), name="worker")
+    ...
+    world.run_for(60.0)
+
+When ``safety_checks`` is on, every DGC-driven termination is checked
+against the ground-truth garbage oracle (paper Eq. 1); a violation is
+recorded (and raised) — this is how the property-based test-suite
+falsifies broken variants of the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core import events
+from repro.core.collector import DgcCollector
+from repro.core.config import DgcConfig
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net.accounting import BandwidthAccountant
+from repro.net.faults import FaultPlan
+from repro.net.message import WireSizeModel
+from repro.net.network import Network
+from repro.net.topology import Topology, uniform_topology
+from repro.runtime.activeobject import Activity
+from repro.runtime.behaviors import SinkBehavior
+from repro.runtime.ids import ActivityId, make_activity_id
+from repro.runtime.node import Node
+from repro.runtime.proxy import Proxy, RemoteRef
+from repro.runtime.registry import Registry
+from repro.runtime.request import Reply, Request
+from repro.sim.kernel import SimKernel
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import Tracer
+
+
+@dataclass
+class WorldStats:
+    """Aggregate counters for one run."""
+
+    created: int = 0
+    collected_acyclic: int = 0
+    collected_cyclic: int = 0
+    terminated_explicit: int = 0
+    dead_letters: int = 0
+    safety_violations: int = 0
+    collected_by_id: Dict[ActivityId, float] = field(default_factory=dict)
+
+    @property
+    def collected_total(self) -> int:
+        return self.collected_acyclic + self.collected_cyclic
+
+
+class World:
+    """A complete simulated grid."""
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        *,
+        dgc: Optional[DgcConfig] = None,
+        seed: int = 0,
+        trace: bool = True,
+        wire_sizes: Optional[WireSizeModel] = None,
+        gc_delay: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
+        safety_checks: bool = False,
+        validate_dgc_config: bool = True,
+        collector_factory: Optional[Any] = None,
+        kernel: Optional[Any] = None,
+    ) -> None:
+        self.topology = topology if topology is not None else uniform_topology(4)
+        #: The event kernel; pass a :class:`repro.live.LiveKernel` to run
+        #: the identical stack in wall-clock time.
+        self.kernel = kernel if kernel is not None else SimKernel()
+        self.tracer = Tracer(enabled=trace)
+        self.rng_registry = RngRegistry(seed)
+        self.wire_sizes = wire_sizes if wire_sizes is not None else WireSizeModel()
+        self.network = Network(
+            self.kernel,
+            self.topology,
+            accountant=BandwidthAccountant(),
+            fault_plan=fault_plan,
+        )
+        self.dgc_config = dgc
+        if dgc is not None and validate_dgc_config:
+            dgc.validate_against(self.network.max_comm())
+        #: Optional callable ``factory(activity) -> collector`` overriding
+        #: the paper's DGC; used to attach baseline collectors
+        #: (:mod:`repro.baselines`).
+        self.collector_factory = collector_factory
+        self.safety_checks = safety_checks
+        self.registry = Registry(self)
+        self.nodes: Dict[str, Node] = {
+            name: Node(self, name, gc_delay=gc_delay)
+            for name in self.topology.nodes
+        }
+        self._node_order = list(self.topology.nodes)
+        self._placement_cursor = 0
+        self._activities: Dict[ActivityId, Activity] = {}
+        self._inflight_wakeups: Dict[ActivityId, int] = {}
+        self._inflight_ref_pins: Dict[ActivityId, int] = {}
+        self.stats = WorldStats()
+
+    # ------------------------------------------------------------------
+    # Topology / placement
+    # ------------------------------------------------------------------
+
+    @property
+    def accountant(self) -> BandwidthAccountant:
+        return self.network.accountant
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def _next_node(self) -> str:
+        name = self._node_order[self._placement_cursor % len(self._node_order)]
+        self._placement_cursor += 1
+        return name
+
+    # ------------------------------------------------------------------
+    # Activity creation
+    # ------------------------------------------------------------------
+
+    def create_activity(
+        self,
+        behavior: Any,
+        *,
+        node: Optional[str] = None,
+        name: str = "",
+        root: bool = False,
+        creator: Optional[Activity] = None,
+        dgc_config: Optional[DgcConfig] = None,
+    ):
+        """Create an activity; returns a :class:`Proxy` when a creator is
+        given (the creator holds the first stub), else the bare activity.
+
+        ``dgc_config`` overrides the world's DGC configuration for this
+        activity only (Sec. 7.1 extension: per-activity TTB/TTA — e.g. a
+        dynamic application part with a fast beat next to a static part
+        with a slow one).  Mixed-beat worlds should enable
+        ``heterogeneous_params`` so expiry deadlines account for slower
+        referencers.
+        """
+        node_name = node if node is not None else self._next_node()
+        host = self.nodes[node_name]
+        activity = Activity(
+            host, make_activity_id(name), behavior, root=root
+        )
+        host.add_activity(activity)
+        self._activities[activity.id] = activity
+        self.stats.created += 1
+        if self.collector_factory is not None:
+            activity.collector = self.collector_factory(activity)
+        elif dgc_config is not None or self.dgc_config is not None:
+            effective = dgc_config if dgc_config is not None else self.dgc_config
+            activity.collector = DgcCollector(activity, effective)
+        activity.start()
+        if creator is not None:
+            ref = RemoteRef(activity.id, node_name)
+            return host_acquire(creator, ref)
+        return activity
+
+    def create_driver(
+        self, *, node: Optional[str] = None, name: str = "driver"
+    ) -> Activity:
+        """A dummy root activity standing in for non-active code
+        (paper Sec. 4.1): never idle, hence never collected."""
+        return self.create_activity(SinkBehavior(), node=node, name=name, root=True)
+
+    # ------------------------------------------------------------------
+    # Lookup / liveness
+    # ------------------------------------------------------------------
+
+    def find_activity(self, activity_id: ActivityId) -> Optional[Activity]:
+        return self._activities.get(activity_id)
+
+    def live_activities(self) -> List[Activity]:
+        return list(self._activities.values())
+
+    def live_non_roots(self) -> List[Activity]:
+        return [a for a in self._activities.values() if not a.is_root]
+
+    def all_collected(self) -> bool:
+        """Every non-root activity has been collected/terminated."""
+        return not self.live_non_roots()
+
+    # ------------------------------------------------------------------
+    # Run helpers
+    # ------------------------------------------------------------------
+
+    def run_for(self, seconds: float) -> None:
+        self.kernel.run(until=self.kernel.now + seconds)
+
+    def run_until_collected(self, timeout: float, check_interval: float = 1.0) -> bool:
+        """Run until every non-root activity is gone; False on timeout."""
+        return self.kernel.run_until_quiescent(
+            self.all_collected, check_interval, timeout
+        )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping hooks (called by nodes)
+    # ------------------------------------------------------------------
+
+    def on_activity_terminated(self, activity: Activity, reason: str) -> None:
+        self._activities.pop(activity.id, None)
+        self.stats.collected_by_id[activity.id] = self.kernel.now
+        if reason == events.REASON_ACYCLIC:
+            self.stats.collected_acyclic += 1
+        elif reason == events.REASON_CYCLIC:
+            self.stats.collected_cyclic += 1
+        else:
+            self.stats.terminated_explicit += 1
+        if self.safety_checks and reason in (
+            events.REASON_ACYCLIC,
+            events.REASON_CYCLIC,
+        ):
+            self._check_termination_safety(activity, reason)
+
+    def note_request_sent(self, request: Request) -> None:
+        self._inflight_wakeups[request.target] = (
+            self._inflight_wakeups.get(request.target, 0) + 1
+        )
+        for ref in request.refs:
+            self._inflight_ref_pins[ref.activity_id] = (
+                self._inflight_ref_pins.get(ref.activity_id, 0) + 1
+            )
+
+    def note_request_delivered(self, request: Request) -> None:
+        self._dec(self._inflight_wakeups, request.target)
+        for ref in request.refs:
+            self._dec(self._inflight_ref_pins, ref.activity_id)
+
+    def note_reply_sent(self, reply: Reply) -> None:
+        for ref in reply.refs:
+            self._inflight_ref_pins[ref.activity_id] = (
+                self._inflight_ref_pins.get(ref.activity_id, 0) + 1
+            )
+
+    def note_reply_delivered(self, reply: Reply) -> None:
+        for ref in reply.refs:
+            self._dec(self._inflight_ref_pins, ref.activity_id)
+
+    @staticmethod
+    def _dec(counter: Dict[ActivityId, int], key: ActivityId) -> None:
+        value = counter.get(key, 0) - 1
+        if value <= 0:
+            counter.pop(key, None)
+        else:
+            counter[key] = value
+
+    def inflight_pinned(self) -> Set[ActivityId]:
+        """Activities pinned by in-flight traffic (wakeups or references)."""
+        pinned = set(self._inflight_wakeups)
+        pinned.update(self._inflight_ref_pins)
+        return pinned
+
+    def on_dead_letter(self) -> None:
+        self.stats.dead_letters += 1
+
+    # ------------------------------------------------------------------
+    # Safety monitor
+    # ------------------------------------------------------------------
+
+    def _check_termination_safety(self, activity: Activity, reason: str) -> None:
+        from repro.graph.oracle import compute_garbage
+
+        garbage = compute_garbage(self, include=[activity])
+        if activity.id not in garbage:
+            self.stats.safety_violations += 1
+            raise ProtocolError(
+                f"wrongful {reason} collection of {activity.id} at "
+                f"t={self.kernel.now}: the oracle says it is reachable "
+                f"from a non-idle activity"
+            )
+
+
+def host_acquire(holder: Activity, ref: RemoteRef) -> Proxy:
+    """Acquire a stub for ``ref`` on ``holder`` via the deserialization
+    hook (creation behaves like receiving the reference, Sec. 2.2)."""
+    return holder.node.deserialize_ref(holder, ref)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.net.topology import uniform_topology
+from repro.runtime.ids import reset_id_counter
+from repro.world import World
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    """Reset the global activity-id counter so ids (and hence named-clock
+    tie-breaks) are deterministic per test."""
+    reset_id_counter()
+    yield
+    reset_id_counter()
+
+
+@pytest.fixture
+def fast_dgc() -> DgcConfig:
+    """A DGC configuration fast enough for tests: TTB=1s, TTA=3s
+    (satisfies TTA > 2*TTB + MaxComm for the test topologies)."""
+    return DgcConfig(ttb=1.0, tta=3.0)
+
+
+@pytest.fixture
+def make_world(fast_dgc):
+    """Factory for small worlds with safety checking enabled."""
+
+    def factory(
+        node_count: int = 4,
+        *,
+        dgc: DgcConfig = fast_dgc,
+        seed: int = 0,
+        **kwargs,
+    ) -> World:
+        kwargs.setdefault("safety_checks", True)
+        return World(
+            uniform_topology(node_count), dgc=dgc, seed=seed, **kwargs
+        )
+
+    return factory

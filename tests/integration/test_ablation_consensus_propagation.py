@@ -1,0 +1,76 @@
+"""Sec. 4.3 optimisation ablation: propagating the consensus verdict.
+
+"When a consensus is made ... it gives DGC responses indicating that a
+consensus has been reached ... otherwise the acquired knowledge is
+partially dropped and the consensus process must start again for the
+sub-cycles."
+
+With the optimisation: one consensus collects the whole compound cycle.
+Without it: only the originator dies per consensus round; sub-cycles
+restart, so collection takes several extra rounds (and strictly longer).
+"""
+
+from repro.core.config import DgcConfig
+from repro.workloads.app import release_all
+from repro.workloads.synthetic import build_compound_cycles, build_ring
+
+
+def run_collection(make_world, *, propagation: bool, size=4):
+    config = DgcConfig(ttb=1.0, tta=3.0, consensus_propagation=propagation)
+    world = make_world(dgc=config, seed=3)
+    driver = world.create_driver()
+    ring_a, ring_b = build_compound_cycles(world, driver, size, size)
+    world.run_for(2.0)
+    start = world.kernel.now
+    release_all(driver, ring_a + ring_b)
+    assert world.run_until_collected(400 * config.tta), (
+        f"propagation={propagation}: survivors "
+        f"{[a.id for a in world.live_non_roots()]}"
+    )
+    last = max(world.stats.collected_by_id.values())
+    return world, last - start
+
+
+def test_both_variants_complete(make_world):
+    world_with, time_with = run_collection(make_world, propagation=True)
+    world_without, time_without = run_collection(make_world, propagation=False)
+    assert world_with.stats.collected_total == 8
+    assert world_without.stats.collected_total == 8
+    assert world_with.stats.safety_violations == 0
+    assert world_without.stats.safety_violations == 0
+
+
+def test_optimisation_collects_strictly_faster(make_world):
+    __, time_with = run_collection(make_world, propagation=True)
+    __, time_without = run_collection(make_world, propagation=False)
+    assert time_with < time_without
+
+
+def test_without_optimisation_multiple_consensus_rounds(make_world):
+    from repro.core import events
+
+    world_with, __ = run_collection(make_world, propagation=True)
+    world_without, __ = run_collection(make_world, propagation=False)
+    rounds_with = world_with.tracer.count(events.DGC_CONSENSUS)
+    rounds_without = world_without.tracer.count(events.DGC_CONSENSUS)
+    # Without propagation every consensus kills a single activity, so the
+    # compound structure needs several rounds.
+    assert rounds_without > rounds_with
+
+
+def test_simple_ring_collapses_in_one_tta_window_with_optimisation(
+    make_world, fast_dgc
+):
+    world = make_world(seed=4)
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 5)
+    world.run_for(2.0)
+    release_all(driver, ring)
+    assert world.run_until_collected(100 * fast_dgc.tta)
+    times = sorted(
+        world.stats.collected_by_id[p.activity_id] for p in ring
+    )
+    # With propagation, all five die within roughly one TTA+h*TTB window
+    # of each other, not one consensus round apart each.
+    spread = times[-1] - times[0]
+    assert spread <= fast_dgc.tta + 5 * fast_dgc.ttb

@@ -1,0 +1,133 @@
+"""Integration tests: acyclic garbage (Sec. 3.1 heartbeat/TTA path)."""
+
+import pytest
+
+from repro.core import events
+from repro.workloads.app import Peer, link, release_all
+from repro.workloads.synthetic import build_chain, create_peers
+
+
+def test_single_unreferenced_activity_collected(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    world.run_for(1.0)
+    driver.context.drop(a)
+    assert world.run_until_collected(20 * fast_dgc.tta)
+    assert world.stats.collected_acyclic == 1
+    assert world.stats.collected_cyclic == 0
+
+
+def test_chain_collected_in_order(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    chain = build_chain(world, driver, 4)
+    world.run_for(2.0)
+    release_all(driver, chain)
+    assert world.run_until_collected(40 * fast_dgc.tta)
+    assert world.stats.collected_acyclic == 4
+    times = [
+        world.stats.collected_by_id[proxy.activity_id] for proxy in chain
+    ]
+    # Heads die before tails: each link must first lose its referencer.
+    assert times == sorted(times)
+
+
+def test_referenced_activity_survives(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)
+    world.run_for(2.0)
+    driver.context.drop(b)  # driver's own stub only; a still holds b
+    world.run_for(20 * fast_dgc.tta)
+    assert world.find_activity(a.activity_id) is not None
+    assert world.find_activity(b.activity_id) is not None
+    assert world.stats.collected_total == 0
+
+
+def test_busy_activity_never_collected_acyclically(make_world, fast_dgc):
+    class Loop(Peer):
+        def do_spin(self, ctx, request, proxies):
+            while ctx.now < 100.0:
+                yield ctx.sleep(1.0)
+
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Loop(), name="a")
+    driver.context.call(a, "spin")
+    world.run_for(1.0)
+    driver.context.drop(a)
+    world.run_for(50.0)
+    # Still busy: even unreferenced it must not be collected...
+    assert world.find_activity(a.activity_id) is not None
+    # ...but once idle it is (acyclic, nobody references it).
+    assert world.run_until_collected(200.0 + 20 * fast_dgc.tta)
+    assert world.stats.collected_acyclic == 1
+
+
+def test_fresh_activity_not_collected_before_first_heartbeat(
+    make_world, fast_dgc
+):
+    """The TTA grace protects newborns whose creator has not beaten yet."""
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    world.run_for(fast_dgc.tta * 0.9)
+    assert world.find_activity(a.activity_id) is not None
+    world.run_for(20 * fast_dgc.tta)
+    # Driver still holds it: alive for good.
+    assert world.find_activity(a.activity_id) is not None
+
+
+def test_quickly_exchanged_reference_stays_alive(make_world, fast_dgc):
+    """Sec. 3.1 worst case: a reference handed through an intermediary
+    that drops it immediately must still reach the target with at least
+    one DGC message (needs_send) and keep it alive."""
+    class PassThrough(Peer):
+        def do_relay(self, ctx, request, proxies):
+            # Receive a ref and forward it, keeping nothing.
+            target = self.held.get("next")
+            ctx.call(target, "hold", refs=[proxies[0]], data=["kept"])
+            return None
+
+    world = make_world()
+    driver = world.create_driver()
+    relay = driver.context.create(PassThrough(), name="relay")
+    keeper = driver.context.create(Peer(), name="keeper")
+    precious = driver.context.create(Peer(), name="precious")
+    link(driver, relay, keeper, key="next")
+    world.run_for(2.0)
+    driver.context.call(relay, "relay", refs=[precious])
+    driver.context.drop(precious)  # driver forgets it immediately
+    world.run_for(20 * fast_dgc.tta)
+    # The keeper holds it now; it must have survived the handoff.
+    assert world.find_activity(precious.activity_id) is not None
+    assert world.stats.safety_violations == 0
+
+
+def test_collection_time_bounded_by_tta_plus_beats(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    world.run_for(5.0)
+    dropped_at = world.kernel.now
+    driver.context.drop(a)
+    assert world.run_until_collected(20 * fast_dgc.tta)
+    collected_at = world.stats.collected_by_id[a.activity_id]
+    # One more heartbeat may land right after the drop; then silence for
+    # TTA, detected at the next beat.
+    assert collected_at - dropped_at <= 2 * fast_dgc.tta + 2 * fast_dgc.ttb
+
+
+def test_terminated_event_traced(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    world.run_for(1.0)
+    driver.context.drop(a)
+    world.run_until_collected(20 * fast_dgc.tta)
+    event = world.tracer.last(events.ACTIVITY_TERMINATED)
+    assert event.subject == a.activity_id
+    assert event.details["reason"] == "acyclic"

@@ -1,0 +1,101 @@
+"""Stress: sustained reference churn under safety + invariant monitors.
+
+A moderately sized population continuously rewires its reference graph
+(holds, replacements, drops, forwards, bursts of work) while the DGC
+runs with an aggressive TTA.  The run must finish with zero wrongful
+collections, zero invariant violations, and — after quiescence — full
+collection of everything the driver released.
+"""
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.core.invariants import install_invariant_monitor
+from repro.workloads.app import Peer, release_all
+from repro.workloads.synthetic import create_peers
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_churn_stress(make_world, seed):
+    config = DgcConfig(ttb=1.0, tta=3.0)
+    world = make_world(4, dgc=config, seed=seed)
+    monitor = install_invariant_monitor(world, period=2.0)
+    driver = world.create_driver()
+    peers = create_peers(world, driver, 12, name_prefix="churn")
+    rng = world.rng_registry.stream("churn.test")
+    world.run_for(2.0)
+
+    # 60 seconds of randomized churn.
+    for step in range(60):
+        action = rng.random()
+        source = rng.choice(peers)
+        target = rng.choice(peers)
+        if action < 0.45:
+            driver.context.call(
+                source,
+                "hold",
+                refs=[target],
+                data=[f"slot{rng.randrange(4)}"],
+            )
+        elif action < 0.65:
+            driver.context.call(
+                source, "drop", data=[f"slot{rng.randrange(4)}"]
+            )
+        elif action < 0.85:
+            driver.context.call(source, "work", data=rng.uniform(0.5, 2.5))
+        else:
+            driver.context.call(
+                source,
+                "forward",
+                data=(f"slot{rng.randrange(4)}", f"slot{rng.randrange(4)}",
+                      f"slot{rng.randrange(4)}"),
+            )
+        world.run_for(1.0)
+
+    # Nothing was collectable during churn: the driver held every peer.
+    assert world.stats.collected_total == 0
+    assert world.stats.safety_violations == 0
+
+    # Quiesce and release: everything must go.
+    world.run_for(10.0)
+    release_all(driver, peers)
+    assert world.run_until_collected(500 * config.tta), (
+        f"survivors: {[a.id for a in world.live_non_roots()]}"
+    )
+    assert world.stats.collected_total == 12
+    assert world.stats.dead_letters == 0
+    assert monitor.checks > 20
+    monitor.stop()
+
+
+def test_churn_with_heterogeneous_and_dynamic_beats(make_world):
+    """The Sec. 7.1 extensions under churn: mixed per-activity beats with
+    dynamic acceleration, still safe and live."""
+    shared = dict(heterogeneous_params=True, dynamic_ttb=True)
+    world = make_world(4, dgc=DgcConfig(ttb=1.0, tta=3.0, **shared), seed=5)
+    driver = world.create_driver()
+    fast_peers = create_peers(world, driver, 4, name_prefix="fast")
+    slow_config = DgcConfig(ttb=3.0, tta=9.0, **shared)
+    slow_peers = [
+        world.create_activity(
+            Peer(), name=f"slow{index}", creator=driver,
+            dgc_config=slow_config,
+        )
+        for index in range(4)
+    ]
+    peers = fast_peers + slow_peers
+    rng = world.rng_registry.stream("churn.hetero")
+    world.run_for(2.0)
+    for step in range(30):
+        source = rng.choice(peers)
+        target = rng.choice(peers)
+        driver.context.call(
+            source, "hold", refs=[target], data=[f"s{rng.randrange(3)}"]
+        )
+        world.run_for(1.0)
+    world.run_for(10.0)
+    assert world.stats.collected_total == 0
+    release_all(driver, peers)
+    assert world.run_until_collected(500 * 9.0)
+    assert world.stats.collected_total == 8
+    assert world.stats.safety_violations == 0

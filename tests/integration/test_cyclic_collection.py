@@ -1,0 +1,160 @@
+"""Integration tests: cyclic garbage (Sec. 3.2 consensus path)."""
+
+import pytest
+
+from repro.core import events
+from repro.workloads.app import Peer, link, release_all
+from repro.workloads.synthetic import (
+    build_complete_graph,
+    build_compound_cycles,
+    build_ring,
+)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 7])
+def test_ring_collected(make_world, fast_dgc, size):
+    world = make_world()
+    driver = world.create_driver()
+    ring = build_ring(world, driver, size)
+    world.run_for(2.0)
+    release_all(driver, ring)
+    assert world.run_until_collected(60 * fast_dgc.tta)
+    # The consensus detects the cycle; in long rings the tail members may
+    # fall out *acyclically* once their doomed referencer stops beating
+    # (Sec. 4.3: a doomed activity "stops sending DGC messages as it does
+    # not need anymore to keep its referenced active objects alive").
+    assert world.stats.collected_total == size
+    assert world.stats.collected_cyclic >= min(size, 2)
+    assert world.stats.safety_violations == 0
+
+
+def test_live_ring_survives(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 3)
+    world.run_for(2.0)
+    # Driver keeps one stub: the whole cycle stays reachable from a root.
+    release_all(driver, ring[1:])
+    world.run_for(40 * fast_dgc.tta)
+    assert len(world.live_non_roots()) == 3
+    assert world.stats.collected_total == 0
+
+
+def test_ring_collected_after_root_releases_late(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 3)
+    world.run_for(2.0)
+    release_all(driver, ring[1:])
+    world.run_for(10 * fast_dgc.tta)
+    assert len(world.live_non_roots()) == 3
+    release_all(driver, ring[:1])
+    assert world.run_until_collected(60 * fast_dgc.tta)
+    assert world.stats.collected_cyclic == 3
+
+
+def test_cycle_with_acyclic_tail(make_world, fast_dgc):
+    """A chain hanging off a cycle: cycle collects by consensus, the tail
+    then loses its referencer and collects acyclically."""
+    world = make_world()
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 3)
+    tail = driver.context.create(Peer(), name="tail")
+    link(driver, ring[0], tail, key="tail")
+    world.run_for(2.0)
+    release_all(driver, ring + [tail])
+    assert world.run_until_collected(80 * fast_dgc.tta)
+    assert world.stats.collected_cyclic == 3
+    assert world.stats.collected_acyclic == 1
+
+
+def test_compound_cycles_collected_together(make_world, fast_dgc):
+    """Fig. 7's garbage compound cycle: sub-cycles must not require
+    separate consensus rounds thanks to the propagation optimisation."""
+    world = make_world()
+    driver = world.create_driver()
+    ring_a, ring_b = build_compound_cycles(world, driver, 3, 3)
+    world.run_for(2.0)
+    release_all(driver, ring_a + ring_b)
+    assert world.run_until_collected(80 * fast_dgc.tta)
+    assert world.stats.collected_cyclic == 6
+    assert world.stats.safety_violations == 0
+
+
+def test_complete_graph_collected(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    peers = build_complete_graph(world, driver, 6)
+    world.run_for(2.0)
+    release_all(driver, peers)
+    assert world.run_until_collected(80 * fast_dgc.tta)
+    assert world.stats.collected_cyclic == 6
+
+
+def test_consensus_owner_is_in_cycle(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 3)
+    ring_ids = {proxy.activity_id for proxy in ring}
+    world.run_for(2.0)
+    release_all(driver, ring)
+    world.run_until_collected(60 * fast_dgc.tta)
+    consensus = world.tracer.first(events.DGC_CONSENSUS)
+    assert consensus is not None
+    assert consensus.subject in ring_ids
+    # The detecting owner owns the final activity clock.
+    assert consensus.details["clock"].startswith(consensus.subject)
+
+
+def test_cycle_busy_member_blocks_collection(make_world, fast_dgc):
+    class Worker(Peer):
+        def do_spin(self, ctx, request, proxies):
+            while ctx.now < 60.0:
+                yield ctx.sleep(1.0)
+
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Worker(), name="a")
+    b = driver.context.create(Worker(), name="b")
+    link(driver, a, b)
+    link(driver, b, a)
+    world.run_for(2.0)
+    driver.context.call(a, "spin")
+    release_all(driver, [a, b])
+    world.run_for(30.0)
+    assert len(world.live_non_roots()) == 2
+    # After the worker quiesces, the cycle is garbage and collapses.
+    assert world.run_until_collected(100.0 + 60 * fast_dgc.tta)
+    assert world.stats.collected_cyclic == 2
+    assert world.stats.safety_violations == 0
+
+
+def test_two_disjoint_rings_collect_independently(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    ring_a = build_ring(world, driver, 3, name_prefix="ra")
+    ring_b = build_ring(world, driver, 4, name_prefix="rb")
+    world.run_for(2.0)
+    release_all(driver, ring_a)
+    assert world.kernel.run_until_quiescent(
+        lambda: world.stats.collected_cyclic == 3, 1.0, 60 * fast_dgc.tta
+    )
+    assert len(world.live_non_roots()) == 4
+    release_all(driver, ring_b)
+    assert world.run_until_collected(60 * fast_dgc.tta)
+    assert world.stats.collected_cyclic == 7
+
+
+def test_doomed_propagation_traced(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 4)
+    world.run_for(2.0)
+    release_all(driver, ring)
+    world.run_until_collected(60 * fast_dgc.tta)
+    doomed = world.tracer.events(kind=events.DGC_DOOMED)
+    assert len(doomed) == 4
+    origins = [event for event in doomed if not event.details["propagated"]]
+    propagated = [event for event in doomed if event.details["propagated"]]
+    assert len(origins) >= 1
+    assert len(propagated) >= 1

@@ -1,0 +1,205 @@
+"""Sec. 7 future-work extensions: per-activity/dynamic parameters and
+breadth-first spanning-tree election."""
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.errors import ConfigurationError
+from repro.workloads.app import Peer, link, release_all
+from repro.workloads.synthetic import build_ring
+
+
+# ----------------------------------------------------------------------
+# Per-activity TTB/TTA (Sec. 7.1, first improvement)
+# ----------------------------------------------------------------------
+
+def test_per_activity_config_attaches(make_world, fast_dgc):
+    world = make_world(dgc=fast_dgc.with_overrides(heterogeneous_params=True))
+    driver = world.create_driver()
+    slow_config = DgcConfig(
+        ttb=4.0, tta=12.0, heterogeneous_params=True
+    )
+    fast_proxy = driver.context.create(Peer(), name="fast")
+    slow_proxy = world.create_activity(
+        Peer(), name="slow", creator=driver, dgc_config=slow_config
+    )
+    fast_collector = world.find_activity(fast_proxy.activity_id).collector
+    slow_collector = world.find_activity(slow_proxy.activity_id).collector
+    assert fast_collector.config.ttb == 1.0
+    assert slow_collector.config.ttb == 4.0
+
+
+def test_slow_referencer_does_not_lose_fast_referenced(make_world):
+    """A slow-beating referencer keeps its referenced alive: the
+    referenced honours the declared sender TTB when expiring records."""
+    shared = dict(heterogeneous_params=True, start_jitter=True)
+    world = make_world(dgc=DgcConfig(ttb=1.0, tta=3.0, **shared))
+    driver = world.create_driver()
+    slow_config = DgcConfig(ttb=5.0, tta=15.0, **shared)
+    holder = world.create_activity(
+        Peer(), name="holder", creator=driver, dgc_config=slow_config
+    )
+    precious = driver.context.create(Peer(), name="precious")
+    link(driver, holder, precious)
+    world.run_for(3.0)
+    release_all(driver, [precious])
+    # The holder beats only every 5s while precious's own TTA is 3s: with
+    # heterogeneous_params, precious stretches the deadline and survives.
+    world.run_for(120.0)
+    assert world.find_activity(precious.activity_id) is not None
+    assert world.stats.safety_violations == 0
+
+
+def test_without_heterogeneous_flag_slow_beat_is_unsafe(make_world):
+    """Negative control: the same mixed-beat world *without* the
+    extension wrongfully collects — demonstrating why the paper couples
+    per-activity parameters with known-to-all values."""
+    from repro.errors import ProtocolError
+
+    world = make_world(dgc=DgcConfig(ttb=1.0, tta=3.0))
+    driver = world.create_driver()
+    slow_config = DgcConfig(ttb=5.0, tta=15.0)
+    holder = world.create_activity(
+        Peer(), name="holder", creator=driver, dgc_config=slow_config
+    )
+    precious = driver.context.create(Peer(), name="precious")
+    link(driver, holder, precious)
+    world.run_for(3.0)
+    release_all(driver, [precious])
+    with pytest.raises(ProtocolError, match="wrongful"):
+        world.run_for(120.0)
+
+
+# ----------------------------------------------------------------------
+# Dynamic TTB (Sec. 7.1, second improvement)
+# ----------------------------------------------------------------------
+
+def test_dynamic_ttb_accelerates_on_suspected_garbage(make_world):
+    config = DgcConfig(
+        ttb=2.0, tta=6.0, dynamic_ttb=True, heterogeneous_params=True
+    )
+    world = make_world(dgc=config)
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 3)
+    world.run_for(2.0)
+    release_all(driver, ring)
+    world.run_for(8 * config.ttb)
+    accelerated = [
+        world.find_activity(p.activity_id).collector.current_ttb
+        for p in ring
+        if world.find_activity(p.activity_id) is not None
+    ]
+    # At least one member suspected garbage and sped up (or everything
+    # already collapsed, which is acceleration at work too).
+    assert not accelerated or min(accelerated) < config.ttb
+
+
+def test_dynamic_ttb_collects_faster_than_static(make_world):
+    def run(dynamic: bool) -> float:
+        config = DgcConfig(
+            ttb=4.0,
+            tta=12.0,
+            dynamic_ttb=dynamic,
+            heterogeneous_params=True,
+        )
+        world = make_world(dgc=config, seed=7)
+        driver = world.create_driver()
+        ring = build_ring(world, driver, 4)
+        world.run_for(2.0)
+        start = world.kernel.now
+        release_all(driver, ring)
+        assert world.run_until_collected(200 * config.tta)
+        return max(world.stats.collected_by_id.values()) - start
+
+    assert run(dynamic=True) < run(dynamic=False)
+
+
+def test_dynamic_ttb_relaxes_when_not_suspicious(make_world):
+    config = DgcConfig(
+        ttb=2.0, tta=6.0, dynamic_ttb=True, heterogeneous_params=True
+    )
+    world = make_world(dgc=config)
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    world.run_for(10 * config.ttb)
+    collector = world.find_activity(a.activity_id).collector
+    # Held by the driver, no consensus anywhere: beat stays at base.
+    assert collector.current_ttb == config.ttb
+
+
+def test_dynamic_config_validation():
+    with pytest.raises(ConfigurationError):
+        DgcConfig(ttb=1.0, tta=3.0, dynamic_accel=0.0)
+    with pytest.raises(ConfigurationError):
+        DgcConfig(ttb=1.0, tta=3.0, dynamic_min_ttb_factor=2.0)
+
+
+# ----------------------------------------------------------------------
+# Breadth-first spanning tree (Sec. 7.2)
+# ----------------------------------------------------------------------
+
+def test_bfs_election_still_safe_and_live(make_world):
+    config = DgcConfig(ttb=1.0, tta=3.0, bfs_parent_election=True)
+    world = make_world(dgc=config, seed=9)
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 6)
+    # Add chords so shallow parents exist.
+    link(driver, ring[0], ring[3], key="chord")
+    link(driver, ring[2], ring[5], key="chord")
+    world.run_for(2.0)
+    release_all(driver, ring)
+    assert world.run_until_collected(200 * config.tta)
+    assert world.stats.collected_total == 6
+    assert world.stats.safety_violations == 0
+
+
+def test_bfs_election_prefers_shallower_parent(make_world):
+    """Direct protocol-level check through the pure functions."""
+    from repro.core.clock import ActivityClock
+    from repro.core.protocol import DgcState, process_response
+    from repro.core.wire import DgcResponse
+    from repro.runtime.proxy import RemoteRef, StubTag
+
+    state = DgcState(self_id="self", clock=ActivityClock(3, "owner"))
+    for target in ("deep", "shallow"):
+        state.referenced.on_deserialized(
+            RemoteRef(target, "n0"), StubTag("self", target, 1)
+        )
+    deep = DgcResponse("deep", state.clock, has_parent=True, depth=5)
+    shallow = DgcResponse("shallow", state.clock, has_parent=True, depth=1)
+    assert process_response(state, deep, bfs=True)
+    assert state.parent == "deep"
+    assert state.depth == 6
+    # A shallower candidate replaces the parent under BFS election...
+    assert process_response(state, shallow, bfs=True)
+    assert state.parent == "shallow"
+    assert state.depth == 2
+    # ...but a deeper one never does.
+    assert not process_response(state, deep, bfs=True)
+    assert state.parent == "shallow"
+
+
+def test_without_bfs_first_parent_sticks(make_world):
+    from repro.core.clock import ActivityClock
+    from repro.core.protocol import DgcState, process_response
+    from repro.core.wire import DgcResponse
+    from repro.runtime.proxy import RemoteRef, StubTag
+
+    state = DgcState(self_id="self", clock=ActivityClock(3, "owner"))
+    for target in ("deep", "shallow"):
+        state.referenced.on_deserialized(
+            RemoteRef(target, "n0"), StubTag("self", target, 1)
+        )
+    deep = DgcResponse("deep", state.clock, has_parent=True, depth=5)
+    shallow = DgcResponse("shallow", state.clock, has_parent=True, depth=1)
+    process_response(state, deep)
+    process_response(state, shallow)
+    assert state.parent == "deep"
+
+
+def test_owner_advertises_depth_zero():
+    from repro.core.clock import ActivityClock
+    from repro.core.protocol import DgcState
+
+    state = DgcState(self_id="self", clock=ActivityClock(1, "self"))
+    assert state.current_depth() == 0

@@ -1,0 +1,90 @@
+"""Fig. 4: reference orientation.
+
+"Activity clocks are not propagated in DGC responses, otherwise C2 would
+prevent C1 from being garbage collected until C2 is garbage too."  An
+idle cycle C1 referencing a busy cycle C2 must be collected; the busy
+cycle's clock churn must never leak *backwards* into C1.
+"""
+
+import pytest
+
+from repro.workloads.app import Peer, link, release_all
+from repro.workloads.synthetic import build_ring, build_two_oriented_cycles
+
+
+class Churner(Peer):
+    """A cycle member that keeps working (and hence incrementing clocks)."""
+
+    def do_spin(self, ctx, request, proxies):
+        while ctx.now < 1_000.0:
+            yield ctx.sleep(2.0)
+
+
+def test_idle_cycle_referencing_busy_cycle_is_collected(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    c1, c2 = build_two_oriented_cycles(world, driver, 3)
+    c2_ids = {proxy.activity_id for proxy in c2}
+    world.run_for(2.0)
+    # Make one member of C2 churn forever.
+    spinner = world.find_activity(c2[0].activity_id)
+    driver.context.call(c2[0], "work", data=5.0)
+    release_all(driver, c1 + c2)
+    # C1 (idle, references busy C2) must be collected...
+    assert world.kernel.run_until_quiescent(
+        lambda: all(
+            world.find_activity(proxy.activity_id) is None for proxy in c1
+        ),
+        1.0,
+        60 * fast_dgc.tta,
+    )
+    # ...while C2 still contains its (recently) busy member and survives
+    # as long as it is busy; here it quiesced, so eventually it collapses
+    # too — but strictly after C1.
+    assert world.stats.safety_violations == 0
+
+
+def test_busy_referenced_does_not_block_idle_referencer_chain(
+    make_world, fast_dgc
+):
+    """Simplest orientation case: idle a -> busy b; a (unreferenced) must
+    be collected even though b never goes idle."""
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Churner(), name="b")
+    link(driver, a, b)
+    world.run_for(2.0)
+    driver.context.call(b, "spin")
+    release_all(driver, [a, b])
+    assert world.kernel.run_until_quiescent(
+        lambda: world.find_activity(a.activity_id) is None,
+        1.0,
+        60 * fast_dgc.tta,
+    )
+    # b is busy: still alive.
+    assert world.find_activity(b.activity_id) is not None
+    assert world.stats.safety_violations == 0
+
+
+def test_busy_cycle_keeps_its_referenced_idle_cycle_alive(
+    make_world, fast_dgc
+):
+    """The other orientation: busy C1 references idle C2; C2 must NOT be
+    collected (C1 could activate it at any time)."""
+    world = make_world()
+    driver = world.create_driver()
+    c1 = build_ring(world, driver, 2, name_prefix="c1")
+    c2 = build_ring(world, driver, 2, name_prefix="c2")
+    link(driver, c1[0], c2[0], key="down")
+    world.run_for(2.0)
+    # C1 member churns; C1 -> C2 edge exists.
+    class_behavior = world.find_activity(c1[0].activity_id).behavior
+    driver.context.call(c1[0], "work", data=30.0)
+    release_all(driver, c1 + c2)
+    world.run_for(25.0)
+    # While C1 is busy, C2 must be fully alive.
+    assert all(
+        world.find_activity(proxy.activity_id) is not None for proxy in c2
+    )
+    assert world.stats.safety_violations == 0

@@ -1,0 +1,73 @@
+"""Fig. 5: the loss of a referencer must be detected, otherwise a cycle
+whose external referencer vanished would keep a final activity clock
+owned by nobody in the cycle and become uncollectible.
+"""
+
+from repro.core.config import DgcConfig
+from repro.workloads.app import Peer, link, release_all
+from repro.workloads.synthetic import build_ring
+
+
+def build_fig5(world, driver):
+    """A references a cycle B -> C -> B (A propagates its clock into it)."""
+    ring = build_ring(world, driver, 2, name_prefix="cycle")
+    a = driver.context.create(Peer(), name="A")
+    link(driver, a, ring[0], key="into-cycle")
+    return a, ring
+
+
+def test_cycle_collected_after_external_referencer_dies(
+    make_world, fast_dgc
+):
+    world = make_world()
+    driver = world.create_driver()
+    a, ring = build_fig5(world, driver)
+    world.run_for(2.0)
+    # Let A's clock propagate into the cycle for a while.
+    world.run_for(5 * fast_dgc.ttb)
+    # A disappears (driver drops it; A holds the cycle; A is acyclic
+    # garbage, then the cycle loses its external referencer).
+    release_all(driver, [a] + ring)
+    assert world.run_until_collected(80 * fast_dgc.tta)
+    assert world.stats.safety_violations == 0
+    # A itself fell acyclically; the cycle needed the consensus.
+    assert world.stats.collected_acyclic >= 1
+    assert world.stats.collected_cyclic >= 1
+
+
+def test_cycle_uncollectible_without_referencer_loss_rule(make_world):
+    """Ablation (DESIGN.md Sec. 6 item 3): disabling the increment leaves
+    the cycle stuck on an unowned final activity clock."""
+    config = DgcConfig(
+        ttb=1.0, tta=3.0, increment_on_referencer_loss=False
+    )
+    world = make_world(dgc=config)
+    driver = world.create_driver()
+    a, ring = build_fig5(world, driver)
+    world.run_for(2.0)
+
+    # Force A's clock into the cycle: A must become idle *after* the
+    # cycle members so its increment dominates.  Give A some late work.
+    driver.context.call(a, "work", data=6.0)
+    world.run_for(20.0)
+
+    release_all(driver, [a] + ring)
+    # A goes away acyclically...
+    assert world.kernel.run_until_quiescent(
+        lambda: world.find_activity(a.activity_id) is None, 1.0, 200.0
+    )
+    survivors_hold_foreign_clock = False
+    world.run_for(60 * config.tta)
+    # ...and without the Fig. 5 rule the cycle may survive forever,
+    # agreeing on A's orphaned clock.  (With the rule, the equivalent
+    # test above collects it.)
+    survivors = world.live_non_roots()
+    if survivors:
+        for activity in survivors:
+            clock = activity.collector.clock
+            if clock.owner == a.activity_id:
+                survivors_hold_foreign_clock = True
+    assert survivors, (
+        "cycle was unexpectedly collected despite the ablated rule"
+    )
+    assert survivors_hold_foreign_clock

@@ -1,0 +1,133 @@
+"""Fig. 6: the loss of a referenced must be detected, otherwise live
+cycles can be *wrongfully* collected.
+
+Paper graph: a cycle through A kept live by a busy external referencer D
+(D -> C), with C's reverse-spanning-tree parent being A.  C tells A that
+the consensus is rejected, but tells E (not its parent) only its local
+agreement.  If the C -> A edge disappears and C keeps its foreign final
+activity clock and dangling parent, the rejection never reaches A, and A
+wrongfully concludes a consensus via E.
+
+The protection is the clock increment on the loss of a referenced (plus
+the loss-of-referencer increment at A); the test falsifies the naive
+protocol with both rules ablated and verifies the paper's protocol stays
+safe under the same schedule.
+"""
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.errors import ProtocolError
+from repro.workloads.app import Peer, link, release_all
+
+
+class Spinner(Peer):
+    def do_spin(self, ctx, request, proxies):
+        while ctx.now < 10_000.0:
+            yield ctx.sleep(2.0)
+
+
+def build_fig6(world, driver):
+    """A -> B -> C -> A cycle; C -> E; E -> A; busy D -> C."""
+    a = driver.context.create(Peer(), name="A")
+    b = driver.context.create(Peer(), name="B")
+    c = driver.context.create(Peer(), name="C")
+    e = driver.context.create(Peer(), name="E")
+    d = driver.context.create(Spinner(), name="D")
+    link(driver, a, b, key="next")
+    link(driver, b, c, key="next")
+    link(driver, c, a, key="back")
+    link(driver, c, e, key="side")
+    link(driver, e, a, key="up")
+    link(driver, d, c, key="watch")
+    return a, b, c, d, e
+
+
+def drive_schedule(world, driver, a, b, c, d, e, *, horizon):
+    """The schedule that tricks the naive protocol."""
+    world.run_for(2.0)
+    driver.context.call(d, "spin")
+    # A becomes idle last (two spaced work items), so A strictly owns the
+    # final activity clock.
+    driver.context.call(a, "work", data=6.0)
+    world.run_for(10.0)
+    driver.context.call(a, "work", data=6.0)
+    world.run_for(10.0)
+    c_activity = world.find_activity(c.activity_id)
+    release_all(driver, [a, b, c, d, e])
+    world.run_for(20.0)
+    # The C -> A reference disappears *silently*: the local GC collects
+    # C's last stub for A without any request being served (no idle
+    # transition, hence no clock increment even in the paper protocol —
+    # only the explicit loss rules can react).
+    back_proxy = c_activity.behavior.held.pop("back")
+    c_activity.release_proxy(back_proxy)
+    world.run_for(horizon)
+
+
+def test_naive_protocol_wrongfully_collects(make_world):
+    """Both Sec. 3.2 loss rules ablated: the safety monitor must catch a
+    wrongful collection of the live cycle."""
+    naive = DgcConfig(
+        ttb=1.0,
+        tta=3.0,
+        increment_on_referencer_loss=False,
+        increment_on_referenced_loss=False,
+    )
+    world = make_world(dgc=naive)
+    driver = world.create_driver()
+    a, b, c, d, e = build_fig6(world, driver)
+    with pytest.raises(ProtocolError, match="wrongful"):
+        drive_schedule(world, driver, a, b, c, d, e, horizon=80.0)
+
+
+def test_paper_protocol_stays_safe_on_same_schedule(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    a, b, c, d, e = build_fig6(world, driver)
+    drive_schedule(world, driver, a, b, c, d, e, horizon=80.0)
+    assert world.stats.safety_violations == 0
+    # D is busy and transitively references A via C -> E -> A: the cycle
+    # members A, B, E must all still be alive.  (B is reachable from D
+    # via A; only nothing references... A -> B, so B lives too.)
+    for proxy in (a, b, e):
+        assert world.find_activity(proxy.activity_id) is not None, proxy
+
+
+def test_referenced_loss_increments_clock(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)
+    world.run_for(3 * fast_dgc.ttb)
+    collector = world.find_activity(a.activity_id).collector
+    before = collector.clock.value
+    driver.context.call(a, "drop", data=[b.activity_id])
+    world.run_for(3 * fast_dgc.ttb)
+    assert collector.clock.value > before
+    assert collector.clock.owner == a.activity_id
+
+
+def test_referenced_loss_rule_disabled_keeps_clock(make_world):
+    config = DgcConfig(ttb=1.0, tta=3.0, increment_on_referenced_loss=False)
+    world = make_world(dgc=config)
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)
+    world.run_for(3.0)
+    collector = world.find_activity(a.activity_id).collector
+    # Freeze: capture clock after the last idle transition settles.
+    before = collector.clock
+    driver.context.call(a, "drop", data=[b.activity_id])
+    world.run_for(3.0)
+    # One increment happened for the idle transition of serving "drop",
+    # but none for the referenced loss itself.
+    increments = [
+        event
+        for event in world.tracer.events(kind="dgc.clock_increment",
+                                         subject=a.activity_id)
+        if event.details["reason"] == "referenced_loss"
+    ]
+    assert increments == []

@@ -1,0 +1,93 @@
+"""Delayed local GC races and the Grid'5000 topology end to end.
+
+The paper's construction observes stub death through weak references,
+which a real JVM reports *eventually*, not instantly.  A non-zero
+``gc_delay`` models that lag; safety must hold regardless, and the
+Figs. 5/6 loss rules must still fire (just later).
+
+The Grid'5000 test runs a complete cycle-collection scenario on the
+paper's actual 3-site topology with its published RTTs.
+"""
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.net.topology import grid5000_topology
+from repro.workloads.app import Peer, link, release_all
+from repro.workloads.synthetic import build_ring
+from repro.world import World
+
+
+@pytest.mark.parametrize("gc_delay", [0.0, 0.5, 2.0])
+def test_cycle_collection_safe_under_gc_delay(make_world, fast_dgc, gc_delay):
+    world = make_world(gc_delay=gc_delay)
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 3)
+    world.run_for(2.0)
+    release_all(driver, ring)
+    assert world.run_until_collected(100 * fast_dgc.tta)
+    assert world.stats.collected_total == 3
+    assert world.stats.safety_violations == 0
+
+
+def test_edge_loss_detected_despite_gc_delay(make_world, fast_dgc):
+    world = make_world(gc_delay=2.0)
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)
+    world.run_for(3.0)
+    collector = world.find_activity(a.activity_id).collector
+    driver.context.call(a, "drop", data=[b.activity_id])
+    # Before the delayed sweep the edge is still there...
+    world.run_for(1.0)
+    assert b.activity_id in collector.state.referenced
+    # ...after it the record is gone (possibly pending its last beat).
+    world.run_for(4 * fast_dgc.ttb + 3.0)
+    assert b.activity_id not in collector.state.referenced
+
+
+def test_rapid_drop_reacquire_with_gc_delay_is_safe(make_world, fast_dgc):
+    """Drop and immediately re-acquire the same target: the delayed
+    death of the *old* tag generation must not kill the new edge."""
+    world = make_world(gc_delay=1.5)
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b, key="slot")
+    world.run_for(3.0)
+    # Replace under the same key: old stub released, new stub acquired.
+    link(driver, a, b, key="slot")
+    world.run_for(3.0)
+    collector = world.find_activity(a.activity_id).collector
+    record = collector.state.referenced.get(b.activity_id)
+    assert record is not None
+    assert not record.tag_dead
+    # b survives as long as a holds it.
+    world.run_for(20 * fast_dgc.tta)
+    assert world.find_activity(b.activity_id) is not None
+    assert world.stats.safety_violations == 0
+
+
+def test_full_collection_on_grid5000_topology():
+    topology = grid5000_topology(scale=0.08)  # 4+3+3 nodes, real RTTs
+    world = World(
+        topology,
+        dgc=DgcConfig(ttb=2.0, tta=6.0),
+        seed=11,
+        safety_checks=True,
+    )
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 9)  # spread over all three sites
+    world.run_for(4.0)
+    sites = {
+        world.find_activity(proxy.activity_id).node.name.split("-")[0]
+        for proxy in ring
+    }
+    assert sites == {"bordeaux", "sophia", "rennes"}
+    release_all(driver, ring)
+    assert world.run_until_collected(600.0)
+    assert world.stats.collected_total == 9
+    assert world.stats.safety_violations == 0
+    # Cross-site latency actually mattered (messages crossed sites).
+    assert world.accountant.dgc_bytes > 0

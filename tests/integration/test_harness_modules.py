@@ -1,0 +1,95 @@
+"""Integration tests for the harness extras (complexity, ablation,
+baseline comparison) — small parameters so they run fast."""
+
+import pytest
+
+from repro.baselines.comparison import run_all_probes, run_probe
+from repro.harness.ablation import (
+    compare_bfs_election,
+    compare_consensus_propagation,
+    sweep_ttb_tta,
+)
+from repro.harness.complexity import (
+    collection_overhead,
+    detection_bound_factor,
+    measure_ring,
+    sweep_ring_heights,
+)
+
+
+def test_measure_ring_basic():
+    point = measure_ring(4)
+    assert point.height == 3
+    assert point.detection_s > 0
+    assert point.collection_s >= point.detection_s
+    assert point.detection_beats > 0
+
+
+def test_detection_grows_with_height():
+    points = sweep_ring_heights(sizes=(2, 8))
+    assert points[1].detection_s > points[0].detection_s
+
+
+def test_detection_within_constant_factor_of_bound():
+    """Sec. 4.3: detection is O(h * TTB) — allow a small constant."""
+    for point in sweep_ring_heights(sizes=(4, 8)):
+        assert detection_bound_factor(point) < 8.0
+
+
+def test_collection_adds_roughly_tta():
+    point = measure_ring(4)
+    overhead = collection_overhead(point)
+    assert overhead >= point.tta * 0.8
+    assert overhead <= point.tta * 3 + 6 * point.ttb
+
+
+def test_ttb_sweep_tradeoff():
+    points = sweep_ttb_tta(ttb_values=(0.5, 2.0), ring_size=4)
+    fast, slow = points
+    # Larger TTB: slower reclamation...
+    assert slow.reclamation_s > fast.reclamation_s
+    # ...but (for the same simulated horizon per object) cheaper beats:
+    # bandwidth here is per-run; the ring with the slow beat sends fewer
+    # messages per second, so its total until collection stays in the
+    # same ballpark — assert the latency side strictly and cost loosely.
+    assert slow.dgc_bandwidth_mb < fast.dgc_bandwidth_mb * 10
+
+
+def test_consensus_propagation_ablation():
+    comparison = compare_consensus_propagation(cycle_size=3)
+    assert comparison.enabled_s < comparison.disabled_s
+    assert (
+        comparison.disabled_consensus_rounds
+        > comparison.enabled_consensus_rounds
+    )
+    assert comparison.speedup > 1.0
+
+
+def test_bfs_election_not_slower():
+    with_bfs, without_bfs = compare_bfs_election(ring_size=8)
+    # On chord-rich graphs BFS election should not hurt detection.
+    assert with_bfs <= without_bfs * 1.5
+
+
+def test_probe_paper_collects_everything():
+    outcome = run_probe("paper")
+    assert outcome.chain_collected
+    assert outcome.ring_collected
+
+
+def test_probe_rmi_incomplete():
+    outcome = run_probe("rmi")
+    assert outcome.chain_collected
+    assert not outcome.ring_collected
+
+
+def test_all_probes_chain_collected():
+    outcomes = run_all_probes()
+    assert {o.name for o in outcomes} == {
+        "paper", "rmi", "veiga", "lefessant"
+    }
+    for outcome in outcomes:
+        assert outcome.chain_collected, outcome.name
+    cyclic = {o.name: o.ring_collected for o in outcomes}
+    assert cyclic["paper"] and cyclic["veiga"] and cyclic["lefessant"]
+    assert not cyclic["rmi"]

@@ -1,0 +1,86 @@
+"""The invariant monitor: healthy runs stay clean; corrupted state is
+caught within one scan period."""
+
+import pytest
+
+from repro.core.invariants import (
+    InvariantViolation,
+    check_world_invariants,
+    install_invariant_monitor,
+)
+from repro.workloads.app import Peer, link, release_all
+from repro.workloads.synthetic import build_compound_cycles, build_ring
+
+
+def test_healthy_cycle_collection_has_no_violations(make_world, fast_dgc):
+    world = make_world()
+    monitor = install_invariant_monitor(world, period=0.5)
+    driver = world.create_driver()
+    ring_a, ring_b = build_compound_cycles(world, driver, 3, 2)
+    world.run_for(2.0)
+    release_all(driver, ring_a + ring_b)
+    assert world.run_until_collected(100 * fast_dgc.tta)
+    assert monitor.checks > 10
+    monitor.stop()
+
+
+def test_healthy_busy_workload_has_no_violations(make_world, fast_dgc):
+    world = make_world()
+    monitor = install_invariant_monitor(world, period=0.5)
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 4)
+    world.run_for(2.0)
+    for proxy in ring:
+        driver.context.call(proxy, "work", data=3.0)
+    world.run_for(20.0)
+    assert check_world_invariants(world) == []
+    monitor.stop()
+
+
+def test_corrupted_parent_detected(make_world):
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    world.run_for(1.0)
+    collector = world.find_activity(a.activity_id).collector
+    collector.state.parent = "ao-ghost"
+    problems = check_world_invariants(world)
+    assert any("ao-ghost" in problem for problem in problems)
+
+
+def test_corrupted_needs_send_detected(make_world):
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)
+    world.run_for(0.2)
+    collector = world.find_activity(a.activity_id).collector
+    record = collector.state.referenced.get(b.activity_id)
+    if record.messages_sent == 0:
+        record.needs_send = False
+        problems = check_world_invariants(world)
+        assert any("needs_send" in problem for problem in problems)
+
+
+def test_monitor_raises_on_violation(make_world):
+    world = make_world()
+    install_invariant_monitor(world, period=0.5)
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    world.run_for(1.0)
+    collector = world.find_activity(a.activity_id).collector
+    collector.state.parent = "ao-ghost"
+    with pytest.raises(InvariantViolation):
+        world.run_for(1.0)
+
+
+def test_future_timestamp_detected(make_world):
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    world.run_for(1.0)
+    collector = world.find_activity(a.activity_id).collector
+    collector.state.last_message_timestamp = world.kernel.now + 100.0
+    problems = check_world_invariants(world)
+    assert any("future" in problem for problem in problems)

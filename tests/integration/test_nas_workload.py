@@ -1,0 +1,105 @@
+"""NAS skeleton workload: small-scale end-to-end checks."""
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.net.topology import uniform_topology
+from repro.workloads.nas import KERNELS, run_nas_kernel
+from repro.workloads.nas.patterns import cg_pattern, ep_pattern, ft_pattern
+
+FAST = DgcConfig(ttb=2.0, tta=6.0)
+
+
+def small(name, count=8):
+    return KERNELS[name].scaled(count)
+
+
+def test_ep_all_collected_with_dgc():
+    result = run_nas_kernel(
+        small("EP"),
+        dgc=FAST,
+        topology=uniform_topology(4),
+        seed=1,
+        safety_checks=True,
+    )
+    assert result.dgc_enabled
+    assert result.collected_cyclic + result.collected_acyclic == 8
+    assert result.dead_letters == 0
+    assert result.dgc_time_s > 0
+
+
+def test_ep_without_dgc_uses_explicit_termination():
+    result = run_nas_kernel(
+        small("EP"), dgc=None, topology=uniform_topology(4), seed=1
+    )
+    assert not result.dgc_enabled
+    assert result.dgc_time_s == 0.0
+    assert result.dgc_bandwidth_mb == 0.0
+
+
+def test_dgc_bandwidth_is_pure_overhead():
+    with_dgc = run_nas_kernel(
+        small("FT"), dgc=FAST, topology=uniform_topology(4), seed=1
+    )
+    without = run_nas_kernel(
+        small("FT"), dgc=None, topology=uniform_topology(4), seed=1
+    )
+    assert with_dgc.app_bandwidth_mb == pytest.approx(
+        without.app_bandwidth_mb, rel=0.01
+    )
+    assert with_dgc.bandwidth_mb > without.bandwidth_mb
+
+
+def test_app_time_unaffected_by_dgc():
+    """Fig. 9's point: the DGC does not slow the application down (in the
+    simulator the compute model is unchanged, so times are equal)."""
+    with_dgc = run_nas_kernel(
+        small("CG"), dgc=FAST, topology=uniform_topology(4), seed=1
+    )
+    without = run_nas_kernel(
+        small("CG"), dgc=None, topology=uniform_topology(4), seed=1
+    )
+    assert with_dgc.app_time_s == pytest.approx(without.app_time_s, rel=0.05)
+
+
+def test_ep_overhead_dominates_cg_overhead():
+    """The Fig. 8 ordering: EP's relative bandwidth overhead is orders of
+    magnitude above CG's."""
+    results = {}
+    for name in ("EP", "CG"):
+        with_dgc = run_nas_kernel(
+            small(name), dgc=FAST, topology=uniform_topology(4), seed=1
+        )
+        without = run_nas_kernel(
+            small(name), dgc=None, topology=uniform_topology(4), seed=1
+        )
+        results[name] = (
+            (with_dgc.bandwidth_mb - without.bandwidth_mb)
+            / without.bandwidth_mb
+        )
+    assert results["EP"] > 5 * results["CG"]
+
+
+def test_patterns_shapes():
+    cg = cg_pattern(1000)
+    sends = cg(3, 8, 0)
+    assert (4, 1000) in sends and (2, 1000) in sends
+    # Reduction every 5th iteration for non-zero workers.
+    assert any(target == 0 for target, __ in cg(3, 8, 4))
+    assert not any(target == 0 for target, __ in cg(3, 8, 0))
+
+    ep = ep_pattern()
+    assert ep(0, 8, 0) == []
+    assert ep(5, 8, 0) == [(0, 256)]
+
+    ft = ft_pattern(500)
+    sends = ft(2, 5, 0)
+    assert len(sends) == 4
+    assert all(target != 2 for target, __ in sends)
+
+
+def test_kernel_specs_scale():
+    spec = KERNELS["CG"].scaled(16)
+    assert spec.ao_count == 16
+    assert spec.name == "CG"
+    assert spec.iterations == KERNELS["CG"].iterations

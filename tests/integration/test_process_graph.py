@@ -1,0 +1,76 @@
+"""Sec. 4.1 — the process-graph fallback.
+
+When the no-sharing property is unavailable, only the graph of address
+spaces is observable, limiting cycle collection to whole processes: "a
+garbage cycle spanning some processes where some active objects are
+still live will not be collected if only the process graph is
+available".  These tests verify the coarsening on live worlds.
+"""
+
+from repro.graph.analysis import process_graph, process_graph_garbage
+from repro.graph.refgraph import snapshot_reference_graph
+from repro.workloads.app import Peer, link, release_all
+
+
+def test_process_graph_lifts_all_activity_edges(make_world):
+    world = make_world(3, dgc=None)
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), node="site-0", name="a")
+    b = driver.context.create(Peer(), node="site-1", name="b")
+    c = driver.context.create(Peer(), node="site-1", name="c")
+    link(driver, a, b)
+    link(driver, b, c)
+    world.run_for(1.0)
+    edges = process_graph(snapshot_reference_graph(world))
+    # a->b crosses site-0 -> site-1; b->c is intra site-1; plus the
+    # driver's stubs from its own node.
+    assert "site-1" in edges["site-0"]
+    assert "site-1" in edges["site-1"]
+
+
+def test_dead_process_collectable_only_when_fully_idle(make_world):
+    """A cross-process cycle with one live member poisons *both*
+    processes under the coarse graph, even though the activity-level
+    oracle would collect the dead part."""
+    from repro.graph.oracle import compute_garbage
+
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    # Cycle across processes: a (site-0) <-> b (site-1).
+    a = driver.context.create(Peer(), node="site-0", name="a")
+    b = driver.context.create(Peer(), node="site-1", name="b")
+    link(driver, a, b)
+    link(driver, b, a)
+    # An unrelated live spinner on site-1.
+    spinner = driver.context.create(Peer(), node="site-1", name="spin")
+    world.run_for(1.0)
+    driver.context.call(spinner, "work", data=60.0)
+    release_all(driver, [a, b])
+    world.run_for(2.0)
+
+    snapshot = snapshot_reference_graph(world)
+    # Activity-level: the a<->b cycle is garbage (the spinner does not
+    # reference it)...
+    garbage = compute_garbage(world)
+    assert a.activity_id in garbage and b.activity_id in garbage
+    # ...but process-level: site-1 hosts the busy spinner, so neither
+    # process is collectable, and site-0's cycle half is reachable from
+    # the uncollectable site-1.
+    assert process_graph_garbage(snapshot) == set()
+
+
+def test_fully_idle_process_pair_collectable(make_world):
+    world = make_world(3, dgc=None)
+    # Keep the never-idle root driver on its own process.
+    driver = world.create_driver(node="site-2")
+    a = driver.context.create(Peer(), node="site-0", name="a")
+    b = driver.context.create(Peer(), node="site-1", name="b")
+    link(driver, a, b)
+    link(driver, b, a)
+    world.run_for(1.0)
+    release_all(driver, [a, b])
+    world.run_for(1.0)
+    snapshot = snapshot_reference_graph(world)
+    garbage = process_graph_garbage(snapshot)
+    assert {"site-0", "site-1"} <= garbage
+    assert "site-2" not in garbage

@@ -1,0 +1,71 @@
+"""Roots (Sec. 4.1): registered activities and dummy referencers are
+never collected; unbinding releases them to the collector."""
+
+from repro.workloads.app import Peer, link, release_all
+
+
+def test_registered_activity_survives_unreferenced(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    service = driver.context.create(Peer(), name="service")
+    world.registry.bind("svc", service.ref)
+    world.run_for(1.0)
+    release_all(driver, [service])
+    world.run_for(40 * fast_dgc.tta)
+    assert world.find_activity(service.activity_id) is not None
+
+
+def test_unbound_activity_becomes_collectable(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    service = driver.context.create(Peer(), name="service")
+    world.registry.bind("svc", service.ref)
+    world.run_for(1.0)
+    release_all(driver, [service])
+    world.run_for(10 * fast_dgc.tta)
+    world.registry.unbind("svc")
+    assert world.run_until_collected(40 * fast_dgc.tta)
+    assert world.stats.collected_acyclic == 1
+
+
+def test_registered_root_keeps_its_cycle_alive(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)
+    link(driver, b, a)
+    world.registry.bind("svc", a.ref)
+    world.run_for(2.0)
+    release_all(driver, [a, b])
+    world.run_for(40 * fast_dgc.tta)
+    assert len(world.live_non_roots()) == 1  # b, pinned via root a
+    assert world.find_activity(b.activity_id) is not None
+    world.registry.unbind("svc")
+    assert world.run_until_collected(60 * fast_dgc.tta)
+    assert world.stats.collected_cyclic == 2
+
+
+def test_driver_is_a_dummy_root(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    world.run_for(40 * fast_dgc.tta)
+    assert world.find_activity(driver.id) is not None
+    assert not driver.is_idle()
+
+
+def test_lookup_then_acquire_creates_edge(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    service = driver.context.create(Peer(), name="service")
+    world.registry.bind("svc", service.ref)
+    release_all(driver, [service])
+    # A different party looks the service up and holds it.
+    client_proxy = driver.context.create(Peer(), name="client")
+    client = world.find_activity(client_proxy.activity_id)
+    looked_up = client.context.acquire(world.registry.lookup("svc"))
+    assert client.proxies.holds(service.activity_id)
+    world.registry.unbind("svc")
+    world.run_for(40 * fast_dgc.tta)
+    # Still alive: the client (held by the root driver) references it.
+    assert world.find_activity(service.activity_id) is not None

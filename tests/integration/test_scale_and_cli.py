@@ -1,0 +1,62 @@
+"""Half-paper-scale NAS run and the harness CLI plumbing."""
+
+import pytest
+
+from repro.core.config import NAS_CONFIG
+from repro.harness.__main__ import main as harness_main
+from repro.net.topology import uniform_topology
+from repro.workloads.nas import KERNELS, run_nas_kernel
+
+
+def test_ep_at_128_workers_collects_everything():
+    """Half the paper's worker count, full complete-graph reference
+    structure (16 256 edges), paper TTB/TTA."""
+    spec = KERNELS["EP"].scaled(128)
+    result = run_nas_kernel(
+        spec,
+        dgc=NAS_CONFIG,
+        topology=uniform_topology(64),
+        seed=1,
+    )
+    assert result.collected_cyclic + result.collected_acyclic == 128
+    assert result.dead_letters == 0
+    # Collection within the paper's ballpark: a small number of beats.
+    assert result.dgc_time_s <= 25 * NAS_CONFIG.ttb
+
+
+def test_cli_fig8(capsys):
+    code = harness_main(
+        [
+            "fig8",
+            "--ao-count", "8",
+            "--runs", "1",
+            "--nodes", "4",
+            "--kernels", "EP",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Fig. 8" in output
+    assert "EP" in output
+    assert "%" in output
+
+
+def test_cli_fig10(capsys):
+    code = harness_main(
+        [
+            "fig10",
+            "--slaves", "10",
+            "--duration", "30",
+            "--nodes", "4",
+            "--skip-slow",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Fig. 10(a)" in output
+    assert "Total bandwidth" in output
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        harness_main([])

@@ -1,0 +1,73 @@
+"""Property-based tests: the named Lamport clock is a total order with
+well-behaved merge and increment (paper Sec. 3.2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.clock import ActivityClock
+
+clocks = st.builds(
+    ActivityClock,
+    st.integers(min_value=0, max_value=1_000),
+    st.text(alphabet="abcdef0123456789-", min_size=1, max_size=12),
+)
+
+
+@given(clocks, clocks)
+def test_total_order_trichotomy(a, b):
+    assert (a < b) + (a == b) + (a > b) == 1
+
+
+@given(clocks, clocks, clocks)
+def test_order_transitivity(a, b, c):
+    if a <= b and b <= c:
+        assert a <= c
+
+
+@given(clocks, clocks)
+def test_comparison_antisymmetry(a, b):
+    if a <= b and b <= a:
+        assert a == b
+
+
+@given(clocks, clocks)
+def test_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(clocks, clocks, clocks)
+def test_merge_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(clocks)
+def test_merge_idempotent(a):
+    assert a.merge(a) == a
+
+
+@given(clocks, clocks)
+def test_merge_is_upper_bound(a, b):
+    merged = a.merge(b)
+    assert merged >= a and merged >= b
+
+
+@given(clocks, st.text(alphabet="abc", min_size=1, max_size=4))
+def test_increment_strictly_dominates(clock, owner):
+    incremented = clock.incremented(owner)
+    assert incremented > clock
+    assert incremented.owner == owner
+
+
+@given(clocks, clocks, st.text(alphabet="abc", min_size=1, max_size=4))
+def test_increment_after_merge_dominates_both(a, b, owner):
+    """The Lamport property the consensus relies on: an activity that
+    merges every clock it saw and then increments owns a clock greater
+    than everything it saw."""
+    incremented = a.merge(b).incremented(owner)
+    assert incremented > a
+    assert incremented > b
+
+
+@given(clocks, clocks)
+def test_hash_consistent_with_eq(a, b):
+    if a == b:
+        assert hash(a) == hash(b)

@@ -1,0 +1,71 @@
+"""Property-based tests: the garbage oracle satisfies Eq. 1 exactly on
+random graphs, and garbage sets are well-behaved."""
+
+from hypothesis import given, strategies as st
+
+from repro.graph.oracle import garbage_of_snapshot
+from repro.graph.refgraph import ReferenceGraphSnapshot
+
+
+@st.composite
+def snapshots(draw):
+    count = draw(st.integers(min_value=1, max_value=10))
+    ids = [f"ao-{index}" for index in range(count)]
+    idle = {aid: draw(st.booleans()) for aid in ids}
+    edges = {}
+    for source in ids:
+        targets = draw(
+            st.sets(st.sampled_from(ids), max_size=count)
+        )
+        targets.discard(None)
+        if targets:
+            edges[source] = targets
+    return ReferenceGraphSnapshot(time=0.0, edges=edges, idle=idle)
+
+
+@given(snapshots())
+def test_matches_direct_eq1_evaluation(snapshot):
+    """Garbage(x) <=> every y ->* x is idle, computed the slow way."""
+    garbage = garbage_of_snapshot(snapshot)
+    for activity in snapshot.idle:
+        closure = snapshot.transitive_referencers(activity)
+        expected = all(snapshot.idle[y] for y in closure)
+        assert (activity in garbage) == expected
+
+
+@given(snapshots())
+def test_busy_activities_never_garbage(snapshot):
+    garbage = garbage_of_snapshot(snapshot)
+    for activity, idle in snapshot.idle.items():
+        if not idle:
+            assert activity not in garbage
+
+
+@given(snapshots())
+def test_garbage_closed_under_referencers(snapshot):
+    """If x is garbage, every referencer of x is garbage too (a live
+    referencer would make x live)."""
+    garbage = garbage_of_snapshot(snapshot)
+    for activity in garbage:
+        for referencer in snapshot.referencers_of(activity):
+            assert referencer in garbage
+
+
+@given(snapshots())
+def test_pinning_only_shrinks_garbage(snapshot):
+    garbage = garbage_of_snapshot(snapshot)
+    if not snapshot.idle:
+        return
+    pinned = {next(iter(snapshot.idle))}
+    garbage_pinned = garbage_of_snapshot(snapshot, pinned=pinned)
+    assert garbage_pinned <= garbage
+
+
+@given(snapshots())
+def test_all_idle_graph_is_fully_garbage(snapshot):
+    all_idle = ReferenceGraphSnapshot(
+        time=0.0,
+        edges=snapshot.edges,
+        idle={aid: True for aid in snapshot.idle},
+    )
+    assert garbage_of_snapshot(all_idle) == set(all_idle.idle)

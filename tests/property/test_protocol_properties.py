@@ -1,0 +1,152 @@
+"""Property-based tests on the pure protocol state machine: invariants
+that must hold under any sequence of message/response deliveries."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.clock import ActivityClock
+from repro.core.protocol import DgcState, process_message, process_response
+from repro.core.wire import DgcMessage, DgcResponse
+from repro.runtime.proxy import RemoteRef, StubTag
+
+SENDERS = [f"ao-{index}" for index in range(4)]
+TARGETS = [f"tgt-{index}" for index in range(3)]
+
+clocks = st.builds(
+    ActivityClock,
+    st.integers(min_value=0, max_value=20),
+    st.sampled_from(SENDERS + TARGETS + ["self"]),
+)
+
+messages = st.builds(
+    DgcMessage,
+    sender=st.sampled_from(SENDERS),
+    clock=clocks,
+    consensus=st.booleans(),
+    sender_ref=st.sampled_from(SENDERS).map(lambda s: RemoteRef(s, "n0")),
+)
+
+responses = st.builds(
+    DgcResponse,
+    responder=st.sampled_from(TARGETS),
+    clock=clocks,
+    has_parent=st.booleans(),
+    consensus_reached=st.just(False),
+)
+
+deliveries = st.lists(
+    st.one_of(messages, responses), min_size=0, max_size=40
+)
+
+
+def fresh_state():
+    state = DgcState(self_id="self", clock=ActivityClock(0, "self"))
+    for target in TARGETS:
+        tag = StubTag("self", target, 1)
+        state.referenced.on_deserialized(RemoteRef(target, "n0"), tag)
+    return state
+
+
+def run_sequence(state, sequence):
+    now = 0.0
+    for item in sequence:
+        now += 1.0
+        if isinstance(item, DgcMessage):
+            process_message(state, item, now)
+        else:
+            process_response(state, item)
+
+
+@given(deliveries)
+def test_clock_never_decreases(sequence):
+    state = fresh_state()
+    previous = state.clock
+    now = 0.0
+    for item in sequence:
+        now += 1.0
+        if isinstance(item, DgcMessage):
+            process_message(state, item, now)
+        else:
+            process_response(state, item)
+        assert state.clock >= previous
+        previous = state.clock
+
+
+@given(deliveries)
+def test_clock_is_max_of_seen_message_clocks(sequence):
+    state = fresh_state()
+    run_sequence(state, sequence)
+    seen = [ActivityClock(0, "self")] + [
+        item.clock for item in sequence if isinstance(item, DgcMessage)
+    ]
+    assert state.clock == max(seen)
+
+
+@given(deliveries)
+def test_parent_is_always_a_referenced_activity_or_none(sequence):
+    state = fresh_state()
+    run_sequence(state, sequence)
+    assert state.parent is None or state.parent in state.referenced
+
+
+@given(deliveries)
+def test_owner_never_has_parent(sequence):
+    """The originator is the root of the reverse spanning tree."""
+    state = fresh_state()
+    now = 0.0
+    for item in sequence:
+        now += 1.0
+        if isinstance(item, DgcMessage):
+            process_message(state, item, now)
+        else:
+            process_response(state, item)
+        if state.owns_clock:
+            assert state.parent is None
+
+
+@given(deliveries)
+def test_parent_only_with_matching_candidate(sequence):
+    """Whenever a parent is adopted, the adopting response proposed
+    exactly the current clock."""
+    state = fresh_state()
+    now = 0.0
+    for item in sequence:
+        now += 1.0
+        if isinstance(item, DgcMessage):
+            process_message(state, item, now)
+        else:
+            before = state.parent
+            process_response(state, item)
+            if state.parent is not None and before is None:
+                assert item.clock == state.clock
+                assert item.has_parent
+
+
+@given(deliveries)
+def test_referencer_records_track_last_message(sequence):
+    state = fresh_state()
+    run_sequence(state, sequence)
+    last_by_sender = {}
+    for item in sequence:
+        if isinstance(item, DgcMessage):
+            last_by_sender[item.sender] = item
+    for sender, message in last_by_sender.items():
+        record = state.referencers.get(sender)
+        assert record is not None
+        assert record.clock == message.clock
+        assert record.consensus == message.consensus
+
+
+@given(deliveries)
+def test_response_never_advances_clock(sequence):
+    """Fig. 4 invariant, stated over arbitrary histories: only messages
+    (never responses) can advance the activity clock."""
+    state = fresh_state()
+    now = 0.0
+    for item in sequence:
+        now += 1.0
+        if isinstance(item, DgcMessage):
+            process_message(state, item, now)
+        else:
+            before = state.clock
+            process_response(state, item)
+            assert state.clock == before

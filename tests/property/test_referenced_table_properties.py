@@ -1,0 +1,84 @@
+"""Property-based tests on the referenced table under random operation
+sequences: the Sec. 3.1 needs_send rule and tag-generation rules can
+never be violated regardless of interleaving."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.referenced import ReferencedTable
+from repro.runtime.proxy import RemoteRef, StubTag
+
+TARGETS = ["t0", "t1", "t2"]
+
+#: Operations: ("deserialize", target) | ("tag_dead", target) |
+#: ("broadcast",) — clears needs_send like a beat does |
+#: ("pop",) — pop removable records.
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("deserialize"), st.sampled_from(TARGETS)),
+        st.tuples(st.just("tag_dead"), st.sampled_from(TARGETS)),
+        st.tuples(st.just("broadcast")),
+        st.tuples(st.just("pop")),
+    ),
+    max_size=40,
+)
+
+
+def run_ops(ops):
+    table = ReferencedTable()
+    generations = {target: 0 for target in TARGETS}
+    live_tags = {}
+    popped = []
+    for op in ops:
+        if op[0] == "deserialize":
+            target = op[1]
+            generations[target] += 1
+            tag = StubTag("self", target, generations[target])
+            live_tags[target] = tag
+            table.on_deserialized(RemoteRef(target, "n0"), tag)
+        elif op[0] == "tag_dead":
+            target = op[1]
+            tag = live_tags.get(target)
+            if tag is not None:
+                tag.dead = True
+                table.on_tag_dead(tag)
+        elif op[0] == "broadcast":
+            for record in table.records():
+                record.messages_sent += 1
+                record.needs_send = False
+        elif op[0] == "pop":
+            popped.extend(table.pop_removable())
+    return table, popped
+
+
+@given(operations)
+def test_popped_records_satisfied_needs_send(ops):
+    """Nothing is ever removed before its mandatory first send."""
+    __, popped = run_ops(ops)
+    for record in popped:
+        assert not record.needs_send
+        assert record.tag_dead
+
+
+@given(operations)
+def test_live_tag_records_never_removable(ops):
+    table, __ = run_ops(ops)
+    for record in table.records():
+        if record.tag is not None and not record.tag.dead:
+            assert not record.removable
+
+
+@given(operations)
+def test_at_most_one_record_per_target(ops):
+    table, __ = run_ops(ops)
+    ids = table.ids()
+    assert len(ids) == len(set(ids))
+
+
+@given(operations)
+def test_redeserialized_target_is_alive_again(ops):
+    """A deserialization after a tag death resurrects the edge with a
+    fresh generation (never wrongly removable)."""
+    table, __ = run_ops(ops)
+    for record in table.records():
+        if record.tag is not None and not record.tag.dead:
+            assert not record.tag_dead

@@ -1,0 +1,175 @@
+"""End-to-end property-based tests of the whole DGC:
+
+* **Safety** — under random reference graphs, random work schedules and
+  random reference drops, no activity reachable from a non-idle activity
+  is ever collected (the world's oracle monitor raises on violation).
+* **Liveness** — once the application quiesces and the driver releases
+  its stubs, *everything* is eventually collected.
+
+Each example builds a small world, drives it for a bounded simulated
+time, then asserts both properties.  hypothesis explores graph shapes
+(including self-edges and dense cycles) and schedules.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import DgcConfig
+from repro.net.topology import uniform_topology
+from repro.runtime.ids import reset_id_counter
+from repro.workloads.app import Peer, release_all
+from repro.world import World
+
+CONFIG = DgcConfig(ttb=1.0, tta=3.0)
+
+
+@st.composite
+def scenarios(draw):
+    count = draw(st.integers(min_value=2, max_value=7))
+    edges = draw(
+        st.sets(
+            st.tuples(
+                st.integers(0, count - 1), st.integers(0, count - 1)
+            ),
+            max_size=count * 3,
+        )
+    )
+    work_items = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, count - 1),
+                st.floats(min_value=0.5, max_value=6.0, allow_nan=False),
+            ),
+            max_size=4,
+        )
+    )
+    if edges:
+        drops = draw(
+            st.lists(st.sampled_from(sorted(edges)), max_size=3)
+        )
+    else:
+        drops = []
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return count, sorted(edges), work_items, drops, seed
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenarios())
+def test_safety_and_liveness_on_random_worlds(scenario):
+    count, edges, work_items, drops, seed = scenario
+    reset_id_counter()
+    world = World(
+        uniform_topology(3),
+        dgc=CONFIG,
+        seed=seed,
+        safety_checks=True,  # raises ProtocolError on any wrongful kill
+        trace=False,
+    )
+    driver = world.create_driver()
+    peers = [
+        driver.context.create(Peer(), name=f"p{index}")
+        for index in range(count)
+    ]
+    for source, target in edges:
+        driver.context.call(
+            peers[source],
+            "hold",
+            refs=[peers[target]],
+            data=[f"edge{target}"],
+        )
+    world.run_for(2.0)
+
+    # Random work: busy phases interleaved with the DGC's beats.
+    for index, duration in work_items:
+        driver.context.call(peers[index], "work", data=duration)
+    world.run_for(3.0)
+
+    # Random edge drops (local GC collecting stubs mid-protocol).
+    for source, target in drops:
+        driver.context.call(
+            peers[source], "drop", data=[f"edge{target}"]
+        )
+    world.run_for(5.0)
+
+    # SAFETY: so far, with the driver still holding every peer, nothing
+    # may have been collected at all.
+    assert world.stats.collected_total == 0
+    assert world.stats.safety_violations == 0
+
+    # The application quiesces; main() returns.
+    release_all(driver, peers)
+
+    # LIVENESS: every peer is eventually collected (they are all garbage
+    # now — no roots reference them).
+    assert world.run_until_collected(300 * CONFIG.tta), (
+        f"survivors: {[a.id for a in world.live_non_roots()]}"
+    )
+    assert world.stats.collected_total == count
+    assert world.stats.safety_violations == 0
+    assert world.stats.dead_letters == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=2**16),
+)
+def test_liveness_on_dense_cycles(size, seed):
+    """Fully-connected idle graphs (worst-case cycles) always collapse."""
+    reset_id_counter()
+    world = World(
+        uniform_topology(2),
+        dgc=CONFIG,
+        seed=seed,
+        safety_checks=True,
+        trace=False,
+    )
+    driver = world.create_driver()
+    peers = [
+        driver.context.create(Peer(), name=f"d{index}")
+        for index in range(size)
+    ]
+    for index, source in enumerate(peers):
+        refs = [p for j, p in enumerate(peers) if j != index]
+        keys = [f"k{j}" for j in range(size) if j != index]
+        driver.context.call(source, "hold", refs=refs, data=keys)
+    world.run_for(2.0)
+    release_all(driver, peers)
+    assert world.run_until_collected(300 * CONFIG.tta)
+    assert world.stats.safety_violations == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**16),
+)
+def test_safety_with_live_pin_on_random_cycle(size, seed):
+    """A cycle pinned by the root driver is never collected, no matter
+    how long the DGC runs."""
+    reset_id_counter()
+    world = World(
+        uniform_topology(2),
+        dgc=CONFIG,
+        seed=seed,
+        safety_checks=True,
+        trace=False,
+    )
+    driver = world.create_driver()
+    peers = [
+        driver.context.create(Peer(), name=f"c{index}")
+        for index in range(size)
+    ]
+    for index, source in enumerate(peers):
+        target = peers[(index + 1) % size]
+        driver.context.call(
+            source, "hold", refs=[target], data=["next"]
+        )
+    world.run_for(2.0)
+    release_all(driver, peers[1:])
+    world.run_for(30 * CONFIG.tta)
+    assert len(world.live_non_roots()) == size
+    assert world.stats.collected_total == 0

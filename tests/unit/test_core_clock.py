@@ -1,0 +1,74 @@
+"""Unit tests for the named Lamport activity clock."""
+
+import pytest
+
+from repro.core.clock import ActivityClock
+
+
+def test_increment_takes_ownership():
+    clock = ActivityClock(5, "ao-b")
+    incremented = clock.incremented("ao-a")
+    assert incremented.value == 6
+    assert incremented.owner == "ao-a"
+
+
+def test_increment_returns_new_object():
+    clock = ActivityClock(0, "ao-a")
+    assert clock.incremented("ao-a") is not clock
+    assert clock.value == 0
+
+
+def test_immutability():
+    clock = ActivityClock(1, "ao-a")
+    with pytest.raises(AttributeError):
+        clock.value = 2
+
+
+def test_order_by_value_first():
+    assert ActivityClock(1, "ao-z") < ActivityClock(2, "ao-a")
+
+
+def test_order_by_owner_on_tie():
+    assert ActivityClock(3, "ao-a") < ActivityClock(3, "ao-b")
+
+
+def test_total_order_is_strict():
+    a = ActivityClock(1, "x")
+    b = ActivityClock(1, "x")
+    assert a == b
+    assert not a < b
+    assert not a > b
+    assert a <= b and a >= b
+
+
+def test_equality_and_hash():
+    assert ActivityClock(2, "ao") == ActivityClock(2, "ao")
+    assert hash(ActivityClock(2, "ao")) == hash(ActivityClock(2, "ao"))
+    assert ActivityClock(2, "ao") != ActivityClock(2, "other")
+    assert ActivityClock(2, "ao") != ActivityClock(3, "ao")
+
+
+def test_eq_against_other_types():
+    assert ActivityClock(1, "a") != "a:1"
+    assert not (ActivityClock(1, "a") == 42)
+
+
+def test_merge_keeps_greater():
+    small = ActivityClock(1, "z")
+    big = ActivityClock(2, "a")
+    assert small.merge(big) is big
+    assert big.merge(small) is big
+
+
+def test_merge_idempotent():
+    clock = ActivityClock(4, "a")
+    assert clock.merge(clock) is clock
+
+
+def test_increment_always_exceeds_previous():
+    clock = ActivityClock(7, "ao-zzz")
+    assert clock.incremented("ao-aaa") > clock
+
+
+def test_repr_is_owner_colon_value():
+    assert repr(ActivityClock(9, "ao-x")) == "ao-x:9"

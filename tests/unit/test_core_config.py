@@ -1,0 +1,61 @@
+"""Unit tests for DGC configuration and the TTA safety margin."""
+
+import pytest
+
+from repro.core.config import (
+    DgcConfig,
+    NAS_CONFIG,
+    TORTURE_FAST_CONFIG,
+    TORTURE_SLOW_CONFIG,
+)
+from repro.errors import ConfigurationError
+
+
+def test_defaults_are_papers_nas_settings():
+    assert NAS_CONFIG.ttb == 30.0
+    assert NAS_CONFIG.tta == 61.0
+
+
+def test_torture_presets():
+    assert (TORTURE_FAST_CONFIG.ttb, TORTURE_FAST_CONFIG.tta) == (30.0, 150.0)
+    assert (TORTURE_SLOW_CONFIG.ttb, TORTURE_SLOW_CONFIG.tta) == (300.0, 1500.0)
+
+
+def test_margin_accepts_valid_configuration():
+    DgcConfig(ttb=30.0, tta=61.0).validate_against(max_comm=0.5)
+
+
+def test_margin_rejects_tta_equal_to_bound():
+    config = DgcConfig(ttb=30.0, tta=60.0)
+    with pytest.raises(ConfigurationError):
+        config.validate_against(max_comm=0.0)
+
+
+def test_margin_accounts_for_max_comm():
+    config = DgcConfig(ttb=30.0, tta=61.0)
+    with pytest.raises(ConfigurationError):
+        config.validate_against(max_comm=1.0)
+    assert not config.satisfies_margin(1.0)
+    assert config.satisfies_margin(0.5)
+
+
+def test_nonpositive_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        DgcConfig(ttb=0.0, tta=10.0)
+    with pytest.raises(ConfigurationError):
+        DgcConfig(ttb=1.0, tta=-1.0)
+
+
+def test_with_overrides_returns_new_config():
+    config = DgcConfig(ttb=1.0, tta=3.0)
+    variant = config.with_overrides(consensus_propagation=False)
+    assert variant.consensus_propagation is False
+    assert config.consensus_propagation is True
+    assert variant.ttb == 1.0
+
+
+def test_paper_options_default_on():
+    config = DgcConfig(ttb=1.0, tta=3.0)
+    assert config.consensus_propagation
+    assert config.increment_on_referencer_loss
+    assert config.increment_on_referenced_loss

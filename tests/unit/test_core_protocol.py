@@ -1,0 +1,263 @@
+"""Unit tests for Algorithms 1-4 (pure protocol functions).
+
+These tests mirror the paper's pseudo-code line by line, including the
+glyph restorations documented in DESIGN.md Sec. 3.
+"""
+
+from repro.core.clock import ActivityClock
+from repro.core.protocol import (
+    DgcState,
+    acyclic_timeout_expired,
+    consensus_flag_for,
+    cyclic_consensus_made,
+    process_message,
+    process_response,
+)
+from repro.core.wire import DgcMessage, DgcResponse
+from repro.runtime.proxy import RemoteRef, StubTag
+
+
+def make_state(self_id="ao-s", value=0, owner=None):
+    owner = owner if owner is not None else self_id
+    return DgcState(self_id=self_id, clock=ActivityClock(value, owner))
+
+
+def add_referenced(state, target="ao-t", node="n0"):
+    tag = StubTag(state.self_id, target, 1)
+    return state.referenced.on_deserialized(RemoteRef(target, node), tag)
+
+
+def message(sender="ao-r", clock=None, consensus=False, node="n1"):
+    return DgcMessage(
+        sender=sender,
+        clock=clock if clock is not None else ActivityClock(0, sender),
+        consensus=consensus,
+        sender_ref=RemoteRef(sender, node),
+    )
+
+
+# ----------------------------------------------------------------------
+# Acyclic timeout (Algorithm 2, first branch)
+# ----------------------------------------------------------------------
+
+def test_acyclic_timeout_strictly_greater_than_tta():
+    state = make_state()
+    state.last_message_timestamp = 10.0
+    assert not acyclic_timeout_expired(state, now=13.0, tta=3.0)
+    assert acyclic_timeout_expired(state, now=13.01, tta=3.0)
+
+
+# ----------------------------------------------------------------------
+# Cyclic consensus (Algorithm 2, second branch)
+# ----------------------------------------------------------------------
+
+def test_cyclic_requires_clock_ownership():
+    state = make_state(owner="ao-other")
+    state.referencers.update("ao-r", state.clock, True, now=0.0)
+    assert not cyclic_consensus_made(state)
+
+
+def test_cyclic_requires_nonempty_referencers():
+    """DESIGN.md Sec. 3 clarification: no vacuous self-consensus."""
+    state = make_state()
+    assert not cyclic_consensus_made(state)
+
+
+def test_cyclic_requires_all_referencers_agree():
+    state = make_state(value=3)
+    state.referencers.update("ao-a", state.clock, True, now=0.0)
+    state.referencers.update("ao-b", state.clock, False, now=0.0)
+    assert not cyclic_consensus_made(state)
+    state.referencers.update("ao-b", state.clock, True, now=0.0)
+    assert cyclic_consensus_made(state)
+
+
+def test_cyclic_rejects_stale_referencer_clock():
+    state = make_state(value=3)
+    state.referencers.update(
+        "ao-a", ActivityClock(2, state.self_id), True, now=0.0
+    )
+    assert not cyclic_consensus_made(state)
+
+
+# ----------------------------------------------------------------------
+# Consensus flag in outgoing messages (Algorithm 2, loop body)
+# ----------------------------------------------------------------------
+
+def test_consensus_flag_false_when_busy():
+    state = make_state()
+    record = add_referenced(state)
+    record.last_response = DgcResponse("ao-t", state.clock, True)
+    assert not consensus_flag_for(state, record, is_idle=False)
+
+
+def test_consensus_flag_requires_matching_last_response():
+    state = make_state()
+    record = add_referenced(state)
+    assert not consensus_flag_for(state, record, is_idle=True)
+    record.last_response = DgcResponse(
+        "ao-t", ActivityClock(99, "ao-z"), True
+    )
+    assert not consensus_flag_for(state, record, is_idle=True)
+    record.last_response = DgcResponse("ao-t", state.clock, True)
+    assert consensus_flag_for(state, record, is_idle=True)
+
+
+def test_consensus_flag_requires_originator_connection():
+    """Non-owner without a parent cannot claim agreement."""
+    state = make_state(owner="ao-other")
+    record = add_referenced(state)
+    record.last_response = DgcResponse("ao-t", state.clock, True)
+    assert not consensus_flag_for(state, record, is_idle=True)
+    state.parent = "ao-t"
+    # Parent == destination: needs referencers' agreement (vacuous here).
+    assert consensus_flag_for(state, record, is_idle=True)
+
+
+def test_consensus_to_parent_is_conjunction_of_referencers():
+    state = make_state(owner="ao-other")
+    record = add_referenced(state, target="ao-parent")
+    record.last_response = DgcResponse("ao-parent", state.clock, True)
+    state.parent = "ao-parent"
+    state.referencers.update("ao-r", state.clock, False, now=0.0)
+    assert not consensus_flag_for(state, record, is_idle=True)
+    state.referencers.update("ao-r", state.clock, True, now=0.0)
+    assert consensus_flag_for(state, record, is_idle=True)
+
+
+def test_consensus_to_non_parent_is_local_agreement_only():
+    state = make_state(owner="ao-other")
+    parent_record = add_referenced(state, target="ao-parent")
+    other_record = add_referenced(state, target="ao-other-ref")
+    parent_record.last_response = DgcResponse("ao-parent", state.clock, True)
+    other_record.last_response = DgcResponse("ao-other-ref", state.clock, True)
+    state.parent = "ao-parent"
+    # A disagreeing referencer blocks the parent edge but not the others.
+    state.referencers.update("ao-r", ActivityClock(9, "ao-x"), False, now=0.0)
+    assert not consensus_flag_for(state, parent_record, is_idle=True)
+    assert consensus_flag_for(state, other_record, is_idle=True)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 3 — reception of a DGC message
+# ----------------------------------------------------------------------
+
+def test_message_with_newer_clock_is_adopted_and_parent_reset():
+    state = make_state()
+    state.parent = "ao-old-parent"
+    newer = ActivityClock(5, "ao-r")
+    response = process_message(state, message(clock=newer), now=1.0)
+    assert state.clock == newer
+    assert state.parent is None
+    assert response.clock == newer
+
+
+def test_message_with_older_clock_not_adopted():
+    state = make_state(value=9)
+    old = ActivityClock(1, "ao-r")
+    process_message(state, message(clock=old), now=1.0)
+    assert state.clock == ActivityClock(9, "ao-s")
+
+
+def test_message_updates_referencer_record_and_timestamp():
+    state = make_state()
+    process_message(state, message(sender="ao-r", consensus=True), now=7.5)
+    record = state.referencers.get("ao-r")
+    assert record.consensus is True
+    assert state.last_message_timestamp == 7.5
+
+
+def test_response_has_parent_when_owner():
+    state = make_state()  # owns its clock
+    response = process_message(state, message(), now=0.0)
+    assert response.has_parent is True
+
+
+def test_response_has_parent_when_parent_set():
+    state = make_state(owner="ao-other")
+    # A message with our exact clock (no adoption, parent preserved).
+    state.parent = "ao-p"
+    response = process_message(state, message(clock=state.clock), now=0.0)
+    assert response.has_parent is True
+
+
+def test_response_has_no_parent_when_orphan_non_owner():
+    state = make_state(owner="ao-other")
+    response = process_message(state, message(clock=state.clock), now=0.0)
+    assert response.has_parent is False
+
+
+# ----------------------------------------------------------------------
+# Algorithm 4 — reception of a DGC response
+# ----------------------------------------------------------------------
+
+def test_parent_adopted_on_matching_response():
+    state = make_state(owner="ao-other")
+    add_referenced(state, target="ao-t")
+    response = DgcResponse("ao-t", state.clock, has_parent=True)
+    assert process_response(state, response) is True
+    assert state.parent == "ao-t"
+
+
+def test_owner_never_adopts_parent():
+    state = make_state()  # owner of its clock
+    add_referenced(state, target="ao-t")
+    response = DgcResponse("ao-t", state.clock, has_parent=True)
+    assert process_response(state, response) is False
+    assert state.parent is None
+
+
+def test_parent_not_adopted_without_has_parent():
+    state = make_state(owner="ao-other")
+    add_referenced(state, target="ao-t")
+    response = DgcResponse("ao-t", state.clock, has_parent=False)
+    process_response(state, response)
+    assert state.parent is None
+
+
+def test_parent_not_adopted_on_clock_mismatch():
+    state = make_state(owner="ao-other")
+    add_referenced(state, target="ao-t")
+    response = DgcResponse("ao-t", ActivityClock(99, "ao-z"), has_parent=True)
+    process_response(state, response)
+    assert state.parent is None
+
+
+def test_existing_parent_not_replaced():
+    state = make_state(owner="ao-other")
+    add_referenced(state, target="ao-t")
+    add_referenced(state, target="ao-u")
+    state.parent = "ao-t"
+    response = DgcResponse("ao-u", state.clock, has_parent=True)
+    process_response(state, response)
+    assert state.parent == "ao-t"
+
+
+def test_stale_response_for_removed_edge_ignored():
+    state = make_state(owner="ao-other")
+    response = DgcResponse("ao-gone", state.clock, has_parent=True)
+    assert process_response(state, response) is False
+    assert state.parent is None
+
+
+def test_response_clock_never_merged_into_state():
+    """Fig. 4: the clock in a response must never update the activity
+    clock, only serve as a consensus candidate."""
+    state = make_state(value=1)
+    add_referenced(state, target="ao-t")
+    response = DgcResponse("ao-t", ActivityClock(42, "ao-t"), has_parent=True)
+    process_response(state, response)
+    assert state.clock == ActivityClock(1, "ao-s")
+
+
+# ----------------------------------------------------------------------
+# Clock increment helper
+# ----------------------------------------------------------------------
+
+def test_increment_clock_takes_ownership_and_clears_parent():
+    state = make_state(owner="ao-other", value=4)
+    state.parent = "ao-p"
+    state.increment_clock()
+    assert state.clock == ActivityClock(5, "ao-s")
+    assert state.parent is None
+    assert state.owns_clock

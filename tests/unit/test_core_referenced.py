@@ -1,0 +1,96 @@
+"""Unit tests for the referenced table (needs_send / tag-death rules)."""
+
+from repro.core.referenced import ReferencedTable
+from repro.core.wire import DgcResponse
+from repro.core.clock import ActivityClock
+from repro.runtime.proxy import RemoteRef, StubTag
+
+
+def make_ref(target="ao-t", node="n0"):
+    return RemoteRef(target, node)
+
+
+def make_tag(holder="ao-h", target="ao-t", generation=1):
+    return StubTag(holder, target, generation)
+
+
+def test_deserialization_creates_record_with_needs_send():
+    table = ReferencedTable()
+    record = table.on_deserialized(make_ref(), make_tag())
+    assert record.needs_send is True
+    assert record.tag_dead is False
+    assert "ao-t" in table
+
+
+def test_redeserialization_rearms_needs_send():
+    table = ReferencedTable()
+    tag = make_tag()
+    record = table.on_deserialized(make_ref(), tag)
+    record.needs_send = False
+    table.on_deserialized(make_ref(), tag)
+    assert record.needs_send is True
+
+
+def test_tag_death_marks_record():
+    table = ReferencedTable()
+    tag = make_tag()
+    table.on_deserialized(make_ref(), tag)
+    record = table.on_tag_dead(tag)
+    assert record is not None
+    assert record.tag_dead is True
+
+
+def test_stale_tag_death_ignored_after_regeneration():
+    """The Sec. 2.2 generation rule: a newer tag supersedes the old one."""
+    table = ReferencedTable()
+    old_tag = make_tag(generation=1)
+    table.on_deserialized(make_ref(), old_tag)
+    new_tag = make_tag(generation=2)
+    table.on_deserialized(make_ref(), new_tag)
+    assert table.on_tag_dead(old_tag) is None
+    record = table.get("ao-t")
+    assert record.tag_dead is False
+
+
+def test_not_removable_until_first_send():
+    """Sec. 3.1: 'one DGC message must be sent anyway'."""
+    table = ReferencedTable()
+    tag = make_tag()
+    record = table.on_deserialized(make_ref(), tag)
+    table.on_tag_dead(tag)
+    assert record.removable is False
+    assert table.pop_removable() == []
+    record.needs_send = False
+    assert record.removable is True
+    assert table.pop_removable() == [record]
+    assert "ao-t" not in table
+
+
+def test_not_removable_while_tag_alive():
+    table = ReferencedTable()
+    record = table.on_deserialized(make_ref(), make_tag())
+    record.needs_send = False
+    assert record.removable is False
+    assert table.pop_removable() == []
+
+
+def test_unknown_tag_death_returns_none():
+    table = ReferencedTable()
+    assert table.on_tag_dead(make_tag(target="ao-unknown")) is None
+
+
+def test_last_response_storage():
+    table = ReferencedTable()
+    record = table.on_deserialized(make_ref(), make_tag())
+    response = DgcResponse("ao-t", ActivityClock(1, "ao-t"), True)
+    record.last_response = response
+    assert table.get("ao-t").last_response is response
+
+
+def test_records_and_ids():
+    table = ReferencedTable()
+    table.on_deserialized(make_ref("ao-1"), make_tag(target="ao-1"))
+    table.on_deserialized(make_ref("ao-2"), make_tag(target="ao-2"))
+    assert sorted(table.ids()) == ["ao-1", "ao-2"]
+    assert len(table.records()) == 2
+    assert len(table) == 2

@@ -1,0 +1,80 @@
+"""Unit tests for the referencer table (paper Algorithm 1 substrate)."""
+
+from repro.core.clock import ActivityClock
+from repro.core.referencers import ReferencerTable
+
+
+def clock(value=0, owner="ao-x"):
+    return ActivityClock(value, owner)
+
+
+def test_update_registers_new_referencer():
+    table = ReferencerTable()
+    assert table.update("ao-a", clock(), True, now=1.0) is True
+    assert "ao-a" in table
+    assert len(table) == 1
+
+
+def test_update_existing_referencer_returns_false():
+    table = ReferencerTable()
+    table.update("ao-a", clock(), True, now=1.0)
+    assert table.update("ao-a", clock(1), False, now=2.0) is False
+    record = table.get("ao-a")
+    assert record.clock == clock(1)
+    assert record.consensus is False
+    assert record.last_message_time == 2.0
+
+
+def test_agree_vacuously_true_when_empty():
+    assert ReferencerTable().agree(clock()) is True
+
+
+def test_agree_requires_matching_clock():
+    table = ReferencerTable()
+    table.update("ao-a", clock(1), True, now=0.0)
+    assert table.agree(clock(1)) is True
+    assert table.agree(clock(2)) is False
+
+
+def test_agree_requires_consensus_flag():
+    table = ReferencerTable()
+    table.update("ao-a", clock(1), True, now=0.0)
+    table.update("ao-b", clock(1), False, now=0.0)
+    assert table.agree(clock(1)) is False
+
+
+def test_agree_requires_same_owner_in_clock():
+    table = ReferencerTable()
+    table.update("ao-a", ActivityClock(1, "ao-x"), True, now=0.0)
+    assert table.agree(ActivityClock(1, "ao-y")) is False
+
+
+def test_expire_removes_silent_referencers():
+    table = ReferencerTable()
+    table.update("ao-a", clock(), True, now=0.0)
+    table.update("ao-b", clock(), True, now=5.0)
+    lost = table.expire(now=8.1, tta=8.0)
+    assert lost == ["ao-a"]
+    assert "ao-a" not in table
+    assert "ao-b" in table
+
+
+def test_expire_boundary_is_strict():
+    table = ReferencerTable()
+    table.update("ao-a", clock(), True, now=0.0)
+    assert table.expire(now=8.0, tta=8.0) == []
+
+
+def test_forget():
+    table = ReferencerTable()
+    table.update("ao-a", clock(), True, now=0.0)
+    table.forget("ao-a")
+    assert len(table) == 0
+    table.forget("ao-missing")  # no error
+
+
+def test_ids():
+    table = ReferencerTable()
+    table.update("ao-a", clock(), True, now=0.0)
+    table.update("ao-b", clock(), True, now=0.0)
+    assert sorted(table.ids()) == ["ao-a", "ao-b"]

@@ -1,0 +1,97 @@
+"""Unit tests for graph analysis (h, SCCs, process graph)."""
+
+from repro.graph.analysis import (
+    max_tree_height,
+    process_graph,
+    process_graph_garbage,
+    reverse_spanning_tree_height,
+    spanning_tree_height,
+    strongly_connected_components,
+)
+from repro.graph.refgraph import ReferenceGraphSnapshot
+
+
+def snapshot(edges, idle=None, hosting=None):
+    all_ids = set(edges)
+    for targets in edges.values():
+        all_ids.update(targets)
+    return ReferenceGraphSnapshot(
+        time=0.0,
+        edges=edges,
+        idle={aid: True for aid in all_ids} if idle is None else idle,
+        hosting=hosting or {aid: "p0" for aid in all_ids},
+    )
+
+
+def test_scc_of_ring():
+    snap = snapshot({"a": {"b"}, "b": {"c"}, "c": {"a"}})
+    components = strongly_connected_components(snap)
+    assert components[0] == {"a", "b", "c"}
+
+
+def test_scc_of_chain_is_singletons():
+    snap = snapshot({"a": {"b"}, "b": {"c"}})
+    components = strongly_connected_components(snap)
+    assert all(len(component) == 1 for component in components)
+    assert len(components) == 3
+
+
+def test_spanning_tree_heights_on_chain():
+    snap = snapshot({"a": {"b"}, "b": {"c"}})
+    assert spanning_tree_height(snap, "a") == 2
+    assert reverse_spanning_tree_height(snap, "c") == 2
+    assert spanning_tree_height(snap, "c") == 0
+
+
+def test_heights_on_ring():
+    snap = snapshot({"a": {"b"}, "b": {"c"}, "c": {"a"}})
+    assert spanning_tree_height(snap, "a") == 2
+    assert reverse_spanning_tree_height(snap, "a") == 2
+
+
+def test_max_tree_height():
+    snap = snapshot({"a": {"b"}, "b": {"c"}, "c": {"a"}})
+    assert max_tree_height(snap) == 2
+
+
+def test_heights_of_unknown_root():
+    snap = snapshot({"a": {"b"}})
+    assert spanning_tree_height(snap, "zz") == 0
+
+
+def test_process_graph_coarsening():
+    """Sec. 4.1 Eq. 2 check."""
+    snap = snapshot(
+        {"a": {"b"}, "b": {"c"}},
+        hosting={"a": "p0", "b": "p1", "c": "p1"},
+    )
+    edges = process_graph(snap)
+    assert edges == {"p0": {"p1"}, "p1": {"p1"}}
+
+
+def test_process_graph_garbage_blocks_mixed_processes():
+    """A live activity on a process blocks the whole process."""
+    snap = snapshot(
+        {"a": {"b"}},
+        idle={"a": True, "b": True, "live": False},
+        hosting={"a": "p0", "b": "p0", "live": "p0"},
+    )
+    assert process_graph_garbage(snap) == set()
+
+
+def test_process_graph_garbage_collects_fully_idle_processes():
+    snap = snapshot(
+        {"a": {"b"}, "b": {"a"}},
+        idle={"a": True, "b": True, "live": False},
+        hosting={"a": "p0", "b": "p0", "live": "p1"},
+    )
+    assert process_graph_garbage(snap) == {"p0"}
+
+
+def test_process_graph_garbage_respects_cross_process_reachability():
+    snap = snapshot(
+        {"live": {"a"}, "a": {"b"}},
+        idle={"a": True, "b": True, "live": False},
+        hosting={"live": "p0", "a": "p1", "b": "p2"},
+    )
+    assert process_graph_garbage(snap) == set()

@@ -1,0 +1,108 @@
+"""Unit tests for the ground-truth garbage oracle (Eq. 1)."""
+
+from repro.graph.oracle import compute_garbage, garbage_of_snapshot, is_garbage
+from repro.graph.refgraph import ReferenceGraphSnapshot
+from repro.runtime.behaviors import Behavior
+from repro.workloads.app import Peer, link, release_all
+
+
+def snapshot(edges, idle):
+    return ReferenceGraphSnapshot(time=0.0, edges=edges, idle=idle)
+
+
+def test_busy_activity_is_not_garbage():
+    garbage = garbage_of_snapshot(
+        snapshot({}, {"a": False})
+    )
+    assert garbage == set()
+
+
+def test_idle_unreferenced_activity_is_garbage():
+    garbage = garbage_of_snapshot(snapshot({}, {"a": True}))
+    assert garbage == {"a"}
+
+
+def test_idle_cycle_is_garbage():
+    garbage = garbage_of_snapshot(
+        snapshot({"a": {"b"}, "b": {"a"}}, {"a": True, "b": True})
+    )
+    assert garbage == {"a", "b"}
+
+
+def test_cycle_referenced_by_busy_is_live():
+    garbage = garbage_of_snapshot(
+        snapshot(
+            {"r": {"a"}, "a": {"b"}, "b": {"a"}},
+            {"r": False, "a": True, "b": True},
+        )
+    )
+    assert garbage == set()
+
+
+def test_orientation_busy_referenced_does_not_pin_idle_referencer():
+    """Fig. 4: an idle cycle referencing a busy one is still garbage."""
+    garbage = garbage_of_snapshot(
+        snapshot(
+            {"c1a": {"c1b"}, "c1b": {"c1a", "c2a"}, "c2a": {"c2b"},
+             "c2b": {"c2a"}},
+            {"c1a": True, "c1b": True, "c2a": False, "c2b": True},
+        )
+    )
+    assert garbage == {"c1a", "c1b"}
+
+
+def test_pinned_activities_are_not_garbage():
+    garbage = garbage_of_snapshot(
+        snapshot({}, {"a": True, "b": True}), pinned={"a"}
+    )
+    assert garbage == {"b"}
+
+
+def test_pin_propagates_through_edges():
+    garbage = garbage_of_snapshot(
+        snapshot({"a": {"b"}}, {"a": True, "b": True}), pinned={"a"}
+    )
+    assert garbage == set()
+
+
+def test_pin_of_dead_activity_ignored():
+    garbage = garbage_of_snapshot(
+        snapshot({}, {"a": True}), pinned={"ghost"}
+    )
+    assert garbage == {"a"}
+
+
+def test_world_level_oracle_with_inflight_pins(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)  # in flight right now
+    # Before delivery, b is pinned by the in-flight reference and a by the
+    # in-flight wakeup.
+    assert a.activity_id not in compute_garbage(world)
+    assert b.activity_id not in compute_garbage(world)
+    world.run_for(1.0)
+    release_all(driver, [a, b])
+    world.run_for(1.0)
+    assert is_garbage(world, a.activity_id)
+    assert is_garbage(world, b.activity_id)
+
+
+def test_oracle_eq1_equivalence_on_snapshot():
+    """Cross-check the forward-closure implementation against a direct
+    evaluation of Eq. 1 via transitive referencers."""
+    edges = {
+        "r": {"a"},
+        "a": {"b"},
+        "b": {"c", "a"},
+        "c": set(),
+        "d": {"d"},
+    }
+    idle = {"r": False, "a": True, "b": True, "c": True, "d": True}
+    snap = snapshot(edges, idle)
+    garbage = garbage_of_snapshot(snap)
+    for activity in idle:
+        closure = snap.transitive_referencers(activity)
+        eq1 = all(idle[y] for y in closure)
+        assert (activity in garbage) == eq1

@@ -1,0 +1,69 @@
+"""Unit tests for reference-graph snapshots."""
+
+import pytest
+
+from repro.graph.refgraph import ReferenceGraphSnapshot, snapshot_reference_graph
+from repro.runtime.behaviors import SinkBehavior
+from repro.workloads.app import Peer, link
+
+
+def test_snapshot_captures_edges_and_idleness(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)
+    world.run_for(1.0)
+    snapshot = snapshot_reference_graph(world)
+    assert b.activity_id in snapshot.referenced_by(a.activity_id)
+    assert snapshot.idle[a.activity_id] is True
+    assert snapshot.idle[driver.id] is False  # root
+    assert driver.id in snapshot.roots
+
+
+def test_referencers_of(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)
+    world.run_for(1.0)
+    referencers = snapshot_reference_graph(world).referencers_of(b.activity_id)
+    assert a.activity_id in referencers
+    assert driver.id in referencers
+
+
+def test_transitive_referencers_includes_self_and_chain():
+    snapshot = ReferenceGraphSnapshot(
+        time=0.0,
+        edges={"a": {"b"}, "b": {"c"}},
+        idle={"a": True, "b": True, "c": True},
+    )
+    closure = snapshot.transitive_referencers("c")
+    assert closure == {"a", "b", "c"}
+
+
+def test_transitive_referencers_handles_cycles():
+    snapshot = ReferenceGraphSnapshot(
+        time=0.0,
+        edges={"a": {"b"}, "b": {"a"}},
+        idle={"a": True, "b": True},
+    )
+    assert snapshot.transitive_referencers("a") == {"a", "b"}
+
+
+def test_edge_list_sorted_per_source():
+    snapshot = ReferenceGraphSnapshot(
+        time=0.0,
+        edges={"a": {"c", "b"}},
+        idle={"a": True, "b": True, "c": True},
+    )
+    assert snapshot.edge_list() == [("a", "b"), ("a", "c")]
+
+
+def test_hosting_recorded(make_world):
+    world = make_world(3, dgc=None)
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), node="site-2", name="x")
+    snapshot = snapshot_reference_graph(world)
+    assert snapshot.hosting[proxy.activity_id] == "site-2"

@@ -1,0 +1,77 @@
+"""Unit tests for latency metrics."""
+
+import math
+
+import pytest
+
+from repro.harness.metrics import (
+    CollectionReport,
+    LatencySummary,
+    collection_report,
+    percentile,
+)
+from repro.workloads.app import release_all
+from repro.workloads.synthetic import build_chain, build_ring
+
+
+def test_percentile_interpolates():
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(data, 0.0) == 1.0
+    assert percentile(data, 100.0) == 4.0
+    assert percentile(data, 50.0) == 2.5
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 99.0) == 7.0
+
+
+def test_percentile_empty_rejected():
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+
+
+def test_summary_of_samples():
+    summary = LatencySummary.of([3.0, 1.0, 2.0])
+    assert summary.count == 3
+    assert summary.minimum == 1.0
+    assert summary.maximum == 3.0
+    assert summary.p50 == 2.0
+    assert summary.mean == 2.0
+
+
+def test_summary_empty_is_nan():
+    summary = LatencySummary.of([])
+    assert summary.count == 0
+    assert math.isnan(summary.mean)
+
+
+def test_collection_report_from_world(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    chain = build_chain(world, driver, 2)
+    ring = build_ring(world, driver, 3)
+    world.run_for(2.0)
+    released_at = world.kernel.now
+    release_all(driver, chain + ring)
+    assert world.run_until_collected(100 * fast_dgc.tta)
+    report = collection_report(world, released_at)
+    assert report.summary().count == 5
+    acyclic = report.summary("acyclic")
+    cyclic = report.summary("cyclic")
+    assert acyclic.count + cyclic.count == 5
+    assert cyclic.count >= 2
+    # Every latency is positive and bounded by the run length.
+    for latency in report.all_latencies:
+        assert 0 < latency <= world.kernel.now - released_at
+
+
+def test_collection_report_ignores_prior_terminations(make_world, fast_dgc):
+    from repro.workloads.app import Peer
+
+    world = make_world()
+    driver = world.create_driver()
+    victim = driver.context.create(Peer(), name="early")
+    world.find_activity(victim.activity_id).terminate("explicit")
+    world.run_for(1.0)
+    report = collection_report(world, released_at=world.kernel.now)
+    assert report.summary().count == 0

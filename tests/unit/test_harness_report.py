@@ -1,0 +1,64 @@
+"""Unit tests for report rendering."""
+
+from repro.harness.experiment import Aggregate, aggregate, overhead_percent
+from repro.harness.report import render_series, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["Kernel", "MB"],
+        [["CG", "194351.81"], ["EP", "69.75"]],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith("| Kernel")
+    assert all(line.startswith("|") for line in lines[1:])
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # every row same width
+
+
+def test_render_table_pads_missing_cells():
+    text = render_table(["a", "b"], [["only-a"]])
+    assert "only-a" in text
+
+
+def test_render_series_plots_points():
+    series = [(0.0, 0, 0), (50.0, 10, 0), (100.0, 0, 10)]
+    text = render_series(series, title="fig")
+    assert text.splitlines()[0] == "fig"
+    assert "." in text
+    assert "#" in text
+
+
+def test_render_series_empty():
+    assert "empty" in render_series([], title="x")
+
+
+def test_aggregate_mean_std():
+    agg = aggregate([1.0, 2.0, 3.0])
+    assert agg.mean == 2.0
+    assert agg.std > 0
+    assert agg.count == 3
+
+
+def test_aggregate_single_value_zero_std():
+    agg = aggregate([5.0])
+    assert agg.mean == 5.0
+    assert agg.std == 0.0
+
+
+def test_aggregate_empty_is_nan():
+    agg = aggregate([])
+    assert agg.count == 0
+    assert agg.mean != agg.mean  # NaN
+
+
+def test_overhead_percent():
+    assert overhead_percent(115.0, 100.0) == 15.0
+    assert overhead_percent(100.0, 0.0) == float("inf")
+    assert overhead_percent(90.0, 100.0) == -10.0
+
+
+def test_aggregate_str():
+    assert "±" in str(aggregate([1.0, 2.0]))

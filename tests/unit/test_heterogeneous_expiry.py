@@ -1,0 +1,57 @@
+"""Unit tests for the Sec. 7.1 heterogeneous-parameters expiry rules."""
+
+from repro.core.clock import ActivityClock
+from repro.core.referencers import ReferencerTable
+
+
+def clock():
+    return ActivityClock(0, "ao-x")
+
+
+def test_declared_ttb_stretches_deadline():
+    table = ReferencerTable()
+    table.update("slow", clock(), True, now=0.0, sender_ttb=5.0)
+    # Plain TTA=3, base TTB=1: stretched deadline = 3 + 2*(5-1) = 11.
+    assert table.expire(10.9, 3.0, base_ttb=1.0, honor_sender_ttb=True) == []
+    assert table.expire(11.1, 3.0, base_ttb=1.0, honor_sender_ttb=True) == [
+        "slow"
+    ]
+
+
+def test_declared_ttb_ignored_without_flag():
+    table = ReferencerTable()
+    table.update("slow", clock(), True, now=0.0, sender_ttb=5.0)
+    assert table.expire(3.1, 3.0, base_ttb=1.0, honor_sender_ttb=False) == [
+        "slow"
+    ]
+
+
+def test_faster_sender_not_stretched():
+    table = ReferencerTable()
+    table.update("fast", clock(), True, now=0.0, sender_ttb=0.5)
+    assert table.expire(3.1, 3.0, base_ttb=1.0, honor_sender_ttb=True) == [
+        "fast"
+    ]
+
+
+def test_undeclared_sender_uses_plain_tta():
+    table = ReferencerTable()
+    table.update("legacy", clock(), True, now=0.0)  # sender_ttb=0
+    assert table.expire(3.1, 3.0, base_ttb=1.0, honor_sender_ttb=True) == [
+        "legacy"
+    ]
+
+
+def test_max_declared_ttb():
+    table = ReferencerTable()
+    assert table.max_declared_ttb() == 0.0
+    table.update("a", clock(), True, now=0.0, sender_ttb=2.0)
+    table.update("b", clock(), True, now=0.0, sender_ttb=7.0)
+    assert table.max_declared_ttb() == 7.0
+
+
+def test_redeclaration_updates_ttb():
+    table = ReferencerTable()
+    table.update("a", clock(), True, now=0.0, sender_ttb=7.0)
+    table.update("a", clock(), True, now=1.0, sender_ttb=2.0)
+    assert table.max_declared_ttb() == 2.0

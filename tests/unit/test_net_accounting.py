@@ -1,0 +1,57 @@
+"""Unit tests for the bandwidth accountant."""
+
+from repro.net.accounting import BandwidthAccountant
+from repro.net.message import (
+    KIND_APP_REPLY,
+    KIND_APP_REQUEST,
+    KIND_DGC_MESSAGE,
+    KIND_DGC_RESPONSE,
+    Envelope,
+)
+
+
+def make_envelope(kind: str, size: int, src="a", dst="b") -> Envelope:
+    return Envelope(
+        source_node=src,
+        dest_node=dst,
+        kind=kind,
+        size_bytes=size,
+        payload=None,
+        deliver=lambda payload: None,
+    )
+
+
+def test_totals_by_kind():
+    accountant = BandwidthAccountant()
+    accountant.observe(make_envelope(KIND_APP_REQUEST, 100))
+    accountant.observe(make_envelope(KIND_APP_REPLY, 50))
+    accountant.observe(make_envelope(KIND_DGC_MESSAGE, 64))
+    accountant.observe(make_envelope(KIND_DGC_RESPONSE, 48))
+    assert accountant.app_bytes == 150
+    assert accountant.dgc_bytes == 112
+    assert accountant.total_bytes == 262
+    assert accountant.total_messages == 4
+
+
+def test_bytes_and_messages_for_specific_kind():
+    accountant = BandwidthAccountant()
+    for __ in range(3):
+        accountant.observe(make_envelope(KIND_DGC_MESSAGE, 64))
+    assert accountant.bytes_for(KIND_DGC_MESSAGE) == 192
+    assert accountant.messages_for(KIND_DGC_MESSAGE) == 3
+    assert accountant.bytes_for("unknown") == 0
+    assert accountant.messages_for("unknown") == 0
+
+
+def test_megabytes_uses_decimal_mb():
+    accountant = BandwidthAccountant()
+    accountant.observe(make_envelope(KIND_APP_REQUEST, 2_000_000))
+    assert accountant.megabytes() == 2.0
+
+
+def test_summary_is_a_copy():
+    accountant = BandwidthAccountant()
+    accountant.observe(make_envelope(KIND_APP_REQUEST, 10))
+    summary = accountant.summary()
+    summary[KIND_APP_REQUEST].bytes = 999
+    assert accountant.bytes_for(KIND_APP_REQUEST) == 10

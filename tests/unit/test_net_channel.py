@@ -1,0 +1,72 @@
+"""Unit tests for FIFO channels."""
+
+from repro.net.channel import FifoChannel
+from repro.net.message import Envelope
+from repro.sim.kernel import SimKernel
+
+
+def make_envelope(index: int = 0) -> Envelope:
+    return Envelope(
+        source_node="a",
+        dest_node="b",
+        kind="app.request",
+        size_bytes=10,
+        payload=index,
+        deliver=lambda payload: None,
+    )
+
+
+def test_delivery_after_latency():
+    kernel = SimKernel()
+    received = []
+    channel = FifoChannel(kernel, "a", "b", lambda env: 0.5)
+    channel.send(make_envelope(1), lambda env: received.append(kernel.now))
+    kernel.run()
+    assert received == [0.5]
+
+
+def test_fifo_preserved_under_decreasing_latency():
+    kernel = SimKernel()
+    received = []
+    latencies = iter([1.0, 0.1])
+    channel = FifoChannel(kernel, "a", "b", lambda env: next(latencies))
+    channel.send(make_envelope(1), lambda env: received.append(env.payload))
+    channel.send(make_envelope(2), lambda env: received.append(env.payload))
+    kernel.run()
+    assert received == [1, 2]
+    # The second delivery was clamped to the first one's time.
+    assert kernel.now == 1.0
+
+
+def test_negative_latency_clamped_to_zero():
+    kernel = SimKernel()
+    received = []
+    channel = FifoChannel(kernel, "a", "b", lambda env: -5.0)
+    channel.send(make_envelope(), lambda env: received.append(kernel.now))
+    kernel.run()
+    assert received == [0.0]
+
+
+def test_counters_and_sent_at():
+    kernel = SimKernel()
+    channel = FifoChannel(kernel, "a", "b", lambda env: 0.25)
+    envelope = make_envelope()
+    kernel.schedule(1.0, lambda: channel.send(envelope, lambda env: None))
+    kernel.run()
+    assert channel.sent_count == 1
+    assert channel.delivered_count == 1
+    assert envelope.sent_at == 1.0
+
+
+def test_many_messages_keep_order():
+    kernel = SimKernel()
+    received = []
+    rng_latencies = [0.9, 0.1, 0.5, 0.3, 0.7, 0.2]
+    latencies = iter(rng_latencies)
+    channel = FifoChannel(kernel, "a", "b", lambda env: next(latencies))
+    for index in range(len(rng_latencies)):
+        channel.send(
+            make_envelope(index), lambda env: received.append(env.payload)
+        )
+    kernel.run()
+    assert received == list(range(len(rng_latencies)))

@@ -1,0 +1,61 @@
+"""Unit tests for the fault plan (delay rules and partitions)."""
+
+from repro.net.faults import FaultPlan
+from repro.net.message import Envelope
+
+
+def envelope(kind="app.request", src="a", dst="b"):
+    return Envelope(
+        source_node=src,
+        dest_node=dst,
+        kind=kind,
+        size_bytes=1,
+        payload=None,
+        deliver=lambda p: None,
+    )
+
+
+def test_no_rules_no_delay():
+    plan = FaultPlan()
+    assert plan.extra_delay(envelope(), now=0.0) == 0.0
+
+
+def test_delay_filters_by_source_dest_kind():
+    plan = FaultPlan()
+    plan.add_delay(1.0, source="a", dest="b", kind="app.request")
+    assert plan.extra_delay(envelope(), now=0.0) == 1.0
+    assert plan.extra_delay(envelope(src="x"), now=0.0) == 0.0
+    assert plan.extra_delay(envelope(dst="x"), now=0.0) == 0.0
+    assert plan.extra_delay(envelope(kind="dgc.message"), now=0.0) == 0.0
+
+
+def test_delay_window():
+    plan = FaultPlan()
+    plan.add_delay(2.0, start=10.0, end=20.0)
+    assert plan.extra_delay(envelope(), now=5.0) == 0.0
+    assert plan.extra_delay(envelope(), now=10.0) == 2.0
+    assert plan.extra_delay(envelope(), now=19.99) == 2.0
+    assert plan.extra_delay(envelope(), now=20.0) == 0.0
+
+
+def test_delays_accumulate():
+    plan = FaultPlan()
+    plan.add_delay(1.0)
+    plan.add_delay(0.5, kind="app.request")
+    assert plan.extra_delay(envelope(), now=0.0) == 1.5
+
+
+def test_custom_predicate():
+    plan = FaultPlan()
+    plan.add_delay(3.0, predicate=lambda env: env.size_bytes == 1)
+    assert plan.extra_delay(envelope(), now=0.0) == 3.0
+
+
+def test_partition_is_bidirectional_and_healable():
+    plan = FaultPlan()
+    plan.partition("a", "b")
+    assert plan.is_partitioned("a", "b")
+    assert plan.is_partitioned("b", "a")
+    assert not plan.is_partitioned("a", "c")
+    plan.heal("b", "a")
+    assert not plan.is_partitioned("a", "b")

@@ -1,0 +1,129 @@
+"""Unit tests for the network fabric."""
+
+import pytest
+
+from repro.errors import UnknownDestinationError
+from repro.net.faults import FaultPlan
+from repro.net.message import KIND_APP_REQUEST, KIND_DGC_MESSAGE, Envelope
+from repro.net.network import Network
+from repro.net.topology import uniform_topology
+from repro.sim.kernel import SimKernel
+
+
+def make_network(node_count=2, rtt=0.01, fault_plan=None):
+    kernel = SimKernel()
+    network = Network(
+        kernel, uniform_topology(node_count, rtt_s=rtt), fault_plan=fault_plan
+    )
+    return kernel, network
+
+
+def make_envelope(src, dst, kind=KIND_APP_REQUEST, size=100):
+    return Envelope(
+        source_node=src,
+        dest_node=dst,
+        kind=kind,
+        size_bytes=size,
+        payload="data",
+        deliver=lambda payload: None,
+    )
+
+
+def test_cross_node_delivery_and_accounting():
+    kernel, network = make_network()
+    received = []
+    network.register_node("site-0", lambda env: None)
+    network.register_node("site-1", lambda env: received.append(kernel.now))
+    network.send(make_envelope("site-0", "site-1"))
+    kernel.run()
+    assert received == [pytest.approx(0.005)]
+    assert network.accountant.total_bytes == 100
+
+
+def test_intra_node_delivery_is_not_accounted():
+    kernel, network = make_network()
+    received = []
+    network.register_node("site-0", lambda env: received.append(env))
+    network.register_node("site-1", lambda env: None)
+    network.send(make_envelope("site-0", "site-0"))
+    kernel.run()
+    assert len(received) == 1
+    assert network.accountant.total_bytes == 0
+
+
+def test_unknown_destination_raises():
+    kernel, network = make_network()
+    network.register_node("site-0", lambda env: None)
+    with pytest.raises(UnknownDestinationError):
+        network.send(make_envelope("site-0", "nowhere"))
+
+
+def test_partition_drops_messages():
+    plan = FaultPlan()
+    kernel, network = make_network(fault_plan=plan)
+    received = []
+    network.register_node("site-0", lambda env: None)
+    network.register_node("site-1", lambda env: received.append(env))
+    plan.partition("site-0", "site-1")
+    network.send(make_envelope("site-0", "site-1"))
+    kernel.run()
+    assert received == []
+    assert plan.dropped_count == 1
+    assert network.accountant.total_bytes == 0
+
+
+def test_heal_restores_delivery():
+    plan = FaultPlan()
+    kernel, network = make_network(fault_plan=plan)
+    received = []
+    network.register_node("site-0", lambda env: None)
+    network.register_node("site-1", lambda env: received.append(env))
+    plan.partition("site-0", "site-1")
+    plan.heal("site-0", "site-1")
+    network.send(make_envelope("site-0", "site-1"))
+    kernel.run()
+    assert len(received) == 1
+
+
+def test_fault_plan_extra_delay_applies_to_matching_kind():
+    plan = FaultPlan()
+    plan.add_delay(1.0, kind=KIND_DGC_MESSAGE)
+    kernel, network = make_network(fault_plan=plan)
+    times = {}
+    network.register_node("site-0", lambda env: None)
+    network.register_node(
+        "site-1", lambda env: times.setdefault(env.kind, kernel.now)
+    )
+    network.send(make_envelope("site-0", "site-1", kind=KIND_DGC_MESSAGE))
+    kernel.run()
+    # Delayed DGC message arrives 1s + latency later.
+    assert times[KIND_DGC_MESSAGE] == pytest.approx(1.005)
+
+
+def test_fifo_between_same_pair_with_mixed_kinds():
+    kernel, network = make_network()
+    received = []
+    network.register_node("site-0", lambda env: None)
+    network.register_node("site-1", lambda env: received.append(env.kind))
+    network.send(make_envelope("site-0", "site-1", kind=KIND_APP_REQUEST))
+    network.send(make_envelope("site-0", "site-1", kind=KIND_DGC_MESSAGE))
+    kernel.run()
+    assert received == [KIND_APP_REQUEST, KIND_DGC_MESSAGE]
+
+
+def test_max_comm_reflects_topology():
+    __, network = make_network(rtt=0.02)
+    assert network.max_comm() == pytest.approx(0.01)
+
+
+def test_delivery_to_vanished_node_is_dropped():
+    kernel, network = make_network()
+    network.register_node("site-0", lambda env: None)
+    sink_calls = []
+    network.register_node("site-1", lambda env: sink_calls.append(env))
+    network.send(make_envelope("site-0", "site-1"))
+    # Simulate the destination node disappearing mid-flight.
+    network._sinks.pop("site-1")
+    kernel.run()
+    assert sink_calls == []
+    assert network.fault_plan.dropped_count == 1

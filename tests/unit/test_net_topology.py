@@ -1,0 +1,91 @@
+"""Unit tests for topologies and latency models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.topology import Site, Topology, grid5000_topology, uniform_topology
+
+
+def test_uniform_topology_node_names_and_count():
+    topology = uniform_topology(3)
+    assert topology.nodes == ["site-0", "site-1", "site-2"]
+
+
+def test_self_latency_is_zero():
+    topology = uniform_topology(2, rtt_s=0.01)
+    assert topology.one_way_latency("site-0", "site-0") == 0.0
+
+
+def test_intra_site_latency_is_half_rtt():
+    topology = uniform_topology(2, rtt_s=0.01)
+    assert topology.one_way_latency("site-0", "site-1") == pytest.approx(0.005)
+
+
+def test_grid5000_sites_and_counts():
+    topology = grid5000_topology()
+    by_name = {site.name: site for site in topology.sites}
+    assert by_name["bordeaux"].node_count == 49
+    assert by_name["sophia"].node_count == 39
+    assert by_name["rennes"].node_count == 40
+    assert len(topology.nodes) == 128
+
+
+def test_grid5000_inter_site_rtts():
+    topology = grid5000_topology()
+    assert topology.one_way_latency(
+        "rennes-0", "bordeaux-0"
+    ) == pytest.approx(0.004)
+    assert topology.one_way_latency(
+        "bordeaux-0", "sophia-0"
+    ) == pytest.approx(0.005)
+    assert topology.one_way_latency(
+        "rennes-0", "sophia-0"
+    ) == pytest.approx(0.010)
+
+
+def test_grid5000_latency_is_symmetric():
+    topology = grid5000_topology()
+    assert topology.one_way_latency(
+        "sophia-3", "rennes-1"
+    ) == topology.one_way_latency("rennes-1", "sophia-3")
+
+
+def test_grid5000_scaling_keeps_sites():
+    topology = grid5000_topology(scale=0.1)
+    assert len(topology.sites) == 3
+    assert all(site.node_count >= 1 for site in topology.sites)
+    assert len(topology.nodes) < 20
+
+
+def test_scale_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        grid5000_topology(scale=0.0)
+
+
+def test_max_one_way_latency_matches_worst_pair():
+    topology = grid5000_topology()
+    assert topology.max_one_way_latency() == pytest.approx(0.010)
+
+
+def test_unknown_node_rejected():
+    topology = uniform_topology(1)
+    with pytest.raises(ConfigurationError):
+        topology.one_way_latency("site-0", "nowhere")
+
+
+def test_missing_inter_site_rtt_rejected():
+    topology = Topology(
+        [Site("a", 1, 0.001), Site("b", 1, 0.001)], {}
+    )
+    with pytest.raises(ConfigurationError):
+        topology.one_way_latency("a-0", "b-0")
+
+
+def test_empty_topology_rejected():
+    with pytest.raises(ConfigurationError):
+        Topology([], {})
+
+
+def test_site_of():
+    topology = grid5000_topology()
+    assert topology.site_of("sophia-5").name == "sophia"

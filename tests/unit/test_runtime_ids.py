@@ -1,0 +1,32 @@
+"""Unit tests for activity id minting."""
+
+from repro.runtime.ids import make_activity_id, reset_id_counter
+
+
+def test_ids_are_unique():
+    ids = {make_activity_id() for __ in range(100)}
+    assert len(ids) == 100
+
+
+def test_lexicographic_order_matches_creation_order():
+    first = make_activity_id()
+    second = make_activity_id()
+    assert first < second
+
+
+def test_name_suffix_embedded():
+    assert make_activity_id("worker").endswith(":worker")
+
+
+def test_order_holds_even_with_names():
+    first = make_activity_id("zzz")
+    second = make_activity_id("aaa")
+    assert first < second  # numeric prefix dominates
+
+
+def test_reset_restarts_counter():
+    reset_id_counter()
+    first = make_activity_id()
+    reset_id_counter()
+    again = make_activity_id()
+    assert first == again

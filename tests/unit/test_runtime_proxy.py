@@ -1,0 +1,96 @@
+"""Unit tests for stubs, tags and the per-activity proxy table."""
+
+import pytest
+
+from repro.errors import RuntimeModelError
+from repro.runtime.proxy import ProxyTable, RemoteRef
+
+
+def make_table(holder="ao-h"):
+    return ProxyTable(holder)
+
+
+def ref(target="ao-t", node="n0"):
+    return RemoteRef(target, node)
+
+
+def test_acquire_creates_proxy_with_tag():
+    table = make_table()
+    proxy = table.acquire(ref())
+    assert proxy.activity_id == "ao-t"
+    assert proxy.tag.holder == "ao-h"
+    assert proxy.tag.target == "ao-t"
+    assert table.holds("ao-t")
+
+
+def test_same_target_shares_tag():
+    """Sec. 2.2: all stubs for the same remote object owned by the same
+    local activity share one tag."""
+    table = make_table()
+    first = table.acquire(ref())
+    second = table.acquire(ref())
+    assert first.tag is second.tag
+    assert table.live_count("ao-t") == 2
+
+
+def test_release_last_stub_reports_tag_death():
+    table = make_table()
+    first = table.acquire(ref())
+    second = table.acquire(ref())
+    assert table.release(first) is False
+    assert table.release(second) is True
+    assert not table.holds("ao-t")
+
+
+def test_double_release_rejected():
+    table = make_table()
+    proxy = table.acquire(ref())
+    table.release(proxy)
+    with pytest.raises(RuntimeModelError):
+        table.release(proxy)
+
+
+def test_reacquisition_mints_new_generation():
+    table = make_table()
+    first = table.acquire(ref())
+    table.release(first)
+    second = table.acquire(ref())
+    assert second.tag is not first.tag
+    assert second.tag.generation == first.tag.generation + 1
+
+
+def test_release_of_stale_generation_is_harmless():
+    table = make_table()
+    first = table.acquire(ref())
+    dead_tags = table.release_all()
+    assert [tag.target for tag in dead_tags] == ["ao-t"]
+    # first's tag generation was retired wholesale; a later individual
+    # release must not touch the new generation.
+    second = table.acquire(ref())
+    assert table.release(first) is False
+    assert table.holds("ao-t")
+    assert second.tag.generation == 2
+
+
+def test_release_all_clears_table():
+    table = make_table()
+    table.acquire(ref("ao-1"))
+    table.acquire(ref("ao-2"))
+    dead = table.release_all()
+    assert len(dead) == 2
+    assert table.targets() == []
+
+
+def test_distinct_targets_distinct_tags():
+    table = make_table()
+    one = table.acquire(ref("ao-1"))
+    two = table.acquire(ref("ao-2"))
+    assert one.tag is not two.tag
+    assert sorted(table.targets()) == ["ao-1", "ao-2"]
+
+
+def test_ref_for():
+    table = make_table()
+    table.acquire(ref("ao-1", "node-7"))
+    assert table.ref_for("ao-1").node == "node-7"
+    assert table.ref_for("ao-none") is None

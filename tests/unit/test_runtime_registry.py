@@ -1,0 +1,84 @@
+"""Unit tests for the registry and root pinning."""
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.runtime.behaviors import SinkBehavior
+
+
+@pytest.fixture
+def world(make_world):
+    return make_world(2, dgc=None)
+
+
+def test_bind_marks_activity_as_root(world):
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="svc")
+    activity = world.find_activity(proxy.activity_id)
+    assert not activity.is_root
+    world.registry.bind("service", proxy.ref)
+    assert activity.is_root
+
+
+def test_lookup_returns_bound_ref(world):
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="svc")
+    world.registry.bind("service", proxy.ref)
+    assert world.registry.lookup("service").activity_id == proxy.activity_id
+
+
+def test_unbind_releases_root_pin(world):
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="svc")
+    world.registry.bind("service", proxy.ref)
+    world.registry.unbind("service")
+    activity = world.find_activity(proxy.activity_id)
+    assert not activity.is_root
+
+
+def test_double_binding_same_activity_keeps_pin(world):
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="svc")
+    world.registry.bind("one", proxy.ref)
+    world.registry.bind("two", proxy.ref)
+    world.registry.unbind("one")
+    activity = world.find_activity(proxy.activity_id)
+    assert activity.is_root
+    world.registry.unbind("two")
+    assert not activity.is_root
+
+
+def test_bind_duplicate_name_rejected(world):
+    driver = world.create_driver()
+    a = driver.context.create(SinkBehavior(), name="a")
+    b = driver.context.create(SinkBehavior(), name="b")
+    world.registry.bind("x", a.ref)
+    with pytest.raises(RegistryError):
+        world.registry.bind("x", b.ref)
+
+
+def test_lookup_missing_rejected(world):
+    with pytest.raises(RegistryError):
+        world.registry.lookup("ghost")
+
+
+def test_unbind_missing_rejected(world):
+    with pytest.raises(RegistryError):
+        world.registry.unbind("ghost")
+
+
+def test_bind_dead_activity_rejected(world):
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="a")
+    world.find_activity(proxy.activity_id).terminate("explicit")
+    with pytest.raises(RegistryError):
+        world.registry.bind("x", proxy.ref)
+
+
+def test_names_sorted(world):
+    driver = world.create_driver()
+    a = driver.context.create(SinkBehavior(), name="a")
+    b = driver.context.create(SinkBehavior(), name="b")
+    world.registry.bind("zeta", a.ref)
+    world.registry.bind("alpha", b.ref)
+    assert world.registry.names() == ["alpha", "zeta"]

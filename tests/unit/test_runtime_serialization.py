@@ -1,0 +1,75 @@
+"""Unit tests for reference (de)serialization hooks."""
+
+import pytest
+
+from repro.errors import RuntimeModelError
+from repro.runtime.behaviors import SinkBehavior
+from repro.runtime.proxy import RemoteRef
+from repro.runtime.serialization import deserialize_refs, serialize_refs
+
+
+def test_serialize_mixed_proxies_and_refs(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="t")
+    bare = RemoteRef("ao-x", "site-1")
+    wire = serialize_refs([proxy, bare])
+    assert wire[0] == proxy.ref
+    assert wire[1] == bare
+
+
+def test_serialize_released_proxy_rejected(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="t")
+    driver.context.drop(proxy)
+    with pytest.raises(RuntimeModelError):
+        serialize_refs([proxy])
+
+
+def test_serialize_garbage_rejected():
+    with pytest.raises(RuntimeModelError):
+        serialize_refs(["not-a-ref"])
+
+
+def test_deserialize_registers_in_proxy_table(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    target = driver.context.create(SinkBehavior(), name="t")
+    receiver_proxy = driver.context.create(SinkBehavior(), name="r")
+    receiver = world.find_activity(receiver_proxy.activity_id)
+    proxies = deserialize_refs(receiver, [target.ref, target.ref])
+    assert len(proxies) == 2
+    assert receiver.proxies.live_count(target.activity_id) == 2
+    assert proxies[0].tag is proxies[1].tag
+
+
+def test_deserialize_notifies_collector(make_world):
+    class Spy:
+        def __init__(self):
+            self.seen = []
+
+        def on_reference_deserialized(self, proxy):
+            self.seen.append(proxy.activity_id)
+
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    target = driver.context.create(SinkBehavior(), name="t")
+    receiver_proxy = driver.context.create(SinkBehavior(), name="r")
+    receiver = world.find_activity(receiver_proxy.activity_id)
+    spy = Spy()
+    receiver.collector = spy
+    deserialize_refs(receiver, [target.ref])
+    assert spy.seen == [target.activity_id]
+
+
+def test_self_reference_deserializes(make_world):
+    world = make_world(1, dgc=None)
+    driver = world.create_driver()
+    target_proxy = driver.context.create(SinkBehavior(), name="t")
+    target = world.find_activity(target_proxy.activity_id)
+    self_proxy = deserialize_refs(
+        target, [RemoteRef(target.id, target.node.name)]
+    )[0]
+    assert self_proxy.activity_id == target.id
+    assert target.proxies.holds(target.id)

@@ -1,0 +1,144 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SchedulingInPastError, SimulationError
+from repro.sim.kernel import SimKernel
+
+
+def test_initial_time_is_zero():
+    assert SimKernel().now == 0.0
+
+
+def test_schedule_and_fire_in_time_order():
+    kernel = SimKernel()
+    fired = []
+    kernel.schedule(2.0, fired.append, "b")
+    kernel.schedule(1.0, fired.append, "a")
+    kernel.schedule(3.0, fired.append, "c")
+    kernel.run()
+    assert fired == ["a", "b", "c"]
+    assert kernel.now == 3.0
+
+
+def test_same_time_events_fire_in_schedule_order():
+    kernel = SimKernel()
+    fired = []
+    for label in "abcde":
+        kernel.schedule(1.0, fired.append, label)
+    kernel.run()
+    assert fired == list("abcde")
+
+
+def test_negative_delay_rejected():
+    kernel = SimKernel()
+    with pytest.raises(SchedulingInPastError):
+        kernel.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    kernel = SimKernel()
+    kernel.schedule(5.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SchedulingInPastError):
+        kernel.schedule_at(4.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    kernel = SimKernel()
+    fired = []
+    event = kernel.schedule(1.0, fired.append, "x")
+    event.cancel()
+    kernel.run()
+    assert fired == []
+
+
+def test_run_until_stops_before_later_events():
+    kernel = SimKernel()
+    fired = []
+    kernel.schedule(1.0, fired.append, "a")
+    kernel.schedule(10.0, fired.append, "b")
+    kernel.run(until=5.0)
+    assert fired == ["a"]
+    assert kernel.now == 5.0
+    kernel.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_even_without_events():
+    kernel = SimKernel()
+    kernel.run(until=42.0)
+    assert kernel.now == 42.0
+
+
+def test_max_events_bound():
+    kernel = SimKernel()
+    fired = []
+    for index in range(10):
+        kernel.schedule(float(index + 1), fired.append, index)
+    kernel.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_step_fires_exactly_one_event():
+    kernel = SimKernel()
+    fired = []
+    kernel.schedule(1.0, fired.append, "a")
+    kernel.schedule(2.0, fired.append, "b")
+    assert kernel.step() is True
+    assert fired == ["a"]
+    assert kernel.step() is True
+    assert kernel.step() is False
+
+
+def test_events_scheduled_during_run_are_executed():
+    kernel = SimKernel()
+    fired = []
+
+    def reschedule():
+        fired.append(kernel.now)
+        if len(fired) < 3:
+            kernel.schedule(1.0, reschedule)
+
+    kernel.schedule(1.0, reschedule)
+    kernel.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_counters():
+    kernel = SimKernel()
+    event = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    event.cancel()
+    assert kernel.scheduled_count == 2
+    assert kernel.pending_count == 1
+    kernel.run()
+    assert kernel.fired_count == 1
+
+
+def test_run_is_not_reentrant():
+    kernel = SimKernel()
+    errors = []
+
+    def nested():
+        try:
+            kernel.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    kernel.schedule(1.0, nested)
+    kernel.run()
+    assert len(errors) == 1
+
+
+def test_run_until_quiescent_returns_on_predicate():
+    kernel = SimKernel()
+    state = {"done": False}
+    kernel.schedule(3.0, lambda: state.update(done=True))
+    assert kernel.run_until_quiescent(lambda: state["done"], 1.0, 10.0)
+    assert kernel.now <= 10.0
+
+
+def test_run_until_quiescent_times_out():
+    kernel = SimKernel()
+    assert not kernel.run_until_quiescent(lambda: False, 1.0, 5.0)

@@ -1,0 +1,46 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_returns_same_stream():
+    registry = RngRegistry(7)
+    assert registry.stream("a") is registry.stream("a")
+
+
+def test_streams_are_reproducible_across_registries():
+    first = RngRegistry(7).stream("x").random()
+    second = RngRegistry(7).stream("x").random()
+    assert first == second
+
+
+def test_different_names_differ():
+    registry = RngRegistry(7)
+    assert registry.stream("a").random() != registry.stream("b").random()
+
+
+def test_different_seeds_differ():
+    assert (
+        RngRegistry(1).stream("x").random()
+        != RngRegistry(2).stream("x").random()
+    )
+
+
+def test_new_consumer_does_not_perturb_existing_stream():
+    registry_a = RngRegistry(7)
+    registry_a.stream("first").random()
+    value_a = registry_a.stream("target").random()
+
+    registry_b = RngRegistry(7)
+    registry_b.stream("first").random()
+    registry_b.stream("unrelated-extra").random()
+    value_b = registry_b.stream("target").random()
+    assert value_a == value_b
+
+
+def test_fork_is_deterministic_and_distinct():
+    parent = RngRegistry(7)
+    child_a = parent.fork("run1")
+    child_b = RngRegistry(7).fork("run1")
+    assert child_a.stream("x").random() == child_b.stream("x").random()
+    assert child_a.root_seed != parent.root_seed

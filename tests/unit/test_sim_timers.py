@@ -1,0 +1,71 @@
+"""Unit tests for periodic timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import SimKernel
+from repro.sim.timers import PeriodicTimer
+
+
+def test_fires_every_period():
+    kernel = SimKernel()
+    times = []
+    PeriodicTimer(kernel, 2.0, lambda: times.append(kernel.now))
+    kernel.run(until=7.0)
+    assert times == [2.0, 4.0, 6.0]
+
+
+def test_initial_delay_overrides_first_fire():
+    kernel = SimKernel()
+    times = []
+    PeriodicTimer(
+        kernel, 2.0, lambda: times.append(kernel.now), initial_delay=0.5
+    )
+    kernel.run(until=5.0)
+    assert times == [0.5, 2.5, 4.5]
+
+
+def test_stop_halts_firing():
+    kernel = SimKernel()
+    times = []
+    timer = PeriodicTimer(kernel, 1.0, lambda: times.append(kernel.now))
+    kernel.run(until=2.5)
+    timer.stop()
+    kernel.run(until=10.0)
+    assert times == [1.0, 2.0]
+    assert timer.stopped
+
+
+def test_stop_from_callback():
+    kernel = SimKernel()
+    timer_box = {}
+
+    def callback():
+        timer_box["timer"].stop()
+
+    timer_box["timer"] = PeriodicTimer(kernel, 1.0, callback)
+    kernel.run(until=10.0)
+    assert timer_box["timer"].ticks == 1
+
+
+def test_tick_counter():
+    kernel = SimKernel()
+    timer = PeriodicTimer(kernel, 1.0, lambda: None)
+    kernel.run(until=5.5)
+    assert timer.ticks == 5
+
+
+def test_zero_period_rejected():
+    kernel = SimKernel()
+    with pytest.raises(SimulationError):
+        PeriodicTimer(kernel, 0.0, lambda: None)
+
+
+def test_zero_initial_delay_fires_immediately():
+    kernel = SimKernel()
+    times = []
+    PeriodicTimer(
+        kernel, 3.0, lambda: times.append(kernel.now), initial_delay=0.0
+    )
+    kernel.run(until=4.0)
+    assert times == [0.0, 3.0]

@@ -1,0 +1,61 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.tracing import Tracer
+
+
+def test_record_and_filter_by_kind():
+    tracer = Tracer()
+    tracer.record(1.0, "a", "x")
+    tracer.record(2.0, "b", "x")
+    tracer.record(3.0, "a", "y")
+    assert len(tracer) == 3
+    assert [event.time for event in tracer.events(kind="a")] == [1.0, 3.0]
+
+
+def test_filter_by_subject_and_kind():
+    tracer = Tracer()
+    tracer.record(1.0, "a", "x")
+    tracer.record(2.0, "a", "y")
+    events = tracer.events(kind="a", subject="y")
+    assert len(events) == 1
+    assert events[0].time == 2.0
+
+
+def test_first_and_last():
+    tracer = Tracer()
+    tracer.record(1.0, "k", "x")
+    tracer.record(2.0, "k", "y")
+    assert tracer.first("k").subject == "x"
+    assert tracer.last("k").subject == "y"
+    assert tracer.first("missing") is None
+    assert tracer.last("missing") is None
+
+
+def test_count():
+    tracer = Tracer()
+    for __ in range(4):
+        tracer.record(0.0, "k", "s")
+    assert tracer.count("k") == 4
+    assert tracer.count("other") == 0
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.record(1.0, "k", "s")
+    assert len(tracer) == 0
+
+
+def test_details_payload():
+    tracer = Tracer()
+    tracer.record(1.0, "k", "s", reason="because", value=3)
+    event = tracer.events(kind="k")[0]
+    assert event.details == {"reason": "because", "value": 3}
+
+
+def test_subscribe_listener():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.record(1.0, "k", "s")
+    assert len(seen) == 1
+    assert seen[0].kind == "k"

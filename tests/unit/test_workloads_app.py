@@ -1,0 +1,183 @@
+"""Unit tests for the Peer behavior and graph helpers."""
+
+import pytest
+
+from repro.workloads.app import Peer, link, links_settled, release_all, unlink
+from repro.workloads.synthetic import (
+    build_chain,
+    build_complete_graph,
+    build_random_graph,
+    build_ring,
+    create_peers,
+)
+
+
+@pytest.fixture
+def world(make_world):
+    return make_world(3, dgc=None)
+
+
+def held_targets(world, proxy):
+    activity = world.find_activity(proxy.activity_id)
+    return set(activity.proxies.targets())
+
+
+def test_hold_stores_under_key(world):
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b, key="friend")
+    world.run_for(1.0)
+    behavior = world.find_activity(a.activity_id).behavior
+    assert "friend" in behavior.held
+    assert b.activity_id in held_targets(world, a)
+
+
+def test_hold_replaces_same_key(world):
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    c = driver.context.create(Peer(), name="c")
+    link(driver, a, b, key="slot")
+    world.run_for(1.0)
+    link(driver, a, c, key="slot")
+    world.run_for(1.0)
+    targets = held_targets(world, a)
+    assert c.activity_id in targets
+    assert b.activity_id not in targets
+
+
+def test_drop_releases_reference(world):
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b, key="x")
+    world.run_for(1.0)
+    unlink(driver, a, key="x")
+    world.run_for(1.0)
+    assert b.activity_id not in held_targets(world, a)
+
+
+def test_drop_unknown_key_is_harmless(world):
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    unlink(driver, a, key="ghost")
+    world.run_for(1.0)
+
+
+def test_drop_all(world):
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    c = driver.context.create(Peer(), name="c")
+    link(driver, a, b, key="1")
+    link(driver, a, c, key="2")
+    world.run_for(1.0)
+    driver.context.call(a, "drop_all")
+    world.run_for(1.0)
+    assert held_targets(world, a) == set()
+
+
+def test_forward_passes_reference(world):
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    c = driver.context.create(Peer(), name="c")
+    link(driver, a, b, key="to")
+    link(driver, a, c, key="payload")
+    world.run_for(1.0)
+    driver.context.call(a, "forward", data=("to", "payload", "gift"))
+    world.run_for(1.0)
+    assert c.activity_id in held_targets(world, b)
+    behavior_b = world.find_activity(b.activity_id).behavior
+    assert "gift" in behavior_b.held
+
+
+def test_work_keeps_busy(world):
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    driver.context.call(a, "work", data=5.0)
+    world.run_for(1.0)
+    assert not world.find_activity(a.activity_id).is_idle()
+    world.run_for(10.0)
+    assert world.find_activity(a.activity_id).is_idle()
+
+
+def test_release_all_skips_released(world):
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    driver.context.drop(a)
+    release_all(driver, [a])  # no error on already-released
+
+
+def test_links_settled(world):
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)
+    assert not links_settled(world)
+    world.run_for(1.0)
+    assert links_settled(world)
+
+
+def test_build_ring_edges(world):
+    driver = world.create_driver()
+    ring = build_ring(world, driver, 4)
+    world.run_for(1.0)
+    for index, proxy in enumerate(ring):
+        expected = ring[(index + 1) % 4].activity_id
+        assert expected in held_targets(world, proxy)
+
+
+def test_build_chain_edges(world):
+    driver = world.create_driver()
+    chain = build_chain(world, driver, 3)
+    world.run_for(1.0)
+    assert chain[1].activity_id in held_targets(world, chain[0])
+    assert held_targets(world, chain[2]) == set()
+
+
+def test_build_complete_graph_edges(world):
+    driver = world.create_driver()
+    peers = build_complete_graph(world, driver, 4)
+    world.run_for(1.0)
+    for index, proxy in enumerate(peers):
+        others = {
+            p.activity_id for j, p in enumerate(peers) if j != index
+        }
+        assert held_targets(world, proxy) == others
+
+
+def test_build_random_graph_reproducible(world, make_world):
+    import random
+
+    world_b = make_world(3, dgc=None)
+    driver_a = world.create_driver()
+    driver_b = world_b.create_driver()
+    peers_a = build_random_graph(world, driver_a, 5, 0.4, random.Random(1))
+    peers_b = build_random_graph(world_b, driver_b, 5, 0.4, random.Random(1))
+    world.run_for(1.0)
+    world_b.run_for(1.0)
+    edges_a = [
+        sorted(held_targets(world, proxy) - {p.activity_id for p in peers_a[:0]})
+        for proxy in peers_a
+    ]
+    # Compare shapes by index (ids differ between worlds).
+    def shape(world_x, peers):
+        index_of = {p.activity_id: i for i, p in enumerate(peers)}
+        return [
+            sorted(
+                index_of[t]
+                for t in held_targets(world_x, proxy)
+                if t in index_of
+            )
+            for proxy in peers
+        ]
+
+    assert shape(world, peers_a) == shape(world_b, peers_b)
+
+
+def test_create_peers_names(world):
+    driver = world.create_driver()
+    peers = create_peers(world, driver, 2, name_prefix="zed")
+    assert all("zed" in proxy.activity_id for proxy in peers)

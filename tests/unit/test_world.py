@@ -1,0 +1,138 @@
+"""Unit tests for the World facade: placement, stats, in-flight pins."""
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.errors import ConfigurationError
+from repro.runtime.behaviors import Behavior, SinkBehavior
+from repro.workloads.app import Peer, link
+from repro.world import World
+from repro.net.topology import uniform_topology
+
+
+def test_default_topology():
+    world = World(dgc=None)
+    assert len(world.nodes) == 4
+
+
+def test_stats_created_counter(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    for index in range(3):
+        driver.context.create(SinkBehavior(), name=f"x{index}")
+    assert world.stats.created == 4  # driver included
+
+
+def test_live_non_roots_excludes_driver(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    driver.context.create(SinkBehavior(), name="x")
+    assert len(world.live_activities()) == 2
+    assert len(world.live_non_roots()) == 1
+    assert not world.all_collected()
+
+
+def test_all_collected_after_explicit_termination(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="x")
+    world.find_activity(proxy.activity_id).terminate("explicit")
+    assert world.all_collected()
+    assert world.stats.terminated_explicit == 1
+
+
+def test_inflight_wakeup_pins(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    target = driver.context.create(Peer(), name="t")
+    driver.context.call(target, "ping")
+    assert target.activity_id in world.inflight_pinned()
+    world.run_for(1.0)
+    assert target.activity_id not in world.inflight_pinned()
+
+
+def test_inflight_reference_pins(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    b = driver.context.create(Peer(), name="b")
+    link(driver, a, b)
+    assert b.activity_id in world.inflight_pinned()
+    world.run_for(1.0)
+    assert b.activity_id not in world.inflight_pinned()
+
+
+def test_reply_reference_pins(make_world):
+    class Giver(Behavior):
+        def __init__(self, ref):
+            self.ref = ref
+
+        def do_give(self, ctx, request, proxies):
+            from repro.runtime.node import ReplyPayload
+
+            return ReplyPayload("here", refs=[self.ref])
+
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    precious = driver.context.create(Peer(), name="precious")
+    giver_proxy = world.create_activity(
+        Giver(precious.ref), name="giver", creator=driver
+    )
+    future = driver.context.call(giver_proxy, "give", expect_reply=True)
+    world.run_for(0.002)  # request delivered, reply in flight
+    # At *some* point before resolution the precious id must be pinned;
+    # after resolution the pin is gone.
+    world.run_for(2.0)
+    assert future.resolved
+    assert world.inflight_pinned() == set()
+
+
+def test_dgc_config_validated_against_topology():
+    with pytest.raises(ConfigurationError):
+        World(
+            uniform_topology(2, rtt_s=10.0),
+            dgc=DgcConfig(ttb=1.0, tta=3.0),
+        )
+
+
+def test_collector_factory_overrides_dgc(make_world):
+    created = []
+
+    class Fake:
+        def __init__(self, activity):
+            created.append(activity.id)
+
+        def on_became_idle(self):
+            pass
+
+        def on_reference_deserialized(self, proxy):
+            pass
+
+        def on_reference_dropped(self, tag):
+            pass
+
+        def on_terminated(self):
+            pass
+
+    world = make_world(2, collector_factory=Fake)
+    driver = world.create_driver()
+    driver.context.create(SinkBehavior(), name="x")
+    assert len(created) == 2
+
+
+def test_run_until_collected_times_out(make_world):
+    world = make_world(2, dgc=None)
+    driver = world.create_driver()
+    driver.context.create(SinkBehavior(), name="immortal")
+    assert not world.run_until_collected(5.0)
+
+
+def test_collected_by_id_times_recorded(make_world, fast_dgc):
+    world = make_world()
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    world.run_for(1.0)
+    driver.context.drop(a)
+    world.run_until_collected(30 * fast_dgc.tta)
+    assert a.activity_id in world.stats.collected_by_id
+    assert world.stats.collected_by_id[a.activity_id] > 0
