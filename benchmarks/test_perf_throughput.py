@@ -1,0 +1,236 @@
+"""Perf throughput benchmark — the BENCH_perf.json trajectory.
+
+Runs the fixed-seed scaled torture (paper Sec. 5.3) twice per core:
+
+* **optimized** — the current hot paths;
+* **naive** — the pre-optimization implementations, patched back in via
+  :func:`repro.perf.naive_mode`.
+
+and asserts (a) bit-identical simulation outcomes between the two cores
+(same collected counts, same last-collected instant, same bandwidth) and
+(b) a wall-clock speedup of at least ``MIN_SPEEDUP``.  A dense synthetic
+clique workload is measured as a second trajectory point.  Results land
+in ``BENCH_perf.json`` at the repo root so the numbers are tracked
+across PRs (see PERFORMANCE.md).
+
+Scale is controlled with ``REPRO_PERF_SCALE``:
+
+* ``full`` (default) — 320 slaves, speedup gate at 2.0x;
+* ``smoke`` — 96 slaves for CI smoke jobs, gate relaxed to 1.1x (tiny
+  runs are noise-dominated; the artifact still gets uploaded).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.net.topology import uniform_topology
+from repro.perf import PerfMeasurement, PerfReport, Stopwatch, naive_mode
+from repro.runtime.ids import reset_id_counter
+from repro.workloads.app import release_all
+from repro.workloads.synthetic import build_complete_graph
+from repro.workloads.torture import run_torture
+from repro.world import World
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_perf.json"
+
+SCALE = os.environ.get("REPRO_PERF_SCALE", "full")
+if SCALE == "smoke":
+    SLAVE_COUNT = 96
+    MIN_SPEEDUP = 1.1
+else:
+    SLAVE_COUNT = 320
+    MIN_SPEEDUP = 2.0
+
+SEED = 11
+NODE_COUNT = 32
+ACTIVE_DURATION = 150.0
+TORTURE_CONFIG = DgcConfig(ttb=5.0, tta=12.0)
+#: Best-of-N wall-clock to damp scheduler/allocator noise.
+ROUNDS = 2
+
+CLIQUE_PEERS = 12 if SCALE == "smoke" else 24
+
+
+def _run_torture_once():
+    """One fixed-seed scaled torture run under controlled allocation."""
+    reset_id_counter()
+    gc.collect()
+    gc.disable()
+    try:
+        with Stopwatch() as watch:
+            result = run_torture(
+                dgc=TORTURE_CONFIG,
+                slave_count=SLAVE_COUNT,
+                active_duration=ACTIVE_DURATION,
+                topology=uniform_topology(NODE_COUNT),
+                seed=SEED,
+                sample_period=25.0,
+                collect_timeout=8_000.0,
+            )
+    finally:
+        gc.enable()
+    return watch.elapsed, result
+
+
+def _signature(result):
+    """Everything that must be bit-identical between the two cores."""
+    return (
+        result.collected_acyclic,
+        result.collected_cyclic,
+        result.last_collected_s,
+        result.dead_letters,
+        round(result.total_bandwidth_mb, 9),
+        round(result.dgc_bandwidth_mb, 9),
+    )
+
+
+def _run_clique_once():
+    """Dense synthetic workload: one clique of peers, collected as a
+    single consensus cycle — the worst-case referencer-table density."""
+    reset_id_counter()
+    gc.collect()
+    gc.disable()
+    try:
+        with Stopwatch() as watch:
+            world = World(
+                uniform_topology(8),
+                dgc=DgcConfig(ttb=1.0, tta=3.0),
+                seed=5,
+                trace=False,
+            )
+            driver = world.create_driver()
+            peers = build_complete_graph(world, driver, CLIQUE_PEERS)
+            world.run_for(5.0)
+            release_all(driver, peers)
+            collected = world.run_until_collected(600.0)
+    finally:
+        gc.enable()
+    return watch.elapsed, world, collected
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    runs = {"optimized": [], "naive": []}
+    for _ in range(ROUNDS):
+        runs["optimized"].append(_run_torture_once())
+        with naive_mode():
+            runs["naive"].append(_run_torture_once())
+
+    best = {
+        mode: min(pairs, key=lambda pair: pair[0])
+        for mode, pairs in runs.items()
+    }
+    speedup = best["naive"][0] / best["optimized"][0]
+
+    clique_wall, clique_world, clique_collected = _run_clique_once()
+
+    report = PerfReport(
+        meta={
+            "scale": SCALE,
+            "seed": SEED,
+            "slave_count": SLAVE_COUNT,
+            "node_count": NODE_COUNT,
+            "ttb": TORTURE_CONFIG.ttb,
+            "tta": TORTURE_CONFIG.tta,
+            "rounds": ROUNDS,
+        }
+    )
+    for mode, (wall, result) in best.items():
+        report.add(
+            PerfMeasurement(
+                name=f"torture_{mode}",
+                wall_time_s=wall,
+                events_fired=result.events_fired,
+                # The naive kernel does not maintain the queue-depth
+                # counter; omit the metric rather than reporting 0.
+                peak_pending_events=(
+                    result.peak_pending_events if mode == "optimized" else None
+                ),
+                sim_time_s=result.sim_time_s,
+                extra={
+                    "collected_acyclic": result.collected_acyclic,
+                    "collected_cyclic": result.collected_cyclic,
+                    "last_collected_s": result.last_collected_s,
+                },
+            )
+        )
+    report.benchmarks["torture_optimized"].extra["speedup_vs_naive"] = round(
+        speedup, 3
+    )
+    report.add(
+        PerfMeasurement(
+            name="synthetic_clique_optimized",
+            wall_time_s=clique_wall,
+            events_fired=clique_world.kernel.fired_count,
+            peak_pending_events=clique_world.kernel.peak_pending_count,
+            sim_time_s=clique_world.kernel.now,
+            extra={
+                "peers": CLIQUE_PEERS,
+                "collected": clique_collected,
+                "collected_cyclic": clique_world.stats.collected_cyclic,
+            },
+        )
+    )
+    report.write(BENCH_PATH)
+    return {
+        "runs": runs,
+        "best": best,
+        "speedup": speedup,
+        "clique_collected": clique_collected,
+        "report": report,
+    }
+
+
+def test_outcomes_are_bit_identical_across_cores(measurements):
+    """The optimization is a pure speedup: every run of either core on
+    the same seed must produce the same simulation outcome."""
+    signatures = {
+        _signature(result)
+        for pairs in measurements["runs"].values()
+        for __, result in pairs
+    }
+    assert len(signatures) == 1, f"outcomes diverged: {signatures}"
+
+
+def test_all_torture_runs_collected_everything(measurements):
+    for pairs in measurements["runs"].values():
+        for __, result in pairs:
+            assert result.all_collected
+
+
+def test_wall_clock_speedup(measurements):
+    speedup = measurements["speedup"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"optimized core is only {speedup:.2f}x faster than the naive "
+        f"core (required: {MIN_SPEEDUP}x at scale={SCALE!r})"
+    )
+
+
+def test_synthetic_clique_collects(measurements):
+    assert measurements["clique_collected"]
+
+
+def test_bench_artifact_written(measurements):
+    assert BENCH_PATH.exists()
+    import json
+
+    payload = json.loads(BENCH_PATH.read_text())
+    assert payload["schema"] == 1
+    benchmarks = payload["benchmarks"]
+    assert "torture_optimized" in benchmarks
+    assert "torture_naive" in benchmarks
+    assert "synthetic_clique_optimized" in benchmarks
+    for entry in benchmarks.values():
+        assert entry["wall_time_s"] > 0
+        assert entry["events_per_second"] > 0
+    assert benchmarks["torture_optimized"]["peak_pending_events"] > 0
+    # The naive kernel has no maintained counter: the key must be absent,
+    # not a misleading zero.
+    assert "peak_pending_events" not in benchmarks["torture_naive"]

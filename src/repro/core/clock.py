@@ -41,35 +41,43 @@ class ActivityClock:
         return other if other > self else self
 
     # -- total order -----------------------------------------------------
-
-    def _key(self):
-        return (self.value, self.owner)
+    #
+    # Comparisons run once per DGC message/response and per agreement
+    # check, so they compare fields directly instead of building key
+    # tuples on every call.
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ActivityClock):
             return NotImplemented
-        return self._key() == other._key()
+        return self.value == other.value and self.owner == other.owner
 
     def __ne__(self, other: object) -> bool:
-        result = self.__eq__(other)
-        if result is NotImplemented:
-            return result
-        return not result
+        if not isinstance(other, ActivityClock):
+            return NotImplemented
+        return self.value != other.value or self.owner != other.owner
 
     def __lt__(self, other: "ActivityClock") -> bool:
-        return self._key() < other._key()
+        if self.value != other.value:
+            return self.value < other.value
+        return self.owner < other.owner
 
     def __le__(self, other: "ActivityClock") -> bool:
-        return self._key() <= other._key()
+        if self.value != other.value:
+            return self.value < other.value
+        return self.owner <= other.owner
 
     def __gt__(self, other: "ActivityClock") -> bool:
-        return self._key() > other._key()
+        if self.value != other.value:
+            return self.value > other.value
+        return self.owner > other.owner
 
     def __ge__(self, other: "ActivityClock") -> bool:
-        return self._key() >= other._key()
+        if self.value != other.value:
+            return self.value > other.value
+        return self.owner >= other.owner
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        return hash((self.value, self.owner))
 
     def __repr__(self) -> str:
         return f"{self.owner}:{self.value}"

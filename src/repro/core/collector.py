@@ -53,6 +53,10 @@ class DgcCollector:
         self.messages_sent = 0
         self.messages_received = 0
         self.responses_received = 0
+        # Hot-path caches of frozen config flags (attribute chains per
+        # received response add up at scale).
+        self._consensus_propagation = config.consensus_propagation
+        self._bfs_parent_election = config.bfs_parent_election
         #: Current beat period; differs from ``config.ttb`` only when the
         #: dynamic-TTB extension (Sec. 7.1) accelerates the beat.
         self.current_ttb = config.ttb
@@ -145,7 +149,7 @@ class DgcCollector:
         self.responses_received += 1
         if (
             response.consensus_reached
-            and self.config.consensus_propagation
+            and self._consensus_propagation
             and response.clock == self.state.clock
             and self.activity.is_idle()
         ):
@@ -154,7 +158,7 @@ class DgcCollector:
             self._become_doomed(propagated=True)
             return
         process_response(
-            self.state, response, bfs=self.config.bfs_parent_election
+            self.state, response, bfs=self._bfs_parent_election
         )
 
     # ------------------------------------------------------------------
@@ -179,38 +183,62 @@ class DgcCollector:
             # the final clock owner must remain inside the referencer
             # closure, so refresh ownership.
             self._increment_clock("referencer_loss")
-        if self.activity.is_idle():
+        is_idle = self.activity.is_idle()
+        if is_idle:
             if acyclic_timeout_expired(self.state, now, self._acyclic_tta()):
                 self._terminate(events.REASON_ACYCLIC)
                 return
             if cyclic_consensus_made(self.state):
-                self._tracer.record(
-                    now,
-                    events.DGC_CONSENSUS,
-                    self.activity.id,
-                    clock=repr(self.state.clock),
-                )
-                if self.config.consensus_propagation:
+                if self._tracer.enabled:
+                    self._tracer.record(
+                        now,
+                        events.DGC_CONSENSUS,
+                        self.activity.id,
+                        clock=repr(self.state.clock),
+                    )
+                if self._consensus_propagation:
                     self._become_doomed(propagated=False)
                 else:
                     self._terminate(events.REASON_CYCLIC)
                 return
-        self._broadcast()
+        self._broadcast(is_idle)
 
-    def _broadcast(self) -> None:
-        is_idle = self.activity.is_idle()
+    def _broadcast(self, is_idle: Optional[bool] = None) -> None:
+        if is_idle is None:
+            is_idle = self.activity.is_idle()
         declared_ttb = (
             self.current_ttb if self.config.heterogeneous_params else 0.0
         )
+        # The referencer-agreement check only matters for the message to
+        # the parent; compute it lazily and at most once per tick (it used
+        # to run one O(referencers) scan per referenced record).
+        referencers_agree: Optional[bool] = None
+        # Messages are immutable and identical for every record with the
+        # same consensus flag, so at most two objects are built per tick.
+        by_flag: dict = {}
         for record in self.state.referenced.records():
-            consensus = consensus_flag_for(self.state, record, is_idle)
-            message = DgcMessage(
-                sender=self.state.self_id,
-                clock=self.state.clock,
-                consensus=consensus,
-                sender_ref=self.self_ref,
-                sender_ttb=declared_ttb,
-            )
+            if is_idle and self.state.parent == record.target:
+                if referencers_agree is None:
+                    referencers_agree = self.state.referencers.agree(
+                        self.state.clock
+                    )
+                consensus = consensus_flag_for(
+                    self.state,
+                    record,
+                    is_idle,
+                    referencers_agree=referencers_agree,
+                )
+            else:
+                consensus = consensus_flag_for(self.state, record, is_idle)
+            message = by_flag.get(consensus)
+            if message is None:
+                message = by_flag[consensus] = DgcMessage(
+                    sender=self.state.self_id,
+                    clock=self.state.clock,
+                    consensus=consensus,
+                    sender_ref=self.self_ref,
+                    sender_ttb=declared_ttb,
+                )
             self._node.send_dgc_message(record.ref, message)
             self.messages_sent += 1
             record.messages_sent += 1
@@ -245,12 +273,7 @@ class DgcCollector:
         if not connected:
             return False
         return any(
-            record.consensus
-            for record in (
-                self.state.referencers.get(rid)
-                for rid in self.state.referencers.ids()
-            )
-            if record is not None
+            record.consensus for record in self.state.referencers.records()
         )
 
     def _adjust_beat(self, is_idle: bool) -> None:
@@ -283,23 +306,27 @@ class DgcCollector:
 
     def _increment_clock(self, reason: str) -> None:
         self.state.increment_clock()
-        self._tracer.record(
-            self._kernel.now,
-            events.DGC_CLOCK_INCREMENT,
-            self.activity.id,
-            reason=reason,
-            clock=repr(self.state.clock),
-        )
+        # Guard before building kwargs: ``repr(clock)`` on every clock
+        # increment is pure waste when tracing is off (torture runs).
+        if self._tracer.enabled:
+            self._tracer.record(
+                self._kernel.now,
+                events.DGC_CLOCK_INCREMENT,
+                self.activity.id,
+                reason=reason,
+                clock=repr(self.state.clock),
+            )
 
     def _become_doomed(self, propagated: bool) -> None:
         self.doomed_since = self._kernel.now
-        self._tracer.record(
-            self._kernel.now,
-            events.DGC_DOOMED,
-            self.activity.id,
-            propagated=propagated,
-            clock=repr(self.state.clock),
-        )
+        if self._tracer.enabled:
+            self._tracer.record(
+                self._kernel.now,
+                events.DGC_DOOMED,
+                self.activity.id,
+                propagated=propagated,
+                clock=repr(self.state.clock),
+            )
         # Sec. 4.3: wait TTA before terminating, giving every member of
         # the cycle the time to learn the verdict through our responses.
         self._kernel.schedule(

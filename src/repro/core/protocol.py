@@ -42,6 +42,11 @@ class DgcState:
     referenced: ReferencedTable = field(default_factory=ReferencedTable)
     last_message_timestamp: float = 0.0
     depth: Optional[int] = None
+    #: Last response built by :func:`process_message`; responses are
+    #: immutable, so while the fields are unchanged (the steady state
+    #: between clock movements) the same object is reused instead of
+    #: allocating one per received message.
+    cached_response: Optional[DgcResponse] = None
 
     @property
     def owns_clock(self) -> bool:
@@ -94,6 +99,7 @@ def consensus_flag_for(
     state: DgcState,
     record: ReferencedRecord,
     is_idle: bool,
+    referencers_agree: Optional[bool] = None,
 ) -> bool:
     """The ``consensus`` boolean of the DGC message sent to ``record``.
 
@@ -106,6 +112,10 @@ def consensus_flag_for(
     Local agreement means: idle, the destination's last response proposed
     exactly our clock, and we are connected to the originator (we own the
     clock or we have a parent).
+
+    ``referencers_agree`` lets a broadcast that visits many referenced
+    records compute ``state.referencers.agree(state.clock)`` once per
+    tick and pass the cached value in.
     """
     if not is_idle:
         return False
@@ -115,6 +125,8 @@ def consensus_flag_for(
     if not (state.owns_clock or state.parent is not None):
         return False
     if state.parent == record.target:
+        if referencers_agree is not None:
+            return referencers_agree
         return state.referencers.agree(state.clock)
     return True
 
@@ -136,9 +148,14 @@ def process_message(
     recent than its own view of the clock, it updates its clock
     accordingly" — and, having changed candidate, it must re-elect a
     parent for the new reverse spanning tree.
+
+    Runs once per received DGC message — the ownership/depth logic is
+    inlined rather than going through ``owns_clock``/``current_depth``
+    (one property plus one method call per message adds up at scale).
     """
-    if message.clock > state.clock:
-        state.clock = message.clock
+    clock = state.clock
+    if message.clock > clock:
+        clock = state.clock = message.clock
         state.parent = None
         state.depth = None
     state.referencers.update(
@@ -146,17 +163,36 @@ def process_message(
         message.clock,
         message.consensus,
         now,
-        sender_ttb=message.sender_ttb,
+        message.sender_ttb,
     )
     state.last_message_timestamp = now
-    has_parent = state.parent is not None or state.owns_clock
-    return DgcResponse(
+    owns_clock = clock.owner == state.self_id
+    parent = state.parent
+    if owns_clock:
+        depth: Optional[int] = 0
+    elif parent is not None:
+        depth = state.depth
+    else:
+        depth = None
+    has_parent = parent is not None or owns_clock
+    cached = state.cached_response
+    if (
+        cached is not None
+        and cached.clock is clock
+        and cached.has_parent == has_parent
+        and cached.consensus_reached == consensus_reached
+        and cached.depth == depth
+    ):
+        return cached
+    response = DgcResponse(
         responder=state.self_id,
-        clock=state.clock,
+        clock=clock,
         has_parent=has_parent,
         consensus_reached=consensus_reached,
-        depth=state.current_depth(),
+        depth=depth,
     )
+    state.cached_response = response
+    return response
 
 
 # ----------------------------------------------------------------------

@@ -5,10 +5,28 @@ Referencers are tracked by ID only — the DGC never contacts them; it just
 the table remembers the last DGC message's clock and consensus flag (used
 by Algorithm 1) and its arrival time (used to detect the *loss of a
 referencer*, Sec. 3.2 / Fig. 5).
+
+Hot-path bookkeeping
+--------------------
+
+Two operations run once per TTB tick on every activity and used to be
+O(referencers) scans; both are now O(1) amortized:
+
+* :meth:`ReferencerTable.agree` keeps an incremental count of records
+  that agree (same clock, consensus flag set) with a *tracked* clock.
+  The count is adjusted in :meth:`update`, :meth:`expire` and
+  :meth:`forget`; a call with a different clock (the activity adopted or
+  incremented its clock) rebuilds the count with one scan and tracks the
+  new clock from then on.
+* :meth:`ReferencerTable.expire` keeps a lower bound on the oldest
+  ``last_message_time`` in the table.  When even the oldest possible
+  record cannot have passed its deadline, the scan is skipped entirely
+  (deadlines are at least TTA; ``honor_sender_ttb`` only stretches them).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -36,6 +54,15 @@ class ReferencerTable:
 
     def __init__(self) -> None:
         self._records: Dict[ActivityId, ReferencerRecord] = {}
+        #: Clock the incremental agreement count refers to; ``None`` until
+        #: the first :meth:`agree` call.
+        self._agree_clock: Optional[ActivityClock] = None
+        #: Number of records with ``clock == _agree_clock and consensus``.
+        self._agree_count = 0
+        #: Lower bound on the minimum ``last_message_time`` across records
+        #: (records only ever move their timestamp forward, so the bound
+        #: stays valid without per-update maintenance); ``+inf`` when empty.
+        self._lmt_floor = math.inf
 
     def __len__(self) -> int:
         return len(self._records)
@@ -49,6 +76,12 @@ class ReferencerTable:
     def ids(self) -> List[ActivityId]:
         return list(self._records.keys())
 
+    def records(self) -> List[ReferencerRecord]:
+        return list(self._records.values())
+
+    def _agrees(self, record: ReferencerRecord) -> bool:
+        return record.consensus and record.clock == self._agree_clock
+
     def update(
         self,
         referencer: ActivityId,
@@ -59,11 +92,21 @@ class ReferencerTable:
     ) -> bool:
         """Record a DGC message from ``referencer``; True if it is new."""
         record = self._records.get(referencer)
+        agree_clock = self._agree_clock
         if record is None:
             self._records[referencer] = ReferencerRecord(
                 referencer, clock, consensus, now, sender_ttb
             )
+            if now < self._lmt_floor:
+                self._lmt_floor = now
+            if agree_clock is not None and consensus and clock == agree_clock:
+                self._agree_count += 1
             return True
+        if agree_clock is not None:
+            if record.consensus and record.clock == agree_clock:
+                self._agree_count -= 1
+            if consensus and clock == agree_clock:
+                self._agree_count += 1
         record.clock = clock
         record.consensus = consensus
         record.last_message_time = now
@@ -76,7 +119,21 @@ class ReferencerTable:
         Vacuously true when the table is empty — callers that need the
         non-vacuous variant (the cyclic termination test) must check
         emptiness themselves.
+
+        O(1) amortized: the first call for a given clock scans once and
+        the count is maintained incrementally afterwards.
         """
+        if self._agree_clock is None or clock != self._agree_clock:
+            self._agree_clock = clock
+            self._agree_count = sum(
+                1 for record in self._records.values() if self._agrees(record)
+            )
+        return self._agree_count == len(self._records)
+
+    def agree_scan(self, clock: ActivityClock) -> bool:
+        """Reference implementation of :meth:`agree` — the naive
+        O(referencers) scan.  Kept for property tests and for the
+        pre-optimization baseline in :mod:`repro.perf.baseline`."""
         for record in self._records.values():
             if record.clock != clock or not record.consensus:
                 return False
@@ -98,7 +155,38 @@ class ReferencerTable:
         declared a beat period slower than ours gets its deadline
         stretched by ``2 * (sender_ttb - base_ttb)``, preserving the
         TTA > 2*TTB + MaxComm margin relative to *its* beat.
+
+        Fast path: every deadline is at least ``tta`` past the record's
+        ``last_message_time`` (stretching only lengthens it), so when even
+        the oldest record is within TTA, nothing can have expired and the
+        scan is skipped.
         """
+        if now - self._lmt_floor <= tta:
+            return []
+        lost = []
+        floor = math.inf
+        for referencer, record in self._records.items():
+            deadline = tta
+            if honor_sender_ttb and record.sender_ttb > base_ttb:
+                deadline = tta + 2.0 * (record.sender_ttb - base_ttb)
+            if now - record.last_message_time > deadline:
+                lost.append(referencer)
+            elif record.last_message_time < floor:
+                floor = record.last_message_time
+        for referencer in lost:
+            self._drop(referencer)
+        self._lmt_floor = floor
+        return lost
+
+    def expire_scan(
+        self,
+        now: float,
+        tta: float,
+        base_ttb: float = 0.0,
+        honor_sender_ttb: bool = False,
+    ) -> List[ActivityId]:
+        """Reference implementation of :meth:`expire` without the
+        min-deadline fast path (always scans)."""
         lost = []
         for referencer, record in self._records.items():
             deadline = tta
@@ -107,7 +195,9 @@ class ReferencerTable:
             if now - record.last_message_time > deadline:
                 lost.append(referencer)
         for referencer in lost:
-            del self._records[referencer]
+            self._drop(referencer)
+        if not self._records:
+            self._lmt_floor = math.inf
         return lost
 
     def max_declared_ttb(self) -> float:
@@ -118,4 +208,13 @@ class ReferencerTable:
 
     def forget(self, referencer: ActivityId) -> None:
         """Remove one referencer record (used by tests/baselines)."""
-        self._records.pop(referencer, None)
+        self._drop(referencer)
+        if not self._records:
+            self._lmt_floor = math.inf
+
+    def _drop(self, referencer: ActivityId) -> None:
+        record = self._records.pop(referencer, None)
+        if record is None:
+            return
+        if self._agree_clock is not None and self._agrees(record):
+            self._agree_count -= 1

@@ -34,7 +34,7 @@ from repro.runtime.ids import ActivityId
 from repro.runtime.proxy import RemoteRef
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DgcMessage:
     """Heartbeat from a referencer to a referenced activity.
 
@@ -55,7 +55,7 @@ class DgcMessage:
         return f"DgcMessage({self.sender} clock={self.clock} consensus{flag})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DgcResponse:
     """Reply to a :class:`DgcMessage`, flowing referenced -> referencer.
 

@@ -82,6 +82,16 @@ class LiveKernel:
             self._wakeup.notify()
         return event
 
+    def schedule_fire_at(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        args: tuple = (),
+    ) -> Event:
+        """Mirror of :meth:`SimKernel.schedule_fire_at`; the live kernel
+        has no event-less fast path, so this simply delegates."""
+        return self.schedule_at(when, callback, *args)
+
     def run(self, until: Optional[float] = None, max_events=None) -> int:
         """Block the calling thread until wall time reaches ``until``.
 

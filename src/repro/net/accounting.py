@@ -45,13 +45,26 @@ class BandwidthAccountant:
 
     def observe(self, envelope: Envelope) -> None:
         """Record one cross-node envelope."""
-        category = self._by_kind.get(envelope.kind)
+        self.observe_sized(
+            envelope.kind,
+            envelope.size_bytes,
+            (envelope.source_node, envelope.dest_node),
+        )
+
+    def observe_sized(
+        self, kind: str, size: int, pair: Tuple[str, str]
+    ) -> None:
+        """Hot-path form of :meth:`observe`: the caller (the network
+        fabric) passes the channel's precomputed pair key, avoiding a
+        tuple allocation per envelope."""
+        category = self._by_kind.get(kind)
         if category is None:
             category = TrafficCategory()
-            self._by_kind[envelope.kind] = category
-        category.add(envelope.size_bytes)
-        pair = (envelope.source_node, envelope.dest_node)
-        self._by_pair[pair] = self._by_pair.get(pair, 0) + envelope.size_bytes
+            self._by_kind[kind] = category
+        category.bytes += size
+        category.messages += 1
+        by_pair = self._by_pair
+        by_pair[pair] = by_pair.get(pair, 0) + size
 
     def bytes_for(self, kind: str) -> int:
         category = self._by_kind.get(kind)

@@ -26,9 +26,13 @@ class FifoChannel:
     __slots__ = (
         "source",
         "dest",
+        "pair",
         "_kernel",
         "_latency_fn",
+        "_base_latency",
+        "_delay_rules",
         "_last_delivery_time",
+        "_label",
         "sent_count",
         "delivered_count",
     )
@@ -39,33 +43,48 @@ class FifoChannel:
         source: str,
         dest: str,
         latency_fn: Callable[[Envelope], float],
+        *,
+        base_latency: Optional[float] = None,
+        delay_rules: Optional[list] = None,
     ) -> None:
         self._kernel = kernel
         self.source = source
         self.dest = dest
+        #: Precomputed (source, dest) key for the bandwidth accountant.
+        self.pair = (source, dest)
         self._latency_fn = latency_fn
+        #: Fast path: when the base latency is known constant and no
+        #: fault-plan delay rules exist, ``latency_fn`` is skipped
+        #: entirely.  ``delay_rules`` is the fault plan's live list
+        #: (mutated in place), so rules added later are honoured.
+        self._base_latency = base_latency
+        self._delay_rules = delay_rules
         self._last_delivery_time = 0.0
+        # Precomputed once: the event label used to cost one f-string
+        # allocation per transmitted envelope.
+        self._label = f"deliver:{source}->{dest}"
         self.sent_count = 0
         self.delivered_count = 0
 
     def send(self, envelope: Envelope, sink: Callable[[Envelope], None]) -> float:
         """Schedule delivery of ``envelope`` into ``sink``; return the
         delivery time."""
-        latency = self._latency_fn(envelope)
+        if self._base_latency is not None and not self._delay_rules:
+            latency = self._base_latency
+        else:
+            latency = self._latency_fn(envelope)
         if latency < 0:
             latency = 0.0
-        delivery_time = self._kernel.now + latency
+        now = self._kernel.now
+        delivery_time = now + latency
         if delivery_time < self._last_delivery_time:
             delivery_time = self._last_delivery_time
         self._last_delivery_time = delivery_time
-        envelope.sent_at = self._kernel.now
+        envelope.sent_at = now
         self.sent_count += 1
-        self._kernel.schedule_at(
-            delivery_time,
-            self._deliver,
-            envelope,
-            sink,
-            label=f"deliver:{self.source}->{self.dest}",
+        # Deliveries are never cancelled: take the event-less fast path.
+        self._kernel.schedule_fire_at(
+            delivery_time, self._deliver, (envelope, sink)
         )
         return delivery_time
 

@@ -34,6 +34,10 @@ class FaultPlan:
     Partitioned node pairs hold messages forever (modelling an undetected
     failure, which the paper notes is indistinguishable from a transient
     one for fully asynchronous collectors).
+
+    Internal contract: ``_delay_rules`` and ``_partitioned`` are mutated
+    in place and never rebound — the network fabric aliases them as
+    zero-cost emptiness guards on the per-envelope hot path.
     """
 
     def __init__(self) -> None:

@@ -8,9 +8,8 @@ the bandwidth tables (Fig. 8) are computed from one tunable place.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Any, Callable
 
 
 #: Categories used by the bandwidth accountant.
@@ -19,16 +18,18 @@ KIND_APP_REPLY = "app.reply"
 KIND_DGC_MESSAGE = "dgc.message"
 KIND_DGC_RESPONSE = "dgc.response"
 
-_envelope_ids = itertools.count()
 
-
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """A unit of transmission between two nodes.
 
     ``payload`` is an arbitrary object handed to the destination node's
     dispatcher; ``size_bytes`` is the modelled TCP payload size;
     ``kind`` classifies the traffic for accounting.
+
+    Slotted and id-less: one envelope exists per simulated transmission,
+    so the per-instance ``__dict__`` and the old global id counter were
+    measurable allocation overhead on large runs.
     """
 
     source_node: str
@@ -37,12 +38,11 @@ class Envelope:
     size_bytes: int
     payload: Any
     deliver: Callable[[Any], None]
-    envelope_id: int = field(default_factory=lambda: next(_envelope_ids))
     sent_at: float = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Envelope(#{self.envelope_id} {self.kind} "
+            f"Envelope({self.kind} "
             f"{self.source_node}->{self.dest_node}, {self.size_bytes}B)"
         )
 

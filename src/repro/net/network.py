@@ -41,6 +41,16 @@ class Network:
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self._sinks: Dict[str, Callable[[Envelope], None]] = {}
         self._channels: Dict[Tuple[str, str], FifoChannel] = {}
+        #: Hot-path cache: source -> dest -> (sink, channel-or-None).
+        #: ``None`` channel means intra-node delivery.  Two nested
+        #: string-keyed dicts avoid building a key tuple per envelope.
+        #: Nodes only ever register (there is no unregister), so entries
+        #: never go stale; the cache is cleared on registration anyway
+        #: for hygiene.
+        self._routes: Dict[
+            str,
+            Dict[str, Tuple[Callable[[Envelope], None], Optional[FifoChannel]]],
+        ] = {}
 
     @property
     def topology(self) -> Topology:
@@ -53,30 +63,55 @@ class Network:
     def register_node(self, node: str, sink: Callable[[Envelope], None]) -> None:
         """Attach a node's receive dispatcher to the fabric."""
         self._sinks[node] = sink
+        self._routes.clear()
 
     def max_comm(self) -> float:
         """Upper bound on one-way communication time (MaxComm, Sec. 3.1)."""
         return self._topology.max_one_way_latency()
 
     def send(self, envelope: Envelope) -> None:
-        """Route ``envelope`` to its destination node."""
-        sink = self._sinks.get(envelope.dest_node)
-        if sink is None:
-            raise UnknownDestinationError(
-                f"node {envelope.dest_node!r} is not registered"
-            )
-        if self.fault_plan.is_partitioned(envelope.source_node, envelope.dest_node):
-            self.fault_plan.dropped_count += 1
+        """Route ``envelope`` to its destination node.
+
+        The (sink, channel) pair per node pair is cached so the hot path
+        pays one dict probe instead of sink lookup + channel lookup per
+        envelope.  Cross-node deliveries still go through ``_dispatch``
+        (a delivery-time sink lookup) so a destination that vanishes
+        mid-flight drops the envelope, as the fault model requires.
+        """
+        source = envelope.source_node
+        dest = envelope.dest_node
+        by_dest = self._routes.get(source)
+        route = by_dest.get(dest) if by_dest is not None else None
+        if route is None:
+            route = self._build_route(source, dest)
+        # Read through fault_plan each time (it is a public attribute and
+        # may be replaced); the set's truthiness is the zero-cost guard.
+        fault_plan = self.fault_plan
+        if fault_plan._partitioned and fault_plan.is_partitioned(source, dest):
+            fault_plan.dropped_count += 1
             return
-        if envelope.source_node == envelope.dest_node:
+        sink, channel = route
+        if channel is None:
             # Intra-node: delivered immediately (same tick), not accounted.
-            self._kernel.schedule(
-                0.0, self._deliver_local, envelope, sink, label="deliver:local"
+            self._kernel.schedule_fire_at(
+                self._kernel.now, self._deliver_local, (envelope, sink)
             )
             return
-        self.accountant.observe(envelope)
-        channel = self._channel(envelope.source_node, envelope.dest_node)
+        self.accountant.observe_sized(
+            envelope.kind, envelope.size_bytes, channel.pair
+        )
         channel.send(envelope, self._dispatch)
+
+    def _build_route(
+        self, source: str, dest: str
+    ) -> Tuple[Callable[[Envelope], None], Optional[FifoChannel]]:
+        sink = self._sinks.get(dest)
+        if sink is None:
+            raise UnknownDestinationError(f"node {dest!r} is not registered")
+        channel = None if source == dest else self._channel(source, dest)
+        route = (sink, channel)
+        self._routes.setdefault(source, {})[dest] = route
+        return route
 
     def _deliver_local(
         self, envelope: Envelope, sink: Callable[[Envelope], None]
@@ -95,7 +130,17 @@ class Network:
         key = (source, dest)
         channel = self._channels.get(key)
         if channel is None:
-            channel = FifoChannel(self._kernel, source, dest, self._latency)
+            # The topology lookup (two site resolutions) is constant per
+            # node pair, so it runs once at channel creation; the channel
+            # falls back to ``_latency`` only while delay rules exist.
+            channel = FifoChannel(
+                self._kernel,
+                source,
+                dest,
+                self._latency,
+                base_latency=self._topology.one_way_latency(source, dest),
+                delay_rules=self.fault_plan._delay_rules,
+            )
             self._channels[key] = channel
         return channel
 

@@ -1,0 +1,169 @@
+"""Wall-clock measurement primitives for the perf benchmark harness.
+
+:class:`Stopwatch` times a block of real work; :class:`PerfReport`
+aggregates named measurements and writes the ``BENCH_perf.json``
+artifact whose trajectory is tracked across PRs (see PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+class Stopwatch:
+    """A context-manager stopwatch over ``time.perf_counter``.
+
+    ::
+
+        with Stopwatch() as watch:
+            run_torture(...)
+        print(watch.elapsed)
+
+    ``split(label)`` records intermediate marks without stopping.
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._stop: Optional[float] = None
+        self.splits: Dict[str, float] = {}
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        self._stop = None
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() before start()")
+        self._stop = time.perf_counter()
+        return self.elapsed
+
+    def split(self, label: str) -> float:
+        """Record the elapsed time so far under ``label``."""
+        value = self.elapsed
+        self.splits[label] = value
+        return value
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None and self._stop is None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds from start to stop (or to now while running)."""
+        if self._start is None:
+            return 0.0
+        end = self._stop if self._stop is not None else time.perf_counter()
+        return end - self._start
+
+
+@dataclass
+class PerfMeasurement:
+    """One benchmark's numbers (all wall-clock figures in seconds).
+
+    ``peak_pending_events`` is ``None`` when the measured kernel does not
+    maintain the counter (the naive baseline); the key is then omitted
+    from the artifact rather than reporting a misleading 0.
+    """
+
+    name: str
+    wall_time_s: float
+    events_fired: int
+    peak_pending_events: Optional[int]
+    sim_time_s: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        """Simulator throughput: kernel events executed per wall second."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.events_fired / self.wall_time_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = {
+            "wall_time_s": round(self.wall_time_s, 6),
+            "events_fired": self.events_fired,
+            "events_per_second": round(self.events_per_second, 1),
+            "sim_time_s": round(self.sim_time_s, 3),
+        }
+        if self.peak_pending_events is not None:
+            payload["peak_pending_events"] = self.peak_pending_events
+        payload.update(self.extra)
+        return payload
+
+
+class PerfReport:
+    """Collects :class:`PerfMeasurement` records and writes the JSON
+    artifact.
+
+    The file layout is flat and diff-friendly so the trajectory across
+    PRs can be compared directly::
+
+        {
+          "schema": 1,
+          "meta": {...},
+          "benchmarks": {"torture_optimized": {...}, ...}
+        }
+    """
+
+    SCHEMA = 1
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.meta: Dict[str, Any] = {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "created_unix": round(time.time(), 1),
+        }
+        if meta:
+            self.meta.update(meta)
+        self.benchmarks: Dict[str, PerfMeasurement] = {}
+
+    def add(self, measurement: PerfMeasurement) -> PerfMeasurement:
+        self.benchmarks[measurement.name] = measurement
+        return measurement
+
+    def measure(
+        self,
+        name: str,
+        watch: Stopwatch,
+        kernel: Any,
+        **extra: Any,
+    ) -> PerfMeasurement:
+        """Build a measurement from a stopped stopwatch and a kernel."""
+        return self.add(
+            PerfMeasurement(
+                name=name,
+                wall_time_s=watch.elapsed,
+                events_fired=kernel.fired_count,
+                peak_pending_events=getattr(kernel, "peak_pending_count", 0),
+                sim_time_s=kernel.now,
+                extra=extra,
+            )
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.SCHEMA,
+            "meta": self.meta,
+            "benchmarks": {
+                name: measurement.to_dict()
+                for name, measurement in sorted(self.benchmarks.items())
+            },
+        }
+
+    def write(self, path: Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path

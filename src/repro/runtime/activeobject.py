@@ -390,9 +390,10 @@ class Activity:
 
     def _become_idle(self) -> None:
         self.state = ActivityState.IDLE
-        self.node.tracer.record(
-            self.node.kernel.now, "activity.idle", self.id
-        )
+        if self.node.tracer.enabled:
+            self.node.tracer.record(
+                self.node.kernel.now, "activity.idle", self.id
+            )
         for listener in self._idle_listeners:
             listener(self)
         if self.collector is not None:

@@ -27,6 +27,11 @@ from repro.runtime.request import Reply, ReplyAddress, Request
 from repro.runtime.serialization import deserialize_refs, serialize_refs
 
 
+def _noop_deliver(payload: Any) -> None:
+    """Shared no-op for :attr:`Envelope.deliver` — dispatch happens via
+    node sinks, so allocating a fresh closure per envelope was waste."""
+
+
 class Node:
     """One address space hosting activities."""
 
@@ -42,6 +47,12 @@ class Node:
         self.activities: Dict[ActivityId, Activity] = {}
         self._pending_futures: Dict[int, Future] = {}
         self.dead_letter_count = 0
+        # Hot-path cache: the wire-size model is frozen, so the DGC sizes
+        # are constants.  (``network.send`` is deliberately NOT cached as
+        # a bound method: harness code patches it per-instance to observe
+        # traffic.)
+        self._dgc_message_bytes = self.wire_sizes.dgc_message_bytes
+        self._dgc_response_bytes = self.wire_sizes.dgc_response_bytes
         self.network.register_node(name, self._on_envelope)
 
     # ------------------------------------------------------------------
@@ -64,9 +75,10 @@ class Node:
 
     def on_activity_terminated(self, activity: Activity, reason: str) -> None:
         self.activities.pop(activity.id, None)
-        self.tracer.record(
-            self.kernel.now, "activity.terminated", activity.id, reason=reason
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.kernel.now, "activity.terminated", activity.id, reason=reason
+            )
         self.world.on_activity_terminated(activity, reason)
 
     def deserialize_ref(self, activity: Activity, ref: RemoteRef) -> Proxy:
@@ -119,7 +131,7 @@ class Node:
             kind=KIND_APP_REQUEST,
             size_bytes=size,
             payload=request,
-            deliver=lambda payload: None,
+            deliver=_noop_deliver,
         )
         self.world.note_request_sent(request)
         self.network.send(envelope)
@@ -150,7 +162,7 @@ class Node:
             kind=KIND_APP_REPLY,
             size_bytes=size,
             payload=reply,
-            deliver=lambda payload: None,
+            deliver=_noop_deliver,
         )
         self.world.note_reply_sent(reply)
         self.network.send(envelope)
@@ -166,47 +178,47 @@ class Node:
         *,
         size_bytes: Optional[int] = None,
     ) -> None:
-        envelope = Envelope(
-            source_node=self.name,
-            dest_node=target_ref.node,
-            kind=KIND_DGC_MESSAGE,
-            size_bytes=(
-                size_bytes
-                if size_bytes is not None
-                else self.wire_sizes.dgc_message_bytes
-            ),
-            payload=(target_ref.activity_id, message),
-            deliver=lambda payload: None,
+        self.network.send(
+            Envelope(
+                self.name,
+                target_ref.node,
+                KIND_DGC_MESSAGE,
+                size_bytes if size_bytes is not None else self._dgc_message_bytes,
+                (target_ref.activity_id, message),
+                _noop_deliver,
+            )
         )
-        self.network.send(envelope)
 
     def send_dgc_response(self, target_ref: RemoteRef, response: Any) -> None:
-        envelope = Envelope(
-            source_node=self.name,
-            dest_node=target_ref.node,
-            kind=KIND_DGC_RESPONSE,
-            size_bytes=self.wire_sizes.dgc_response_bytes,
-            payload=(target_ref.activity_id, response),
-            deliver=lambda payload: None,
+        self.network.send(
+            Envelope(
+                self.name,
+                target_ref.node,
+                KIND_DGC_RESPONSE,
+                self._dgc_response_bytes,
+                (target_ref.activity_id, response),
+                _noop_deliver,
+            )
         )
-        self.network.send(envelope)
 
     # ------------------------------------------------------------------
     # Inbound dispatch
     # ------------------------------------------------------------------
 
     def _on_envelope(self, envelope: Envelope) -> None:
+        # DGC traffic outnumbers application traffic by an order of
+        # magnitude on large runs, so its branches come first.
         kind = envelope.kind
-        if kind == KIND_APP_REQUEST:
-            self._on_request(envelope.payload)
-        elif kind == KIND_APP_REPLY:
-            self._on_reply(envelope.payload)
-        elif kind == KIND_DGC_MESSAGE:
+        if kind == KIND_DGC_MESSAGE:
             activity_id, message = envelope.payload
             self._on_dgc_message(activity_id, message)
         elif kind == KIND_DGC_RESPONSE:
             activity_id, response = envelope.payload
             self._on_dgc_response(activity_id, response)
+        elif kind == KIND_APP_REQUEST:
+            self._on_request(envelope.payload)
+        elif kind == KIND_APP_REPLY:
+            self._on_reply(envelope.payload)
         else:
             raise RuntimeModelError(f"unknown envelope kind {kind!r}")
 
@@ -216,13 +228,14 @@ class Node:
         if activity is None or activity.terminated:
             self.dead_letter_count += 1
             self.world.on_dead_letter()
-            self.tracer.record(
-                self.kernel.now,
-                "message.dead_letter",
-                request.target,
-                method=request.method,
-                sender=request.sender,
-            )
+            if self.tracer.enabled:
+                self.tracer.record(
+                    self.kernel.now,
+                    "message.dead_letter",
+                    request.target,
+                    method=request.method,
+                    sender=request.sender,
+                )
             return
         proxies = deserialize_refs(activity, request.refs)
         activity.deliver(request, proxies)

@@ -25,9 +25,14 @@ class Event:
 
     Events are cancellable: :meth:`cancel` marks the event dead and the
     kernel skips it when popped.  This avoids an O(n) heap removal.
+
+    ``owner`` is the kernel that keeps a maintained pending-event count;
+    cancellation notifies it so :attr:`SimKernel.pending_count` stays
+    exact without scanning the heap.  Kernels without the counter (the
+    live kernel) leave it ``None``.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label", "owner")
 
     def __init__(
         self,
@@ -36,6 +41,7 @@ class Event:
         callback: Callable[..., None],
         args: Tuple[Any, ...],
         label: str,
+        owner: Optional["SimKernel"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -43,10 +49,15 @@ class Event:
         self.args = args
         self.cancelled = False
         self.label = label
+        self.owner = owner
 
     def cancel(self) -> None:
         """Mark the event so the kernel never fires it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._on_event_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -63,15 +74,26 @@ class SimKernel:
 
     Ties are broken by scheduling order (FIFO among same-time events), which
     is essential for the per-connection FIFO guarantee the DGC relies on.
+
+    The heap holds ``(time, seq, event, callback, args)`` tuples rather
+    than bare events: tuple comparison runs in C, whereas ``Event.__lt__``
+    was the single hottest function on large runs (one Python call per
+    heap sift step).  ``event`` is ``None`` for the fire-and-forget fast
+    path (:meth:`schedule_fire_at`), which skips the :class:`Event`
+    allocation entirely for callbacks that are never cancelled — message
+    deliveries, the bulk of all events on big runs.
     """
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Optional[Event], Callable[..., None], Tuple[Any, ...]]] = []
         self._seq = itertools.count()
         self._fired = 0
         self._scheduled = 0
+        self._pending = 0
+        self._peak_pending = 0
         self._running = False
+        self._stop_requested = False
 
     @property
     def now(self) -> float:
@@ -80,8 +102,17 @@ class SimKernel:
 
     @property
     def pending_count(self) -> int:
-        """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of scheduled, not-yet-fired, not-cancelled events.
+
+        Maintained incrementally (O(1)): incremented on schedule,
+        decremented on fire and on :meth:`Event.cancel`.
+        """
+        return self._pending
+
+    @property
+    def peak_pending_count(self) -> int:
+        """High-water mark of the pending-event queue depth."""
+        return self._peak_pending
 
     @property
     def fired_count(self) -> int:
@@ -119,10 +150,49 @@ class SimKernel:
             raise SchedulingInPastError(
                 f"cannot schedule {label or callback!r} at {time} < now {self._now}"
             )
-        event = Event(time, next(self._seq), callback, args, label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, seq, callback, args, label, owner=self)
+        heapq.heappush(self._heap, (time, seq, event, callback, args))
         self._scheduled += 1
+        self._pending += 1
+        if self._pending > self._peak_pending:
+            self._peak_pending = self._pending
         return event
+
+    def schedule_fire_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        """Fire-and-forget fast path: schedule a callback that will never
+        be cancelled, without allocating an :class:`Event`.
+
+        Used by the network fabric for message deliveries; the past-time
+        check still applies, but no handle is returned.
+        """
+        if time < self._now:
+            raise SchedulingInPastError(
+                f"cannot schedule {callback!r} at {time} < now {self._now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), None, callback, args))
+        self._scheduled += 1
+        self._pending += 1
+        if self._pending > self._peak_pending:
+            self._peak_pending = self._pending
+
+    def _on_event_cancelled(self) -> None:
+        self._pending -= 1
+
+    def request_stop(self) -> None:
+        """Ask a :meth:`run` in progress to return after the current event.
+
+        The event-driven quiescence path: a callback that detects the
+        condition it was waiting for (e.g. the world's live non-root
+        counter hitting zero) stops the kernel immediately instead of the
+        caller polling a predicate at a fixed interval.
+        """
+        self._stop_requested = True
 
     def step(self) -> bool:
         """Fire the single next pending event.
@@ -130,12 +200,18 @@ class SimKernel:
         Returns ``False`` when the queue is exhausted.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
+            entry = heapq.heappop(self._heap)
+            event = entry[2]
+            if event is not None:
+                if event.cancelled:
+                    continue
+                # Detach so a cancel() after firing is a no-op instead of
+                # double-decrementing the pending counter.
+                event.owner = None
+            self._now = entry[0]
             self._fired += 1
-            event.callback(*event.args)
+            self._pending -= 1
+            entry[3](*entry[4])
             return True
         return False
 
@@ -153,25 +229,38 @@ class SimKernel:
         if self._running:
             raise SimulationError("kernel.run() is not reentrant")
         self._running = True
+        self._stop_requested = False
         fired = 0
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
+                if self._stop_requested:
+                    break
                 if max_events is not None and fired >= max_events:
                     break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+                head = heap[0]
+                event = head[2]
+                if event is not None and event.cancelled:
+                    heappop(heap)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and head[0] > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
+                heappop(heap)
+                if event is not None:
+                    # Detach so a cancel() after firing is a no-op instead
+                    # of double-decrementing the pending counter.
+                    event.owner = None
+                self._now = head[0]
                 self._fired += 1
-                event.callback(*event.args)
+                self._pending -= 1
+                head[3](*head[4])
                 fired += 1
         finally:
             self._running = False
-        if until is not None and self._now < until:
+        if until is not None and self._now < until and not self._stop_requested:
+            # A stop request leaves the clock at the stopping event so the
+            # caller can observe exactly when the condition was met.
             self._now = until
         return fired
 

@@ -75,8 +75,10 @@ class PeriodicTimer:
             return
         self._ticks += 1
         # Re-arm before the callback so a callback that stops the timer
-        # cancels the already-scheduled next tick.
-        self._event = self._kernel.schedule(
-            self._period, self._fire, label=self._label
+        # cancels the already-scheduled next tick.  ``schedule_at`` is
+        # called directly: the period is validated positive, so the
+        # wrapper's negative-delay check per tick is redundant.
+        self._event = self._kernel.schedule_at(
+            self._kernel.now + self._period, self._fire, label=self._label
         )
         self._callback()

@@ -66,12 +66,16 @@ class Tracer:
         subject: Optional[str] = None,
     ) -> List[TraceEvent]:
         """Return records matching the given kind and/or subject."""
+        # Always hand out a fresh list: callers must never be able to
+        # mutate the tracer's internal event log through the return value.
+        if kind is None and subject is None:
+            return list(self._events)
         result = self._events
         if kind is not None:
             result = [event for event in result if event.kind == kind]
         if subject is not None:
             result = [event for event in result if event.subject == subject]
-        return list(result) if result is self._events else result
+        return result
 
     def first(self, kind: str) -> Optional[TraceEvent]:
         """Earliest record of ``kind``, or None."""

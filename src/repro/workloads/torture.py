@@ -153,6 +153,11 @@ class TortureResult:
     dead_letters: int
     #: Sampled (time, idle_count, collected_count) series for the figure.
     series: List[tuple]
+    #: Kernel statistics for the perf harness (events executed, queue
+    #: high-water mark, final simulated time).
+    events_fired: int = 0
+    peak_pending_events: int = 0
+    sim_time_s: float = 0.0
 
 
 def run_torture(
@@ -270,4 +275,7 @@ def run_torture(
         collected_acyclic=world.stats.collected_acyclic,
         dead_letters=world.stats.dead_letters,
         series=series,
+        events_fired=world.kernel.fired_count,
+        peak_pending_events=getattr(world.kernel, "peak_pending_count", 0),
+        sim_time_s=world.kernel.now,
     )

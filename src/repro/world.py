@@ -108,6 +108,13 @@ class World:
         self._activities: Dict[ActivityId, Activity] = {}
         self._inflight_wakeups: Dict[ActivityId, int] = {}
         self._inflight_ref_pins: Dict[ActivityId, int] = {}
+        #: Live non-root count, maintained in :meth:`create_activity` and
+        #: :meth:`on_activity_terminated` so quiescence predicates are
+        #: O(1) instead of rebuilding activity lists.
+        self._live_non_root_count = 0
+        #: When true, the termination hook stops the kernel as soon as the
+        #: counter hits zero (event-driven :meth:`run_until_collected`).
+        self._stop_when_collected = False
         self.stats = WorldStats()
 
     # ------------------------------------------------------------------
@@ -157,6 +164,8 @@ class World:
         )
         host.add_activity(activity)
         self._activities[activity.id] = activity
+        if not root:
+            self._live_non_root_count += 1
         self.stats.created += 1
         if self.collector_factory is not None:
             activity.collector = self.collector_factory(activity)
@@ -189,9 +198,14 @@ class World:
     def live_non_roots(self) -> List[Activity]:
         return [a for a in self._activities.values() if not a.is_root]
 
+    @property
+    def live_non_root_count(self) -> int:
+        """O(1) count of live non-root activities."""
+        return self._live_non_root_count
+
     def all_collected(self) -> bool:
-        """Every non-root activity has been collected/terminated."""
-        return not self.live_non_roots()
+        """Every non-root activity has been collected/terminated (O(1))."""
+        return self._live_non_root_count == 0
 
     # ------------------------------------------------------------------
     # Run helpers
@@ -201,7 +215,22 @@ class World:
         self.kernel.run(until=self.kernel.now + seconds)
 
     def run_until_collected(self, timeout: float, check_interval: float = 1.0) -> bool:
-        """Run until every non-root activity is gone; False on timeout."""
+        """Run until every non-root activity is gone; False on timeout.
+
+        On the simulation kernel this is event-driven: the termination
+        hook stops the kernel the instant the live non-root counter hits
+        zero, with no fixed-interval polling.  ``check_interval`` is only
+        used by kernels without a stop facility (the live kernel).
+        """
+        if self.all_collected():
+            return True
+        if hasattr(self.kernel, "request_stop"):
+            self._stop_when_collected = True
+            try:
+                self.kernel.run(until=self.kernel.now + timeout)
+            finally:
+                self._stop_when_collected = False
+            return self.all_collected()
         return self.kernel.run_until_quiescent(
             self.all_collected, check_interval, timeout
         )
@@ -211,7 +240,11 @@ class World:
     # ------------------------------------------------------------------
 
     def on_activity_terminated(self, activity: Activity, reason: str) -> None:
-        self._activities.pop(activity.id, None)
+        removed = self._activities.pop(activity.id, None)
+        if removed is not None and not activity.is_root:
+            self._live_non_root_count -= 1
+            if self._live_non_root_count == 0 and self._stop_when_collected:
+                self.kernel.request_stop()
         self.stats.collected_by_id[activity.id] = self.kernel.now
         if reason == events.REASON_ACYCLIC:
             self.stats.collected_acyclic += 1

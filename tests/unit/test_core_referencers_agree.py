@@ -1,0 +1,192 @@
+"""The O(1) incremental agreement counter vs the naive scan.
+
+The counter in :class:`ReferencerTable` must stay exact through every
+mutation path: message updates (:meth:`update`), referencer expiry
+(:meth:`expire`), explicit removal (:meth:`forget`), consensus-flag
+flips, and clock changes (which re-key the tracked clock).  Each test
+cross-checks against :meth:`agree_scan`, the kept naive implementation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.clock import ActivityClock
+from repro.core.referencers import ReferencerTable
+
+
+def clock(value, owner="owner"):
+    return ActivityClock(value, owner)
+
+
+def assert_consistent(table, clocks):
+    """The incremental answer equals the naive scan for every clock."""
+    for candidate in clocks:
+        assert table.agree(candidate) == table.agree_scan(candidate), (
+            f"agree() diverged from the scan for {candidate}"
+        )
+
+
+def test_empty_table_agrees_vacuously():
+    table = ReferencerTable()
+    assert table.agree(clock(1)) is True
+    assert table.agree_scan(clock(1)) is True
+
+
+def test_agree_counts_consensus_and_clock():
+    table = ReferencerTable()
+    c1 = clock(1)
+    table.update("a", c1, True, now=0.0)
+    table.update("b", c1, True, now=0.0)
+    assert table.agree(c1) is True
+    table.update("b", c1, False, now=1.0)
+    assert table.agree(c1) is False
+    assert_consistent(table, [c1])
+
+
+def test_consensus_flag_flips_update_the_counter():
+    table = ReferencerTable()
+    c1 = clock(1)
+    assert table.agree(c1) is True  # start tracking c1 on the empty table
+    table.update("a", c1, False, now=0.0)
+    assert table.agree(c1) is False
+    table.update("a", c1, True, now=1.0)
+    assert table.agree(c1) is True
+    table.update("a", c1, True, now=2.0)  # no-op flip stays consistent
+    assert table.agree(c1) is True
+    assert_consistent(table, [c1])
+
+
+def test_clock_change_rekeys_the_tracked_clock():
+    table = ReferencerTable()
+    c1, c2 = clock(1), clock(2)
+    table.update("a", c1, True, now=0.0)
+    assert table.agree(c1) is True
+    # The activity adopts a newer clock: the cached count is for c1 and
+    # must be rebuilt for c2, not reused.
+    assert table.agree(c2) is False
+    table.update("a", c2, True, now=1.0)
+    assert table.agree(c2) is True
+    # Asking about the stale clock again also rebuilds correctly.
+    assert table.agree(c1) is False
+    assert_consistent(table, [c1, c2])
+
+
+def test_same_value_different_owner_is_a_different_clock():
+    table = ReferencerTable()
+    ours, theirs = clock(3, "us"), clock(3, "them")
+    table.update("a", ours, True, now=0.0)
+    assert table.agree(ours) is True
+    assert table.agree(theirs) is False
+    assert_consistent(table, [ours, theirs])
+
+
+def test_expiry_removes_agreement():
+    table = ReferencerTable()
+    c1 = clock(1)
+    table.update("old", c1, True, now=0.0)
+    table.update("new", c1, True, now=10.0)
+    assert table.agree(c1) is True
+    lost = table.expire(now=12.0, tta=5.0)
+    assert lost == ["old"]
+    assert table.agree(c1) is True  # the survivor still agrees
+    table.update("new", c1, False, now=13.0)
+    assert table.agree(c1) is False
+    assert_consistent(table, [c1])
+
+
+def test_expire_fast_path_skips_scan_but_stays_exact():
+    table = ReferencerTable()
+    c1 = clock(1)
+    for index in range(16):
+        table.update(f"r{index}", c1, True, now=float(index))
+    # Nothing can have expired yet: the fast path must report no losses.
+    assert table.expire(now=10.0, tta=100.0) == []
+    assert len(table) == 16
+    assert table.agree(c1) is True
+    # Move far enough that the oldest half expires.
+    lost = table.expire(now=107.5, tta=100.0)
+    assert sorted(lost) == [f"r{index}" for index in range(8)]
+    assert table.agree(c1) is True
+    assert_consistent(table, [c1])
+
+
+def test_forget_updates_counter():
+    table = ReferencerTable()
+    c1 = clock(1)
+    table.update("a", c1, True, now=0.0)
+    table.update("b", c1, False, now=0.0)
+    assert table.agree(c1) is False
+    table.forget("b")  # the only dissenter is gone
+    assert table.agree(c1) is True
+    table.forget("a")
+    assert table.agree(c1) is True  # vacuous again
+    table.forget("missing")  # no-op must not corrupt the count
+    assert table.agree(c1) is True
+    assert_consistent(table, [c1])
+
+
+def test_property_random_mutation_storm_matches_naive_scan():
+    """Property test: any interleaving of update/expire/forget/agree
+    keeps the incremental counter identical to the naive scan."""
+    rng = random.Random(1234)
+    owners = ["p", "q", "r"]
+    referencers = [f"ref{index}" for index in range(12)]
+    for trial in range(60):
+        table = ReferencerTable()
+        now = 0.0
+        clocks = [clock(value, rng.choice(owners)) for value in range(1, 4)]
+        for __ in range(120):
+            now += rng.uniform(0.0, 3.0)
+            op = rng.random()
+            if op < 0.55:
+                table.update(
+                    rng.choice(referencers),
+                    rng.choice(clocks),
+                    rng.random() < 0.5,
+                    now,
+                    sender_ttb=rng.choice([0.0, 5.0]),
+                )
+            elif op < 0.75:
+                table.expire(
+                    now,
+                    rng.choice([4.0, 10.0]),
+                    base_ttb=1.0,
+                    honor_sender_ttb=rng.random() < 0.5,
+                )
+            elif op < 0.85:
+                table.forget(rng.choice(referencers))
+            else:
+                candidate = rng.choice(clocks)
+                assert table.agree(candidate) == table.agree_scan(candidate)
+        assert_consistent(table, clocks)
+
+
+def test_property_expire_matches_expire_scan():
+    """The fast-path expire drops exactly what the full scan would."""
+    rng = random.Random(99)
+    for trial in range(40):
+        fast = ReferencerTable()
+        slow = ReferencerTable()
+        c1 = clock(1)
+        now = 0.0
+        for __ in range(80):
+            now += rng.uniform(0.0, 2.0)
+            if rng.random() < 0.7:
+                name = f"ref{rng.randrange(10)}"
+                consensus = rng.random() < 0.5
+                ttb = rng.choice([0.0, 4.0])
+                fast.update(name, c1, consensus, now, ttb)
+                slow.update(name, c1, consensus, now, ttb)
+            else:
+                tta = rng.choice([3.0, 8.0])
+                honor = rng.random() < 0.5
+                lost_fast = fast.expire(
+                    now, tta, base_ttb=1.0, honor_sender_ttb=honor
+                )
+                lost_slow = slow.expire_scan(
+                    now, tta, base_ttb=1.0, honor_sender_ttb=honor
+                )
+                assert sorted(lost_fast) == sorted(lost_slow)
+        assert sorted(fast.ids()) == sorted(slow.ids())
+        assert fast.agree(c1) == slow.agree_scan(c1)

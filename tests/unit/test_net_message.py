@@ -3,10 +3,13 @@
 from repro.net.message import Envelope, WireSizeModel
 
 
-def test_envelope_ids_are_unique_and_increasing():
-    first = Envelope("a", "b", "k", 1, None, lambda p: None)
-    second = Envelope("a", "b", "k", 1, None, lambda p: None)
-    assert second.envelope_id > first.envelope_id
+def test_envelope_is_slotted_and_lightweight():
+    # One envelope per simulated transmission: no per-instance __dict__
+    # (slots) and no global id counter on the hot path.
+    envelope = Envelope("a", "b", "k", 1, None, lambda p: None)
+    assert not hasattr(envelope, "__dict__")
+    assert not hasattr(envelope, "envelope_id")
+    assert envelope.sent_at == 0.0
 
 
 def test_request_size_includes_references():

@@ -1,0 +1,116 @@
+"""The perf subsystem: Stopwatch, PerfReport, and naive-mode patching."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.clock import ActivityClock
+from repro.core.config import DgcConfig
+from repro.core.referencers import ReferencerTable
+from repro.net.topology import uniform_topology
+from repro.perf import PerfMeasurement, PerfReport, Stopwatch, naive_mode
+from repro.sim.kernel import SimKernel
+from repro.workloads.app import release_all
+from repro.workloads.synthetic import build_ring
+from repro.world import World
+
+
+def test_stopwatch_measures_and_splits():
+    watch = Stopwatch()
+    with watch:
+        watch.split("early")
+    assert watch.elapsed >= 0.0
+    assert "early" in watch.splits
+    assert watch.splits["early"] <= watch.elapsed
+    assert not watch.running
+
+
+def test_stopwatch_stop_before_start_raises():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()
+
+
+def test_perf_report_roundtrip(tmp_path):
+    report = PerfReport(meta={"scale": "test"})
+    report.add(
+        PerfMeasurement(
+            name="demo",
+            wall_time_s=2.0,
+            events_fired=100,
+            peak_pending_events=7,
+            sim_time_s=50.0,
+            extra={"note": "hello"},
+        )
+    )
+    path = report.write(tmp_path / "bench.json")
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == PerfReport.SCHEMA
+    assert payload["meta"]["scale"] == "test"
+    demo = payload["benchmarks"]["demo"]
+    assert demo["events_per_second"] == 50.0
+    assert demo["peak_pending_events"] == 7
+    assert demo["note"] == "hello"
+
+
+def test_perf_report_measure_reads_kernel_counters():
+    kernel = SimKernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    report = PerfReport()
+    watch = Stopwatch().start()
+    watch.stop()
+    measurement = report.measure("run", watch, kernel)
+    assert measurement.events_fired == 1
+    assert measurement.sim_time_s == 1.0
+
+
+def test_naive_mode_patches_and_restores():
+    optimized_agree = ReferencerTable.agree
+    optimized_eq = ActivityClock.__eq__
+    with naive_mode():
+        assert ReferencerTable.agree is not optimized_agree
+        assert ActivityClock.__eq__ is not optimized_eq
+        # The naive implementations still compute the same answers.
+        table = ReferencerTable()
+        c1 = ActivityClock(1, "x")
+        table.update("a", c1, True, 0.0)
+        assert table.agree(c1) is True
+    assert ReferencerTable.agree is optimized_agree
+    assert ActivityClock.__eq__ is optimized_eq
+
+
+def test_naive_mode_restores_after_exceptions():
+    optimized_agree = ReferencerTable.agree
+    with pytest.raises(RuntimeError):
+        with naive_mode():
+            raise RuntimeError("boom")
+    assert ReferencerTable.agree is optimized_agree
+
+
+def test_naive_and_optimized_cores_agree_on_a_small_world():
+    """End-to-end determinism probe at unit scale: one ring collected by
+    both cores must produce identical stats."""
+    config = DgcConfig(ttb=1.0, tta=3.0)
+
+    def outcome():
+        from repro.runtime.ids import reset_id_counter
+
+        reset_id_counter()
+        world = World(uniform_topology(2), dgc=config, seed=7)
+        driver = world.create_driver()
+        ring = build_ring(world, driver, 4)
+        world.run_for(2.0)
+        release_all(driver, ring)
+        assert world.run_until_collected(100 * config.tta)
+        return (
+            world.stats.collected_acyclic,
+            world.stats.collected_cyclic,
+            max(world.stats.collected_by_id.values()),
+        )
+
+    fast = outcome()
+    with naive_mode():
+        slow = outcome()
+    assert fast == slow
