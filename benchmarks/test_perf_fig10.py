@@ -1,0 +1,199 @@
+"""Paper-scale Fig. 10 benchmark — the ``BENCH_fig10.json`` trajectory.
+
+Runs the torture test at the paper's full scale — 6401 active objects (a
+master plus 50 slaves on each of 128 machines, Sec. 5.3) — twice on the
+same seed through :func:`repro.harness.figures.run_fig10`:
+
+* **batched** — heartbeats scheduled through the beat wheel
+  (``beat_slots`` phase buckets, one kernel event per bucket per tick)
+  with the pulse-batched DGC fan-out (one kernel event per distinct
+  delivery instant);
+* **per-event** — the pre-wheel scheduling: one cancellable kernel
+  event per activity per tick and one heap event per DGC message.
+
+and asserts (a) bit-identical simulation outcomes between the two
+schedulers (same collected counts, same last-collected instant, same
+bandwidth — batching changes heap traffic, never behaviour) and (b) a
+wall-clock speedup of at least ``MIN_SPEEDUP``.  Results land in
+``BENCH_fig10.json`` at the repo root (see PERFORMANCE.md).
+
+The time axis is compressed exactly like the throughput benchmark's
+(TTB=5 s, TTA=12 s, 150 s active phase): the *scale* axis — activity
+count, node count, reference-graph density — is the paper's, the beat
+period is shrunk so a full collapse fits in a benchmark run.
+
+Scale is controlled with ``REPRO_FIG10_SCALE``:
+
+* ``full`` (default) — the 6401-AO paper scale, speedup gate at 1.5x;
+* ``smoke`` — 641 AOs for CI smoke jobs, gate relaxed to 1.1x.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.harness.figures import (
+    PAPER_NODE_COUNT,
+    PAPER_SLAVE_COUNT,
+    run_fig10,
+)
+from repro.perf import PerfMeasurement, PerfReport, Stopwatch
+from repro.runtime.ids import reset_id_counter
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_fig10.json"
+
+SCALE = os.environ.get("REPRO_FIG10_SCALE", "full")
+if SCALE == "smoke":
+    SLAVE_COUNT = 640
+    NODE_COUNT = 64
+    MIN_SPEEDUP = 1.1
+else:
+    SLAVE_COUNT = PAPER_SLAVE_COUNT
+    NODE_COUNT = PAPER_NODE_COUNT
+    MIN_SPEEDUP = 1.5
+
+SEED = 11
+ACTIVE_DURATION = 150.0
+#: Compressed-time paper configuration (scale axis untouched).
+FIG10_CONFIG = DgcConfig(ttb=5.0, tta=12.0)
+#: Start-jitter phase slots per TTB: heartbeat scheduling becomes
+#: O(BEAT_SLOTS) heap events per beat period in batched mode.
+BEAT_SLOTS = 16
+
+
+def _run_once(batched: bool):
+    """One fixed-seed paper-scale run under controlled allocation."""
+    reset_id_counter()
+    gc.collect()
+    gc.disable()
+    try:
+        with Stopwatch() as watch:
+            results = run_fig10(
+                slave_count=SLAVE_COUNT,
+                active_duration=ACTIVE_DURATION,
+                node_count=NODE_COUNT,
+                seed=SEED,
+                fast=FIG10_CONFIG,
+                include_slow=False,
+                include_no_dgc=False,
+                beat_slots=BEAT_SLOTS,
+                batched_beats=batched,
+                collect_timeout=16_000.0,
+            )
+    finally:
+        gc.enable()
+    return watch.elapsed, results.fast
+
+
+def _signature(result):
+    """Everything that must be bit-identical between the schedulers."""
+    return (
+        result.collected_acyclic,
+        result.collected_cyclic,
+        result.last_collected_s,
+        result.dead_letters,
+        round(result.total_bandwidth_mb, 9),
+        round(result.dgc_bandwidth_mb, 9),
+        tuple(result.series),
+    )
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    batched_wall, batched = _run_once(batched=True)
+    per_event_wall, per_event = _run_once(batched=False)
+    speedup = per_event_wall / batched_wall
+
+    report = PerfReport(
+        meta={
+            "scale": SCALE,
+            "seed": SEED,
+            "slave_count": SLAVE_COUNT,
+            "node_count": NODE_COUNT,
+            "ao_count": batched.ao_count,
+            "ttb": FIG10_CONFIG.ttb,
+            "tta": FIG10_CONFIG.tta,
+            "beat_slots": BEAT_SLOTS,
+            "active_duration_s": ACTIVE_DURATION,
+        }
+    )
+    for name, wall, result in (
+        ("fig10_batched", batched_wall, batched),
+        ("fig10_per_event", per_event_wall, per_event),
+    ):
+        report.add(
+            PerfMeasurement(
+                name=name,
+                wall_time_s=wall,
+                events_fired=result.events_fired,
+                peak_pending_events=result.peak_pending_events,
+                sim_time_s=result.sim_time_s,
+                extra={
+                    "collected_acyclic": result.collected_acyclic,
+                    "collected_cyclic": result.collected_cyclic,
+                    "last_collected_s": result.last_collected_s,
+                    "dgc_bandwidth_mb": round(result.dgc_bandwidth_mb, 6),
+                },
+            )
+        )
+    report.benchmarks["fig10_batched"].extra["speedup_vs_per_event"] = round(
+        speedup, 3
+    )
+    report.write(BENCH_PATH)
+    return {
+        "batched": (batched_wall, batched),
+        "per_event": (per_event_wall, per_event),
+        "speedup": speedup,
+    }
+
+
+def test_outcomes_are_bit_identical_across_schedulers(measurements):
+    """Beat batching is a pure scheduling change: both runs of the same
+    seed must produce the same simulation outcome, sample for sample."""
+    batched = _signature(measurements["batched"][1])
+    per_event = _signature(measurements["per_event"][1])
+    assert batched == per_event
+
+
+def test_paper_scale_run_collects_everything(measurements):
+    for __, result in (measurements["batched"], measurements["per_event"]):
+        assert result.all_collected
+        assert result.ao_count == SLAVE_COUNT + 1
+
+
+def test_wall_clock_speedup(measurements):
+    speedup = measurements["speedup"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched beat scheduling is only {speedup:.2f}x faster than "
+        f"per-event scheduling (required: {MIN_SPEEDUP}x at "
+        f"scale={SCALE!r})"
+    )
+
+
+def test_batched_run_does_less_heap_traffic(measurements):
+    """The structural claim behind the speedup: O(buckets + pulses)
+    events instead of O(ticks + messages)."""
+    __, batched = measurements["batched"]
+    __, per_event = measurements["per_event"]
+    assert batched.events_fired < per_event.events_fired / 4
+    assert batched.peak_pending_events < per_event.peak_pending_events
+
+
+def test_bench_artifact_written(measurements):
+    import json
+
+    assert BENCH_PATH.exists()
+    payload = json.loads(BENCH_PATH.read_text())
+    assert payload["schema"] == 1
+    benchmarks = payload["benchmarks"]
+    assert benchmarks["fig10_batched"]["speedup_vs_per_event"] > 0
+    for entry in benchmarks.values():
+        assert entry["wall_time_s"] > 0
+        assert entry["events_per_second"] > 0
+    assert payload["meta"]["ao_count"] == SLAVE_COUNT + 1

@@ -1,22 +1,32 @@
-"""Perf throughput benchmark — the BENCH_perf.json trajectory.
+"""Perf throughput benchmark — the ``BENCH_perf.json`` trajectory.
 
-Runs the fixed-seed scaled torture (paper Sec. 5.3) twice per core:
+Runs the fixed-seed scaled torture (paper Sec. 5.3) under three cores
+on the same seed:
 
-* **optimized** — the current hot paths;
-* **naive** — the pre-optimization implementations, patched back in via
-  :func:`repro.perf.naive_mode`.
+* **batched** — the current hot paths: beat-wheel heartbeat scheduling
+  plus the pulse-batched DGC fan-out;
+* **per-event** — the same core with per-event scheduling (one kernel
+  event per tick and per DGC message), the baseline the beat wheel is
+  measured against;
+* **naive scans** — the batched core with the pre-optimization
+  O(referencers) ``agree``/``expire`` scans patched back in via
+  :func:`repro.perf.naive_mode` (the protocol-level algorithmic
+  baseline; the PR-1 kernel/net constant-factor patch set is retired —
+  ``BENCH_perf.json`` now records that trajectory across PRs).
 
-and asserts (a) bit-identical simulation outcomes between the two cores
+and asserts (a) bit-identical simulation outcomes across *all* cores
 (same collected counts, same last-collected instant, same bandwidth) and
-(b) a wall-clock speedup of at least ``MIN_SPEEDUP``.  A dense synthetic
-clique workload is measured as a second trajectory point.  Results land
-in ``BENCH_perf.json`` at the repo root so the numbers are tracked
-across PRs (see PERFORMANCE.md).
+(b) a wall-clock speedup of batched over per-event scheduling of at
+least ``MIN_SPEEDUP``.  A dense synthetic clique workload is measured as
+a second trajectory point.  Results land in ``BENCH_perf.json`` at the
+repo root so the numbers are tracked across PRs (see PERFORMANCE.md);
+the paper-scale point lives in ``BENCH_fig10.json``
+(``benchmarks/test_perf_fig10.py``).
 
 Scale is controlled with ``REPRO_PERF_SCALE``:
 
-* ``full`` (default) — 320 slaves, speedup gate at 2.0x;
-* ``smoke`` — 96 slaves for CI smoke jobs, gate relaxed to 1.1x (tiny
+* ``full`` (default) — 320 slaves, speedup gate at 1.25x;
+* ``smoke`` — 96 slaves for CI smoke jobs, gate relaxed to 1.02x (tiny
   runs are noise-dominated; the artifact still gets uploaded).
 """
 
@@ -43,22 +53,22 @@ BENCH_PATH = REPO_ROOT / "BENCH_perf.json"
 SCALE = os.environ.get("REPRO_PERF_SCALE", "full")
 if SCALE == "smoke":
     SLAVE_COUNT = 96
-    MIN_SPEEDUP = 1.1
+    MIN_SPEEDUP = 1.02
 else:
     SLAVE_COUNT = 320
-    MIN_SPEEDUP = 2.0
+    MIN_SPEEDUP = 1.25
 
 SEED = 11
 NODE_COUNT = 32
 ACTIVE_DURATION = 150.0
-TORTURE_CONFIG = DgcConfig(ttb=5.0, tta=12.0)
+TORTURE_CONFIG = DgcConfig(ttb=5.0, tta=12.0, beat_slots=16)
 #: Best-of-N wall-clock to damp scheduler/allocator noise.
 ROUNDS = 2
 
 CLIQUE_PEERS = 12 if SCALE == "smoke" else 24
 
 
-def _run_torture_once():
+def _run_torture_once(batched: bool = True):
     """One fixed-seed scaled torture run under controlled allocation."""
     reset_id_counter()
     gc.collect()
@@ -73,6 +83,7 @@ def _run_torture_once():
                 seed=SEED,
                 sample_period=25.0,
                 collect_timeout=8_000.0,
+                batched_beats=batched,
             )
     finally:
         gc.enable()
@@ -80,7 +91,7 @@ def _run_torture_once():
 
 
 def _signature(result):
-    """Everything that must be bit-identical between the two cores."""
+    """Everything that must be bit-identical between the cores."""
     return (
         result.collected_acyclic,
         result.collected_cyclic,
@@ -117,17 +128,18 @@ def _run_clique_once():
 
 @pytest.fixture(scope="module")
 def measurements():
-    runs = {"optimized": [], "naive": []}
+    runs = {"batched": [], "per_event": [], "naive_scans": []}
     for _ in range(ROUNDS):
-        runs["optimized"].append(_run_torture_once())
+        runs["batched"].append(_run_torture_once(batched=True))
+        runs["per_event"].append(_run_torture_once(batched=False))
         with naive_mode():
-            runs["naive"].append(_run_torture_once())
+            runs["naive_scans"].append(_run_torture_once(batched=True))
 
     best = {
         mode: min(pairs, key=lambda pair: pair[0])
         for mode, pairs in runs.items()
     }
-    speedup = best["naive"][0] / best["optimized"][0]
+    speedup = best["per_event"][0] / best["batched"][0]
 
     clique_wall, clique_world, clique_collected = _run_clique_once()
 
@@ -139,6 +151,7 @@ def measurements():
             "node_count": NODE_COUNT,
             "ttb": TORTURE_CONFIG.ttb,
             "tta": TORTURE_CONFIG.tta,
+            "beat_slots": TORTURE_CONFIG.beat_slots,
             "rounds": ROUNDS,
         }
     )
@@ -148,11 +161,7 @@ def measurements():
                 name=f"torture_{mode}",
                 wall_time_s=wall,
                 events_fired=result.events_fired,
-                # The naive kernel does not maintain the queue-depth
-                # counter; omit the metric rather than reporting 0.
-                peak_pending_events=(
-                    result.peak_pending_events if mode == "optimized" else None
-                ),
+                peak_pending_events=result.peak_pending_events,
                 sim_time_s=result.sim_time_s,
                 extra={
                     "collected_acyclic": result.collected_acyclic,
@@ -161,12 +170,15 @@ def measurements():
                 },
             )
         )
-    report.benchmarks["torture_optimized"].extra["speedup_vs_naive"] = round(
-        speedup, 3
+    report.benchmarks["torture_batched"].extra["speedup_vs_per_event"] = (
+        round(speedup, 3)
+    )
+    report.benchmarks["torture_batched"].extra["speedup_vs_naive_scans"] = (
+        round(best["naive_scans"][0] / best["batched"][0], 3)
     )
     report.add(
         PerfMeasurement(
-            name="synthetic_clique_optimized",
+            name="synthetic_clique_batched",
             wall_time_s=clique_wall,
             events_fired=clique_world.kernel.fired_count,
             peak_pending_events=clique_world.kernel.peak_pending_count,
@@ -189,7 +201,7 @@ def measurements():
 
 
 def test_outcomes_are_bit_identical_across_cores(measurements):
-    """The optimization is a pure speedup: every run of either core on
+    """The optimizations are pure speedups: every run of every core on
     the same seed must produce the same simulation outcome."""
     signatures = {
         _signature(result)
@@ -208,9 +220,16 @@ def test_all_torture_runs_collected_everything(measurements):
 def test_wall_clock_speedup(measurements):
     speedup = measurements["speedup"]
     assert speedup >= MIN_SPEEDUP, (
-        f"optimized core is only {speedup:.2f}x faster than the naive "
-        f"core (required: {MIN_SPEEDUP}x at scale={SCALE!r})"
+        f"batched beat scheduling is only {speedup:.2f}x faster than "
+        f"per-event scheduling (required: {MIN_SPEEDUP}x at "
+        f"scale={SCALE!r})"
     )
+
+
+def test_batched_core_does_less_heap_traffic(measurements):
+    batched = measurements["best"]["batched"][1]
+    per_event = measurements["best"]["per_event"][1]
+    assert batched.events_fired < per_event.events_fired
 
 
 def test_synthetic_clique_collects(measurements):
@@ -224,13 +243,12 @@ def test_bench_artifact_written(measurements):
     payload = json.loads(BENCH_PATH.read_text())
     assert payload["schema"] == 1
     benchmarks = payload["benchmarks"]
-    assert "torture_optimized" in benchmarks
-    assert "torture_naive" in benchmarks
-    assert "synthetic_clique_optimized" in benchmarks
+    assert "torture_batched" in benchmarks
+    assert "torture_per_event" in benchmarks
+    assert "torture_naive_scans" in benchmarks
+    assert "synthetic_clique_batched" in benchmarks
     for entry in benchmarks.values():
         assert entry["wall_time_s"] > 0
         assert entry["events_per_second"] > 0
-    assert benchmarks["torture_optimized"]["peak_pending_events"] > 0
-    # The naive kernel has no maintained counter: the key must be absent,
-    # not a misleading zero.
-    assert "peak_pending_events" not in benchmarks["torture_naive"]
+    assert benchmarks["torture_batched"]["peak_pending_events"] > 0
+    assert benchmarks["torture_batched"]["speedup_vs_per_event"] > 0

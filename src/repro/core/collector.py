@@ -63,6 +63,15 @@ class DgcCollector:
         if config.start_jitter:
             rng = activity.node.rng_registry.stream(f"dgc:{activity.id}")
             initial_delay = rng.uniform(0.0, config.ttb)
+            if config.beat_slots:
+                # Snap the jitter onto the slot grid so beats sharing a
+                # slot coalesce into one wheel bucket.  The RNG draw is
+                # kept (stream consumption must not depend on the knob)
+                # and the quantisation is identical under per-event
+                # scheduling, so wheel-vs-per-event runs stay
+                # bit-comparable.
+                slot = config.ttb / config.beat_slots
+                initial_delay = int(initial_delay / slot) * slot
         else:
             initial_delay = config.ttb
         self._timer = PeriodicTimer(
@@ -71,6 +80,7 @@ class DgcCollector:
             self._tick,
             initial_delay=initial_delay,
             label=f"dgc.tick:{activity.id}",
+            per_event=not config.batched_beats,
         )
 
     # ------------------------------------------------------------------

@@ -40,6 +40,21 @@ class DgcConfig:
     #: Desynchronise broadcasts by starting each activity's beat at a
     #: uniformly random offset in [0, TTB).
     start_jitter: bool = True
+    #: Quantize the start jitter onto a grid of ``beat_slots`` phase
+    #: slots per TTB (0 = continuous jitter).  Collectors whose jitter
+    #: lands in the same slot share a beat bucket — with the wheel, one
+    #: kernel event per slot per beat period instead of one per
+    #: activity.  The slot count trades desynchronisation granularity
+    #: against scheduler batching; Fig. 10-scale runs use a few dozen
+    #: slots so heartbeat heap traffic is O(slots), not O(activities).
+    beat_slots: int = 0
+    #: Schedule the TTB beat through the kernel's beat wheel and deliver
+    #: its fan-out through the network's pulse batch (one kernel event
+    #: per distinct delivery instant).  ``False`` restores per-event
+    #: scheduling — one cancellable kernel event per activity per tick
+    #: and per message — which is the baseline the Fig. 10 benchmark
+    #: measures the batched scheduler against.
+    batched_beats: bool = True
     #: Sec. 7.1 extension: honour the ``sender_ttb`` declared in DGC
     #: messages when expiring referencer records, so activities with
     #: heterogeneous (or dynamically adjusted) beat periods interoperate
@@ -73,6 +88,10 @@ class DgcConfig:
             raise ConfigurationError(
                 "dynamic_min_ttb_factor must be in (0, 1], got "
                 f"{self.dynamic_min_ttb_factor}"
+            )
+        if self.beat_slots < 0:
+            raise ConfigurationError(
+                f"beat_slots must be >= 0, got {self.beat_slots}"
             )
 
     def validate_against(self, max_comm: float) -> None:

@@ -53,6 +53,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--skip-slow", action="store_true",
         help="skip the TTB=300 run (it simulates ~5 hours)",
     )
+    fig10.add_argument(
+        "--paper-scale", action="store_true",
+        help="the paper's full Fig. 10 scale: 6400 slaves on 128 nodes "
+        "(overrides --slaves/--nodes; see PERFORMANCE.md)",
+    )
+    fig10.add_argument(
+        "--beat-slots", type=int, default=None,
+        help="quantize heartbeat jitter onto N phase slots per TTB so "
+        "beats coalesce into wheel buckets (recommended at paper "
+        "scale: 16)",
+    )
+    fig10.add_argument(
+        "--per-event-beats", action="store_true",
+        help="disable the batched beat scheduler (one kernel event per "
+        "tick and per DGC message; the perf baseline)",
+    )
 
     everything = subparsers.add_parser("all", help="all artifacts, scaled")
     _add_nas_args(everything)
@@ -77,12 +93,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
 
     if args.command in ("fig10", "all"):
+        slaves = args.slaves
+        nodes = args.nodes
+        if getattr(args, "paper_scale", False):
+            from repro.harness.figures import (
+                PAPER_NODE_COUNT,
+                PAPER_SLAVE_COUNT,
+            )
+
+            slaves = PAPER_SLAVE_COUNT
+            nodes = PAPER_NODE_COUNT
         results = run_fig10(
-            slave_count=args.slaves,
+            slave_count=slaves,
             active_duration=args.duration,
-            node_count=args.nodes,
+            node_count=nodes,
             seed=args.seed,
             include_slow=not getattr(args, "skip_slow", False),
+            beat_slots=getattr(args, "beat_slots", None),
+            batched_beats=(
+                False if getattr(args, "per_event_beats", False) else None
+            ),
         )
         print(fig10_report(results))
 

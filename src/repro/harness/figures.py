@@ -6,6 +6,13 @@ the DGC must then collapse the tangle.  Two configurations:
 (a) TTB=30s / TTA=150s and (b) TTB=300s / TTA=1500s, plus a no-DGC
 reference run for the bandwidth comparison (paper: 1699 MB and 2063 MB
 vs 228 MB without DGC).
+
+The beat-wheel refactor makes the full 6401-AO run affordable:
+``run_fig10(slave_count=PAPER_SLAVE_COUNT, node_count=PAPER_NODE_COUNT,
+beat_slots=16)`` schedules the 6401 heartbeats through O(beat_slots)
+kernel events per beat period instead of O(activities);
+``benchmarks/test_perf_fig10.py`` drives the paper-scale A/B against
+per-event scheduling and records the trajectory in ``BENCH_fig10.json``.
 """
 
 from __future__ import annotations
@@ -22,10 +29,19 @@ from repro.harness.report import render_series, render_table
 from repro.net.topology import uniform_topology
 from repro.workloads.torture import TortureResult, run_torture
 
+#: The paper's full Fig. 10 scale: 50 slaves on each of 128 machines,
+#: plus the master — 6401 active objects.
+PAPER_SLAVE_COUNT = 6400
+PAPER_NODE_COUNT = 128
+
 
 @dataclass
 class Fig10Results:
-    """The three runs Fig. 10 and its commentary need."""
+    """The three runs Fig. 10 and its commentary need.
+
+    ``slow``/``no_dgc`` repeat ``fast`` when their runs were skipped
+    (perf-benchmark mode only needs the fast configuration).
+    """
 
     fast: TortureResult
     slow: TortureResult
@@ -41,8 +57,18 @@ def run_fig10(
     fast: DgcConfig = TORTURE_FAST_CONFIG,
     slow: DgcConfig = TORTURE_SLOW_CONFIG,
     include_slow: bool = True,
+    include_no_dgc: bool = True,
+    beat_slots: Optional[int] = None,
+    batched_beats: Optional[bool] = None,
+    collect_timeout: float = 36_000.0,
 ) -> Fig10Results:
-    """Run the torture test under both configurations plus no-DGC."""
+    """Run the torture test under both configurations plus no-DGC.
+
+    ``beat_slots``/``batched_beats`` are forwarded to
+    :func:`repro.workloads.torture.run_torture` (heartbeat batching
+    knobs); skipped runs reuse the fast result so the report shape is
+    stable.
+    """
 
     def run(dgc: Optional[DgcConfig], sample: float) -> TortureResult:
         return run_torture(
@@ -52,13 +78,16 @@ def run_fig10(
             topology=uniform_topology(node_count),
             seed=seed,
             sample_period=sample,
+            collect_timeout=collect_timeout,
+            beat_slots=beat_slots,
+            batched_beats=batched_beats,
         )
 
     fast_result = run(fast, sample=10.0)
     slow_result = (
         run(slow, sample=100.0) if include_slow else fast_result
     )
-    no_dgc_result = run(None, sample=10.0)
+    no_dgc_result = run(None, sample=10.0) if include_no_dgc else fast_result
     return Fig10Results(fast_result, slow_result, no_dgc_result)
 
 

@@ -12,24 +12,45 @@ import heapq
 import itertools
 import threading
 import time
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SchedulingInPastError, SimulationError
+from repro.sim.beats import BeatWheel
 from repro.sim.kernel import Event
 
 
 class LiveKernel:
-    """Drop-in kernel executing events at real (monotonic) times."""
+    """Drop-in kernel executing events at real (monotonic) times.
+
+    Mirrors :class:`repro.sim.kernel.SimKernel`, including its two fast
+    paths: the heap holds ``(time, seq, event, callback, args)`` tuples
+    (``event`` is ``None`` for fire-and-forget work, so
+    :meth:`schedule_fire_at` honours its event-less contract and never
+    allocates a cancellable :class:`Event` for deliveries), and
+    :meth:`schedule_periodic` batches aligned heartbeats through a
+    :class:`repro.sim.beats.BeatWheel` driven by the scheduler thread.
+    """
 
     def __init__(self) -> None:
         self._origin = time.monotonic()
-        self._heap: List[Event] = []
+        self._heap: List[
+            Tuple[float, int, Optional[Event], Callable[..., None], tuple]
+        ] = []
         self._seq = itertools.count()
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._shutdown = False
         self._fired = 0
         self._scheduled = 0
+        #: The run/stop handshake: ``run`` blocks the calling thread on
+        #: this condition; ``request_stop`` (typically fired from the
+        #: scheduler thread by the world's termination hook) wakes it.
+        self._run_cv = threading.Condition()
+        self._stop_requested = False
+        #: Beat wheel shared by all ``schedule_periodic`` callers; its
+        #: lock is reentrant because bucket callbacks (running on the
+        #: scheduler thread, under the lock) may register/stop members.
+        self._beats = BeatWheel(self, lock=threading.RLock())
         self._thread = threading.Thread(
             target=self._loop, name="repro-live-kernel", daemon=True
         )
@@ -51,6 +72,10 @@ class LiveKernel:
     @property
     def scheduled_count(self) -> int:
         return self._scheduled
+
+    @property
+    def beat_wheel(self) -> BeatWheel:
+        return self._beats
 
     def schedule(
         self,
@@ -76,8 +101,9 @@ class LiveKernel:
         with self._wakeup:
             if self._shutdown:
                 raise SimulationError("kernel is shut down")
-            event = Event(when, next(self._seq), callback, args, label)
-            heapq.heappush(self._heap, event)
+            seq = next(self._seq)
+            event = Event(when, seq, callback, args, label)
+            heapq.heappush(self._heap, (when, seq, event, callback, args))
             self._scheduled += 1
             self._wakeup.notify()
         return event
@@ -87,25 +113,73 @@ class LiveKernel:
         when: float,
         callback: Callable[..., None],
         args: tuple = (),
-    ) -> Event:
-        """Mirror of :meth:`SimKernel.schedule_fire_at`; the live kernel
-        has no event-less fast path, so this simply delegates."""
-        return self.schedule_at(when, callback, *args)
+    ) -> None:
+        """Mirror of :meth:`SimKernel.schedule_fire_at`: fire-and-forget
+        work is pushed without allocating an :class:`Event`, honouring
+        the documented event-less contract for never-cancelled
+        deliveries."""
+        with self._wakeup:
+            if self._shutdown:
+                raise SimulationError("kernel is shut down")
+            heapq.heappush(
+                self._heap, (when, next(self._seq), None, callback, args)
+            )
+            self._scheduled += 1
+            self._wakeup.notify()
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        first_delay: Optional[float] = None,
+        label: str = "beat",
+    ):
+        """Register ``callback`` on the beat wheel; same protocol as
+        :meth:`SimKernel.schedule_periodic`.  Bucket events fire on the
+        scheduler thread, so member callbacks keep the single-threaded
+        execution model."""
+        return self._beats.register(
+            period, callback, first_delay=first_delay, label=label
+        )
+
+    def request_stop(self) -> None:
+        """Wake a blocked :meth:`run` immediately (the event-driven
+        quiescence path, mirroring :meth:`SimKernel.request_stop`): the
+        world's termination hook — running on the scheduler thread —
+        calls this the instant the live non-root counter hits zero, and
+        the caller of ``run`` returns without polling.
+
+        The request latches: one issued while no ``run`` is blocked
+        (e.g. the racy instant right before ``run`` enters) is consumed
+        by the *next* ``run``, which then returns immediately."""
+        with self._run_cv:
+            self._stop_requested = True
+            self._run_cv.notify_all()
 
     def run(self, until: Optional[float] = None, max_events=None) -> int:
-        """Block the calling thread until wall time reaches ``until``.
+        """Block the calling thread until wall time reaches ``until`` or
+        :meth:`request_stop` is called.
 
         The scheduler thread keeps firing events throughout; this only
-        provides the ``world.run_for`` blocking semantics.
+        provides the ``world.run_for`` / ``run_until_collected``
+        blocking semantics.
         """
         if until is None:
             raise SimulationError(
                 "LiveKernel.run requires 'until' (it cannot drain an "
                 "open-ended real-time queue)"
             )
-        remaining = until - self.now
-        if remaining > 0:
-            time.sleep(remaining)
+        with self._run_cv:
+            try:
+                while not self._stop_requested:
+                    remaining = until - self.now
+                    if remaining <= 0:
+                        break
+                    self._run_cv.wait(timeout=remaining)
+            finally:
+                # Consume the request so the next run starts fresh.
+                self._stop_requested = False
         return 0
 
     def run_until_quiescent(
@@ -132,6 +206,7 @@ class LiveKernel:
         with self._wakeup:
             self._shutdown = True
             self._wakeup.notify()
+        self.request_stop()
         self._thread.join(timeout=join_timeout)
 
     # ------------------------------------------------------------------
@@ -148,19 +223,20 @@ class LiveKernel:
                         self._wakeup.wait()
                         continue
                     head = self._heap[0]
-                    if head.cancelled:
+                    event = head[2]
+                    if event is not None and event.cancelled:
                         heapq.heappop(self._heap)
                         continue
-                    delay = head.time - self.now
+                    delay = head[0] - self.now
                     if delay > 0:
                         self._wakeup.wait(timeout=delay)
                         continue
-                    event = heapq.heappop(self._heap)
+                    heapq.heappop(self._heap)
                     break
             # Fire outside the lock so callbacks can schedule freely.
             self._fired += 1
             try:
-                event.callback(*event.args)
+                head[3](*head[4])
             except Exception:  # pragma: no cover - surfaced by tests
                 import traceback
 

@@ -73,19 +73,36 @@ class FifoChannel:
             latency = self._base_latency
         else:
             latency = self._latency_fn(envelope)
-        if latency < 0:
-            latency = 0.0
-        now = self._kernel.now
-        delivery_time = now + latency
-        if delivery_time < self._last_delivery_time:
-            delivery_time = self._last_delivery_time
-        self._last_delivery_time = delivery_time
-        envelope.sent_at = now
-        self.sent_count += 1
+        delivery_time = self._reserve_slot(latency)
+        envelope.sent_at = self._kernel.now
         # Deliveries are never cancelled: take the event-less fast path.
         self._kernel.schedule_fire_at(
             delivery_time, self._deliver, (envelope, sink)
         )
+        return delivery_time
+
+    def stage_send(self) -> float:
+        """Reserve the next FIFO delivery slot for one constant-latency
+        message whose delivery event is managed *outside* the channel
+        (the network's pulse batch).  Counters and the FIFO clamp behave
+        exactly as :meth:`send`; the caller must bump
+        ``delivered_count`` when the staged message is delivered.
+
+        Only valid on the constant-latency fast path (no fault-plan
+        delay rules) — the network falls back to :meth:`send` otherwise.
+        """
+        return self._reserve_slot(self._base_latency)
+
+    def _reserve_slot(self, latency: float) -> float:
+        """The single implementation of latency clamp + FIFO ordering +
+        send accounting, shared by both delivery paths."""
+        if latency < 0:
+            latency = 0.0
+        delivery_time = self._kernel.now + latency
+        if delivery_time < self._last_delivery_time:
+            delivery_time = self._last_delivery_time
+        self._last_delivery_time = delivery_time
+        self.sent_count += 1
         return delivery_time
 
     def _deliver(self, envelope: Envelope, sink: Callable[[Envelope], None]) -> None:

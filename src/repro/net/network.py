@@ -8,12 +8,14 @@ Responsibilities:
 * short-circuit intra-node messages (delivered at the same simulated time,
   bypassing the accountant — paper Sec. 5: intra-JVM messages are passed
   by reference and not accounted),
-* feed every cross-node envelope to the :class:`BandwidthAccountant`.
+* feed every cross-node envelope to the :class:`BandwidthAccountant`,
+* in *pulse-batched* mode (the beat wheel's companion), coalesce every
+  delivery sharing an exact delivery instant into one kernel event.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import UnknownDestinationError
 from repro.net.accounting import BandwidthAccountant
@@ -22,6 +24,11 @@ from repro.net.faults import FaultPlan
 from repro.net.message import Envelope
 from repro.net.topology import Topology
 from repro.sim.kernel import SimKernel
+
+
+def _drop_payload(payload: Any) -> None:
+    """Shared no-op :attr:`Envelope.deliver` for fallback DGC envelopes
+    (dispatch happens through node sinks)."""
 
 
 class Network:
@@ -41,6 +48,23 @@ class Network:
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self._sinks: Dict[str, Callable[[Envelope], None]] = {}
         self._channels: Dict[Tuple[str, str], FifoChannel] = {}
+        #: Per-node DGC dispatchers ``(kind, activity_id, payload) ->
+        #: None``, used by the pulse-batched beat fan-out to skip the
+        #: per-message :class:`Envelope`.
+        self._dgc_sinks: Dict[str, Callable[[str, Any, Any], None]] = {}
+        #: When true (the beat wheel is active), *all* deliveries are
+        #: pulse-batched: every send staged for the same delivery
+        #: instant shares one kernel event, so a beat bucket's whole
+        #: fan-out costs O(distinct delivery times) heap traffic instead
+        #: of O(messages).  Delivery times (per-channel latency plus the
+        #: FIFO clamp), accounting, partition drops and per-channel
+        #: counters are computed exactly as on the per-event path, and
+        #: entries fire in stage order — which is send order, also
+        #: *across* traffic kinds, so per-channel FIFO (paper Sec. 3.2)
+        #: is preserved by construction and fixed-seed outcomes are
+        #: bit-identical with per-event delivery.
+        self.pulse_batching = False
+        self._pulses: Dict[float, list] = {}
         #: Hot-path cache: source -> dest -> (sink, channel-or-None).
         #: ``None`` channel means intra-node delivery.  Two nested
         #: string-keyed dicts avoid building a key tuple per envelope.
@@ -60,9 +84,21 @@ class Network:
     def kernel(self) -> SimKernel:
         return self._kernel
 
-    def register_node(self, node: str, sink: Callable[[Envelope], None]) -> None:
-        """Attach a node's receive dispatcher to the fabric."""
+    def register_node(
+        self,
+        node: str,
+        sink: Callable[[Envelope], None],
+        dgc_sink: Optional[Callable[[str, Any, Any], None]] = None,
+    ) -> None:
+        """Attach a node's receive dispatcher to the fabric.
+
+        ``dgc_sink`` is the envelope-free entry point for pulse-batched
+        DGC traffic; nodes that do not provide one fall back to the
+        per-envelope path even when batching is enabled.
+        """
         self._sinks[node] = sink
+        if dgc_sink is not None:
+            self._dgc_sinks[node] = dgc_sink
         self._routes.clear()
 
     def max_comm(self) -> float:
@@ -77,6 +113,10 @@ class Network:
         envelope.  Cross-node deliveries still go through ``_dispatch``
         (a delivery-time sink lookup) so a destination that vanishes
         mid-flight drops the envelope, as the fault model requires.
+
+        In pulse-batched mode the envelope is staged by delivery instant
+        instead of getting its own kernel event; everything else —
+        times, accounting, counters, per-channel order — is unchanged.
         """
         source = envelope.source_node
         dest = envelope.dest_node
@@ -93,6 +133,11 @@ class Network:
         sink, channel = route
         if channel is None:
             # Intra-node: delivered immediately (same tick), not accounted.
+            if self.pulse_batching:
+                envelope.sent_at = self._kernel.now
+                self._stage(self._kernel.now,
+                            (None, sink, dest, None, envelope, None))
+                return
             self._kernel.schedule_fire_at(
                 self._kernel.now, self._deliver_local, (envelope, sink)
             )
@@ -100,7 +145,115 @@ class Network:
         self.accountant.observe_sized(
             envelope.kind, envelope.size_bytes, channel.pair
         )
+        if (
+            self.pulse_batching
+            and channel._base_latency is not None
+            and not channel._delay_rules
+        ):
+            envelope.sent_at = self._kernel.now
+            self._stage(channel.stage_send(),
+                        (channel, None, dest, None, envelope, None))
+            return
         channel.send(envelope, self._dispatch)
+
+    def send_dgc(
+        self,
+        source: str,
+        dest: str,
+        kind: str,
+        size_bytes: int,
+        activity_id: Any,
+        payload: Any,
+    ) -> None:
+        """Pulse-batched, envelope-free DGC send: stage ``payload`` for
+        its exact per-envelope delivery instant; all traffic sharing
+        that instant rides one kernel event.
+
+        The delivery time is computed by the channel itself
+        (:meth:`FifoChannel.stage_send` — constant latency, FIFO clamp,
+        send counter), and accounting and partition drops match
+        :meth:`send`, so the batching changes heap traffic, never
+        simulation outcomes.  Channels with fault-plan delay rules fall
+        back to the per-envelope path (their latency is per-message).
+        """
+        by_dest = self._routes.get(source)
+        route = by_dest.get(dest) if by_dest is not None else None
+        if route is None:
+            route = self._build_route(source, dest)
+        fault_plan = self.fault_plan
+        if fault_plan._partitioned and fault_plan.is_partitioned(source, dest):
+            fault_plan.dropped_count += 1
+            return
+        sink, channel = route
+        if channel is None:
+            # Intra-node: delivered at the current instant, unaccounted.
+            dgc_sink = self._dgc_sinks.get(dest)
+            if dgc_sink is None:
+                self.send(
+                    Envelope(source, dest, kind, size_bytes,
+                             (activity_id, payload), _drop_payload)
+                )
+                return
+            delivery_time = self._kernel.now
+        else:
+            if (
+                channel._base_latency is None
+                or channel._delay_rules
+                or dest not in self._dgc_sinks
+            ):
+                # Variable latency (the pulse cannot share instants
+                # meaningfully) or an envelope-only destination: keep
+                # the per-envelope path's semantics.
+                self.send(
+                    Envelope(source, dest, kind, size_bytes,
+                             (activity_id, payload), _drop_payload)
+                )
+                return
+            delivery_time = channel.stage_send()
+            self.accountant.observe_sized(kind, size_bytes, channel.pair)
+            # Cross-node: resolved again at delivery so a node that
+            # vanishes mid-flight drops the entry (mirrors _dispatch).
+            dgc_sink = None
+        self._stage(
+            delivery_time,
+            (channel, dgc_sink, dest, kind, activity_id, payload),
+        )
+
+    def _stage(self, delivery_time: float, entry: tuple) -> None:
+        """Append one delivery to the pulse for ``delivery_time``,
+        creating its (single) kernel event on first use."""
+        pulses = self._pulses
+        batch = pulses.get(delivery_time)
+        if batch is None:
+            pulses[delivery_time] = batch = []
+            self._kernel.schedule_fire_at(
+                delivery_time, self._fire_pulse, (delivery_time,)
+            )
+        batch.append(entry)
+
+    def _fire_pulse(self, delivery_time: float) -> None:
+        """Deliver every entry staged for ``delivery_time``, in stage
+        (i.e. send) order."""
+        entries = self._pulses.pop(delivery_time)
+        dgc_sinks = self._dgc_sinks
+        for channel, sink, dest, kind, item, payload in entries:
+            if channel is not None:
+                channel.delivered_count += 1
+            if kind is None:
+                # An application envelope (``item``): local entries
+                # carry their cached node sink, cross-node ones re-check
+                # the destination like ``_dispatch``.
+                if channel is None:
+                    sink(item)
+                else:
+                    self._dispatch(item)
+                continue
+            if channel is not None:
+                sink = dgc_sinks.get(dest)
+                if sink is None:
+                    self.fault_plan.dropped_count += 1
+                    continue
+            sink(kind, item, payload)
 
     def _build_route(
         self, source: str, dest: str

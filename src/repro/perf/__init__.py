@@ -3,13 +3,16 @@
 ``repro.perf`` is the harness every perf-focused PR is judged against:
 
 * :mod:`repro.perf.stopwatch` — :class:`Stopwatch` timing and the
-  :class:`PerfReport` writer behind ``BENCH_perf.json``;
-* :mod:`repro.perf.baseline` — the pre-optimization hot paths, patchable
-  in under :func:`naive_mode` so speedups are measured against the code
-  they replaced, on the same seed, in the same process.
+  :class:`PerfReport` writer behind ``BENCH_perf.json`` and
+  ``BENCH_fig10.json``;
+* :mod:`repro.perf.baseline` — the naive O(referencers) protocol scans,
+  patchable in under :func:`naive_mode` so the algorithmic speedup is
+  measured against the code it replaced, on the same seed, in the same
+  process.  (Scheduling baselines need no patching: per-event beats are
+  a config knob, ``DgcConfig.batched_beats=False``.)
 
-See PERFORMANCE.md for methodology and ``benchmarks/test_perf_throughput.py``
-for the entry point.
+See PERFORMANCE.md for methodology; ``benchmarks/test_perf_throughput.py``
+and ``benchmarks/test_perf_fig10.py`` are the entry points.
 """
 
 from repro.perf.baseline import naive_mode

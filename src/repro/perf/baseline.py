@@ -1,30 +1,25 @@
-"""The pre-optimization ("naive") hot paths, as a reversible patch set.
+"""The pre-optimization ("naive") protocol scans, as a reversible patch set.
 
-The perf benchmark must compare the optimized core against the core it
-replaced *in the same process and on the same seed*, so the speedup and
-the bit-identical-outcome check are both meaningful.  This module keeps
-the replaced implementations verbatim and swaps them in under
-:func:`naive_mode`:
+PR 1 introduced this module as a verbatim copy of every hot path it
+replaced — protocol scans, kernel heap layout, network constant-factor
+work — so the first benchmark could measure the whole overhaul against
+the core it replaced in the same process.  With ``BENCH_perf.json`` now
+recording the trajectory across PRs, the kernel/net constant-factor
+patches have served their purpose (they mostly proved constant-factor
+work and could not survive the beat-wheel refactor's new heap layout
+anyway).  What remains is the *algorithmic* baseline, which stays
+meaningful indefinitely:
 
-* ``ReferencerTable.agree`` — the O(referencers) scan per call,
+* ``ReferencerTable.agree`` — the O(referencers) scan per call, versus
+  the incrementally maintained agreement counter;
 * ``ReferencerTable.expire`` — the unconditional full scan per tick,
-* ``DgcCollector._broadcast`` — no per-tick agreement cache, one fresh
-  ``DgcMessage`` allocated per referenced record,
-* ``DgcCollector._increment_clock`` — eager ``repr(clock)`` kwargs even
-  when tracing is disabled,
-* ``ActivityClock`` comparisons — key-tuple allocation per comparison,
-* ``FifoChannel.send`` — an f-string event label per envelope,
-* ``Network.send``/``_channel`` — per-envelope topology lookups and
-  unconditional fault-plan checks,
-* ``Node.send_dgc_message``/``send_dgc_response`` — a fresh ``deliver``
-  closure per envelope,
-* ``World.all_collected`` — rebuilds the non-root list per call,
-* ``World.run_until_collected`` — fixed-interval predicate polling
-  instead of the event-driven kernel stop.
+  versus the amortized oldest-record lower bound.
 
-None of these change simulation *behaviour* (event order, message
-contents, collection decisions) — only the work done to compute the same
-answers — which is exactly what the benchmark asserts.
+Both naive implementations are the table's own ``agree_scan`` /
+``expire_scan`` methods, which the property tests also use as ground
+truth.  Neither changes simulation *behaviour* (event order, message
+contents, collection decisions) — only the work done to compute the
+same answers — which is exactly what the benchmark asserts.
 """
 
 from __future__ import annotations
@@ -32,26 +27,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-import repro.core.collector as _collector_module
-import repro.core.protocol as _protocol_module
-from repro.core import events
-from repro.core.wire import DgcResponse
-from repro.core.clock import ActivityClock
-from repro.core.collector import DgcCollector
-from repro.core.protocol import consensus_flag_for
 from repro.core.referencers import ReferencerTable
-from repro.core.wire import DgcMessage
-from repro.net.channel import FifoChannel
-from repro.net.message import (
-    KIND_DGC_MESSAGE,
-    KIND_DGC_RESPONSE,
-    Envelope,
-)
-from repro.net.accounting import BandwidthAccountant, TrafficCategory
-from repro.net.network import Network
-from repro.runtime.node import Node
-from repro.sim.kernel import Event, SimKernel
-from repro.world import World
 
 
 def _naive_agree(self, clock):
@@ -65,296 +41,24 @@ def _naive_expire(self, now, tta, base_ttb=0.0, honor_sender_ttb=False):
 
 
 # Note: ``ReferencerTable.update`` is deliberately NOT patched.  The
-# incremental-counter maintenance it performs is a cost *added* by this
-# PR, so leaving it in place makes the naive core marginally faster than
-# the true pre-PR core (a conservative speedup measurement) — and it
-# keeps the counter exact for tables that live across a ``naive_mode``
-# boundary, where the patched ``expire_scan``/``forget`` still adjust it.
-
-
-def _naive_broadcast(self, is_idle=None):
-    # Pre-PR: recompute idleness and ignore any per-tick hint.
-    is_idle = self.activity.is_idle()
-    declared_ttb = (
-        self.current_ttb if self.config.heterogeneous_params else 0.0
-    )
-    for record in self.state.referenced.records():
-        consensus = consensus_flag_for(self.state, record, is_idle)
-        message = DgcMessage(
-            sender=self.state.self_id,
-            clock=self.state.clock,
-            consensus=consensus,
-            sender_ref=self.self_ref,
-            sender_ttb=declared_ttb,
-        )
-        self._node.send_dgc_message(record.ref, message)
-        self.messages_sent += 1
-        record.messages_sent += 1
-        record.needs_send = False
-    if self.state.referenced.pop_removable():
-        self._remove_referenced(already_popped=True)
-    if self.config.dynamic_ttb:
-        self._adjust_beat(is_idle)
-
-
-def _naive_increment_clock(self, reason):
-    self.state.increment_clock()
-    self._tracer.record(
-        self._kernel.now,
-        events.DGC_CLOCK_INCREMENT,
-        self.activity.id,
-        reason=reason,
-        clock=repr(self.state.clock),
-    )
-
-
-def _naive_all_collected(self):
-    return not self.live_non_roots()
-
-
-def _naive_run_until_collected(self, timeout, check_interval=1.0):
-    return self.kernel.run_until_quiescent(
-        self.all_collected, check_interval, timeout
-    )
-
-
-def _naive_clock_eq(self, other):
-    if not isinstance(other, ActivityClock):
-        return NotImplemented
-    return (self.value, self.owner) == (other.value, other.owner)
-
-
-def _naive_clock_ne(self, other):
-    result = _naive_clock_eq(self, other)
-    if result is NotImplemented:
-        return result
-    return not result
-
-
-def _naive_clock_lt(self, other):
-    return (self.value, self.owner) < (other.value, other.owner)
-
-
-def _naive_clock_le(self, other):
-    return (self.value, self.owner) <= (other.value, other.owner)
-
-
-def _naive_clock_gt(self, other):
-    return (self.value, self.owner) > (other.value, other.owner)
-
-
-def _naive_clock_ge(self, other):
-    return (self.value, self.owner) >= (other.value, other.owner)
-
-
-def _naive_channel_send(self, envelope, sink):
-    latency = self._latency_fn(envelope)
-    if latency < 0:
-        latency = 0.0
-    delivery_time = self._kernel.now + latency
-    if delivery_time < self._last_delivery_time:
-        delivery_time = self._last_delivery_time
-    self._last_delivery_time = delivery_time
-    envelope.sent_at = self._kernel.now
-    self.sent_count += 1
-    self._kernel.schedule_at(
-        delivery_time,
-        self._deliver,
-        envelope,
-        sink,
-        label=f"deliver:{self.source}->{self.dest}",
-    )
-    return delivery_time
-
-
-def _naive_network_send(self, envelope):
-    from repro.errors import UnknownDestinationError
-
-    sink = self._sinks.get(envelope.dest_node)
-    if sink is None:
-        raise UnknownDestinationError(
-            f"node {envelope.dest_node!r} is not registered"
-        )
-    if self.fault_plan.is_partitioned(envelope.source_node, envelope.dest_node):
-        self.fault_plan.dropped_count += 1
-        return
-    if envelope.source_node == envelope.dest_node:
-        self._kernel.schedule(
-            0.0, self._deliver_local, envelope, sink, label="deliver:local"
-        )
-        return
-    self.accountant.observe(envelope)
-    channel = self._channel(envelope.source_node, envelope.dest_node)
-    channel.send(envelope, self._dispatch)
-
-
-def _naive_network_channel(self, source, dest):
-    key = (source, dest)
-    channel = self._channels.get(key)
-    if channel is None:
-        channel = FifoChannel(self._kernel, source, dest, self._latency)
-        self._channels[key] = channel
-    return channel
-
-
-def _naive_send_dgc_message(self, target_ref, message, *, size_bytes=None):
-    envelope = Envelope(
-        source_node=self.name,
-        dest_node=target_ref.node,
-        kind=KIND_DGC_MESSAGE,
-        size_bytes=(
-            size_bytes
-            if size_bytes is not None
-            else self.wire_sizes.dgc_message_bytes
-        ),
-        payload=(target_ref.activity_id, message),
-        deliver=lambda payload: None,
-    )
-    self.network.send(envelope)
-
-
-def _naive_send_dgc_response(self, target_ref, response):
-    envelope = Envelope(
-        source_node=self.name,
-        dest_node=target_ref.node,
-        kind=KIND_DGC_RESPONSE,
-        size_bytes=self.wire_sizes.dgc_response_bytes,
-        payload=(target_ref.activity_id, response),
-        deliver=lambda payload: None,
-    )
-    self.network.send(envelope)
-
-
-def _naive_schedule_at(self, time, callback, *args, label=""):
-    from repro.errors import SchedulingInPastError
-    import heapq
-
-    if time < self._now:
-        raise SchedulingInPastError(
-            f"cannot schedule {label or callback!r} at {time} < now {self._now}"
-        )
-    # Pre-PR heap layout: bare events ordered by ``Event.__lt__`` (one
-    # Python call per sift step) instead of C-compared tuples.
-    event = Event(time, next(self._seq), callback, args, label)
-    heapq.heappush(self._heap, event)
-    self._scheduled += 1
-    return event
-
-
-def _naive_step(self):
-    import heapq
-
-    while self._heap:
-        event = heapq.heappop(self._heap)
-        if event.cancelled:
-            continue
-        self._now = event.time
-        self._fired += 1
-        event.callback(*event.args)
-        return True
-    return False
-
-
-def _naive_run(self, until=None, max_events=None):
-    from repro.errors import SimulationError
-    import heapq
-
-    if self._running:
-        raise SimulationError("kernel.run() is not reentrant")
-    self._running = True
-    fired = 0
-    try:
-        while self._heap:
-            if max_events is not None and fired >= max_events:
-                break
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and event.time > until:
-                break
-            heapq.heappop(self._heap)
-            self._now = event.time
-            self._fired += 1
-            event.callback(*event.args)
-            fired += 1
-    finally:
-        self._running = False
-    if until is not None and self._now < until:
-        self._now = until
-    return fired
-
-
-def _naive_pending_count(self):
-    return sum(1 for event in self._heap if not event.cancelled)
-
-
-def _naive_process_message(state, message, now, *, consensus_reached=False):
-    if message.clock > state.clock:
-        state.clock = message.clock
-        state.parent = None
-        state.depth = None
-    state.referencers.update(
-        message.sender,
-        message.clock,
-        message.consensus,
-        now,
-        sender_ttb=message.sender_ttb,
-    )
-    state.last_message_timestamp = now
-    has_parent = state.parent is not None or state.owns_clock
-    return DgcResponse(
-        responder=state.self_id,
-        clock=state.clock,
-        has_parent=has_parent,
-        consensus_reached=consensus_reached,
-        depth=state.current_depth(),
-    )
-
-
-def _naive_observe(self, envelope):
-    category = self._by_kind.get(envelope.kind)
-    if category is None:
-        category = TrafficCategory()
-        self._by_kind[envelope.kind] = category
-    category.add(envelope.size_bytes)
-    pair = (envelope.source_node, envelope.dest_node)
-    self._by_pair[pair] = self._by_pair.get(pair, 0) + envelope.size_bytes
+# incremental-counter maintenance it performs is a cost *added* by the
+# optimized core, so leaving it in place makes the naive core marginally
+# faster than the true pre-optimization core (a conservative speedup
+# measurement) — and it keeps the counter exact for tables that live
+# across a ``naive_mode`` boundary, where the patched
+# ``expire_scan``/``forget`` still adjust it.
 
 
 _PATCHES = [
-    (SimKernel, "schedule_at", _naive_schedule_at),
-    (SimKernel, "step", _naive_step),
-    (SimKernel, "run", _naive_run),
-    (SimKernel, "pending_count", property(_naive_pending_count)),
-    (BandwidthAccountant, "observe", _naive_observe),
-    # ``process_message`` is patched in both the defining module and the
-    # collector module, which imported it by name.
-    (_protocol_module, "process_message", _naive_process_message),
-    (_collector_module, "process_message", _naive_process_message),
     (ReferencerTable, "agree", _naive_agree),
     (ReferencerTable, "expire", _naive_expire),
-    (DgcCollector, "_broadcast", _naive_broadcast),
-    (DgcCollector, "_increment_clock", _naive_increment_clock),
-    (ActivityClock, "__eq__", _naive_clock_eq),
-    (ActivityClock, "__ne__", _naive_clock_ne),
-    (ActivityClock, "__lt__", _naive_clock_lt),
-    (ActivityClock, "__le__", _naive_clock_le),
-    (ActivityClock, "__gt__", _naive_clock_gt),
-    (ActivityClock, "__ge__", _naive_clock_ge),
-    (FifoChannel, "send", _naive_channel_send),
-    (Network, "send", _naive_network_send),
-    (Network, "_channel", _naive_network_channel),
-    (Node, "send_dgc_message", _naive_send_dgc_message),
-    (Node, "send_dgc_response", _naive_send_dgc_response),
-    (World, "all_collected", _naive_all_collected),
-    (World, "run_until_collected", _naive_run_until_collected),
 ]
 
 
 @contextmanager
 def naive_mode() -> Iterator[None]:
-    """Swap the naive hot paths in; restore the optimized ones on exit."""
+    """Swap the naive protocol scans in; restore the optimized paths on
+    exit."""
     saved = [(cls, name, cls.__dict__[name]) for cls, name, _ in _PATCHES]
     try:
         for cls, name, impl in _PATCHES:

@@ -53,7 +53,7 @@ class Node:
         # traffic.)
         self._dgc_message_bytes = self.wire_sizes.dgc_message_bytes
         self._dgc_response_bytes = self.wire_sizes.dgc_response_bytes
-        self.network.register_node(name, self._on_envelope)
+        self.network.register_node(name, self._on_envelope, self._on_dgc)
 
     # ------------------------------------------------------------------
     # Activity management
@@ -178,19 +178,44 @@ class Node:
         *,
         size_bytes: Optional[int] = None,
     ) -> None:
-        self.network.send(
+        network = self.network
+        size = size_bytes if size_bytes is not None else self._dgc_message_bytes
+        if network.pulse_batching:
+            # Beat traffic rides the pulse batch: one kernel event per
+            # distinct delivery instant instead of one per message.
+            network.send_dgc(
+                self.name,
+                target_ref.node,
+                KIND_DGC_MESSAGE,
+                size,
+                target_ref.activity_id,
+                message,
+            )
+            return
+        network.send(
             Envelope(
                 self.name,
                 target_ref.node,
                 KIND_DGC_MESSAGE,
-                size_bytes if size_bytes is not None else self._dgc_message_bytes,
+                size,
                 (target_ref.activity_id, message),
                 _noop_deliver,
             )
         )
 
     def send_dgc_response(self, target_ref: RemoteRef, response: Any) -> None:
-        self.network.send(
+        network = self.network
+        if network.pulse_batching:
+            network.send_dgc(
+                self.name,
+                target_ref.node,
+                KIND_DGC_RESPONSE,
+                self._dgc_response_bytes,
+                target_ref.activity_id,
+                response,
+            )
+            return
+        network.send(
             Envelope(
                 self.name,
                 target_ref.node,
@@ -254,6 +279,13 @@ class Node:
             return
         proxies = deserialize_refs(activity, reply.refs)
         future.resolve(reply.data, tuple(proxies))
+
+    def _on_dgc(self, kind: str, activity_id: ActivityId, payload: Any) -> None:
+        """Envelope-free dispatch for pulse-batched DGC traffic."""
+        if kind == KIND_DGC_MESSAGE:
+            self._on_dgc_message(activity_id, payload)
+        else:
+            self._on_dgc_response(activity_id, payload)
 
     def _on_dgc_message(self, activity_id: ActivityId, message: Any) -> None:
         activity = self.activities.get(activity_id)

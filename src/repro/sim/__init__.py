@@ -2,17 +2,22 @@
 
 The paper evaluates the DGC on the Grid'5000 testbed; this package provides
 the deterministic, laptop-scale equivalent: a heap-based event kernel
-(:mod:`repro.sim.kernel`), periodic timers used for the TTB heartbeat
-(:mod:`repro.sim.timers`), reproducible per-component random streams
-(:mod:`repro.sim.rng`) and structured traces (:mod:`repro.sim.tracing`).
+(:mod:`repro.sim.kernel`), the beat-bucket scheduler that batches aligned
+heartbeats into one heap event per bucket (:mod:`repro.sim.beats`),
+periodic timers used for the TTB heartbeat (:mod:`repro.sim.timers`),
+reproducible per-component random streams (:mod:`repro.sim.rng`) and
+structured traces (:mod:`repro.sim.tracing`).
 """
 
+from repro.sim.beats import BeatHandle, BeatWheel
 from repro.sim.kernel import Event, SimKernel
 from repro.sim.timers import PeriodicTimer
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import TraceEvent, Tracer
 
 __all__ = [
+    "BeatHandle",
+    "BeatWheel",
     "Event",
     "SimKernel",
     "PeriodicTimer",

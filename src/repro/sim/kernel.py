@@ -94,6 +94,7 @@ class SimKernel:
         self._peak_pending = 0
         self._running = False
         self._stop_requested = False
+        self._beat_wheel = None
 
     @property
     def now(self) -> float:
@@ -183,6 +184,37 @@ class SimKernel:
 
     def _on_event_cancelled(self) -> None:
         self._pending -= 1
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        first_delay: Optional[float] = None,
+        label: str = "beat",
+    ):
+        """Register a periodic callback on the kernel's beat wheel.
+
+        Callbacks sharing a ``(period, phase)`` bucket ride one heap
+        event per tick (see :mod:`repro.sim.beats`), so N aligned
+        heartbeats cost O(buckets) heap traffic instead of O(N).  The
+        returned :class:`repro.sim.beats.BeatHandle` supports O(1)
+        ``stop()`` (bucket-aware cancel: no dead event is left in the
+        heap) and ``set_period()`` (re-buckets at the next fire).
+        """
+        return self.beat_wheel.register(
+            period, callback, first_delay=first_delay, label=label
+        )
+
+    @property
+    def beat_wheel(self):
+        """The kernel's (lazily created) beat-bucket scheduler."""
+        wheel = self._beat_wheel
+        if wheel is None:
+            from repro.sim.beats import BeatWheel
+
+            wheel = self._beat_wheel = BeatWheel(self)
+        return wheel
 
     def request_stop(self) -> None:
         """Ask a :meth:`run` in progress to return after the current event.

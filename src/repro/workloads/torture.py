@@ -158,6 +158,9 @@ class TortureResult:
     events_fired: int = 0
     peak_pending_events: int = 0
     sim_time_s: float = 0.0
+    #: The world itself, kept only when ``keep_world=True`` (equivalence
+    #: tests inspect ``world.stats`` and ``world.tracer`` afterwards).
+    world: Optional[object] = None
 
 
 def run_torture(
@@ -171,13 +174,32 @@ def run_torture(
     collect_timeout: float = 36_000.0,
     initial_pool: int = 4,
     safety_checks: bool = False,
+    beat_slots: Optional[int] = None,
+    batched_beats: Optional[bool] = None,
+    trace: bool = False,
+    keep_world: bool = False,
 ) -> TortureResult:
-    """Run the torture test and sample the Fig. 10 curves."""
+    """Run the torture test and sample the Fig. 10 curves.
+
+    ``beat_slots`` / ``batched_beats`` override the corresponding DGC
+    config knobs (see :class:`repro.core.config.DgcConfig`): the slot
+    count quantizes the start jitter so heartbeats coalesce into beat
+    buckets, and ``batched_beats=False`` restores per-event scheduling —
+    the A/B axis of the Fig. 10 perf benchmark.
+    """
+    if dgc is not None:
+        overrides = {}
+        if beat_slots is not None:
+            overrides["beat_slots"] = beat_slots
+        if batched_beats is not None:
+            overrides["batched_beats"] = batched_beats
+        if overrides:
+            dgc = dgc.with_overrides(**overrides)
     world = World(
         topology if topology is not None else uniform_topology(32),
         dgc=dgc,
         seed=seed,
-        trace=False,
+        trace=trace,
         safety_checks=safety_checks,
     )
     driver = world.create_driver(name="torture-driver")
@@ -278,4 +300,5 @@ def run_torture(
         events_fired=world.kernel.fired_count,
         peak_pending_events=getattr(world.kernel, "peak_pending_count", 0),
         sim_time_s=world.kernel.now,
+        world=world if keep_world else None,
     )

@@ -93,6 +93,11 @@ class World:
         self.dgc_config = dgc
         if dgc is not None and validate_dgc_config:
             dgc.validate_against(self.network.max_comm())
+        if dgc is not None and dgc.batched_beats:
+            # The TTB beat is wheel-scheduled: let deliveries ride the
+            # network's pulse batch too (one kernel event per distinct
+            # delivery instant instead of one per message).
+            self.network.pulse_batching = True
         #: Optional callable ``factory(activity) -> collector`` overriding
         #: the paper's DGC; used to attach baseline collectors
         #: (:mod:`repro.baselines`).
@@ -217,23 +222,28 @@ class World:
     def run_until_collected(self, timeout: float, check_interval: float = 1.0) -> bool:
         """Run until every non-root activity is gone; False on timeout.
 
-        On the simulation kernel this is event-driven: the termination
-        hook stops the kernel the instant the live non-root counter hits
-        zero, with no fixed-interval polling.  ``check_interval`` is only
-        used by kernels without a stop facility (the live kernel).
+        Event-driven on every kernel: the termination hook calls
+        ``kernel.request_stop()`` the instant the live non-root counter
+        hits zero — the simulation kernel returns after the stopping
+        event, the live kernel wakes the blocked caller through its
+        condition variable.  There is no fixed-interval polling;
+        ``check_interval`` is kept for API compatibility and ignored.
         """
-        if self.all_collected():
-            return True
-        if hasattr(self.kernel, "request_stop"):
-            self._stop_when_collected = True
-            try:
-                self.kernel.run(until=self.kernel.now + timeout)
-            finally:
-                self._stop_when_collected = False
-            return self.all_collected()
-        return self.kernel.run_until_quiescent(
-            self.all_collected, check_interval, timeout
-        )
+        self._stop_when_collected = True
+        try:
+            # Check *after* arming: on the live kernel the last
+            # termination may land on the scheduler thread between a
+            # plain check and the arm, in which case nothing would ever
+            # call ``request_stop`` and ``run`` would sleep the whole
+            # timeout.  Armed first, that termination requests the stop
+            # itself (the live kernel latches a stop requested before
+            # ``run`` enters).
+            if self.all_collected():
+                return True
+            self.kernel.run(until=self.kernel.now + timeout)
+        finally:
+            self._stop_when_collected = False
+        return self.all_collected()
 
     # ------------------------------------------------------------------
     # Bookkeeping hooks (called by nodes)

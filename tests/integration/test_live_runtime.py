@@ -114,6 +114,79 @@ def test_live_kernel_interface():
         kernel.shutdown()
 
 
+def test_live_kernel_fire_at_is_event_less():
+    """``schedule_fire_at`` honours its event-less contract: no
+    cancellable Event is allocated, the callback simply fires."""
+    kernel = LiveKernel()
+    try:
+        fired = []
+        handle = kernel.schedule_fire_at(kernel.now + 0.02, fired.append, ("x",))
+        assert handle is None
+        assert kernel.run_until_quiescent(lambda: bool(fired), 0.01, 2.0)
+        assert fired == ["x"]
+    finally:
+        kernel.shutdown()
+
+
+def test_live_kernel_request_stop_wakes_run():
+    """The event-driven quiescence path: ``request_stop`` (fired from
+    the scheduler thread) wakes a blocked ``run`` through the condition
+    variable, long before the timeout."""
+    import time as _time
+
+    kernel = LiveKernel()
+    try:
+        kernel.schedule(0.05, kernel.request_stop)
+        start = _time.monotonic()
+        kernel.run(until=kernel.now + 30.0)
+        assert _time.monotonic() - start < 5.0
+    finally:
+        kernel.shutdown()
+
+
+def test_live_kernel_schedule_periodic_beats():
+    """The live kernel implements the beat-wheel protocol on its
+    scheduler thread."""
+    kernel = LiveKernel()
+    try:
+        fired = []
+        handles = [
+            kernel.schedule_periodic(
+                0.03, (lambda i: lambda: fired.append(i))(index),
+                first_delay=0.03,
+            )
+            for index in range(3)
+        ]
+        assert kernel.run_until_quiescent(lambda: len(fired) >= 9, 0.01, 5.0)
+        for handle in handles:
+            handle.stop()
+        settled = len(fired)
+        kernel.run(until=kernel.now + 0.15)
+        assert len(fired) <= settled + 3  # at most one in-flight bucket
+        # Registration order is preserved within each beat.
+        assert fired[:3] == [0, 1, 2]
+    finally:
+        kernel.shutdown()
+
+
+def test_live_world_run_until_collected_is_event_driven(live_world):
+    """``World.run_until_collected`` returns promptly on the live
+    kernel (no polling fallback): the termination hook stops the run
+    through the kernel's condition variable."""
+    import time as _time
+
+    world = live_world
+    driver = world.create_driver()
+    a = driver.context.create(Peer(), name="a")
+    world.run_for(0.2)
+    driver.context.drop(a)
+    start = _time.monotonic()
+    # Generous timeout: a polling-free return must not need it.
+    assert world.run_until_collected(60.0)
+    assert _time.monotonic() - start < 30.0
+    assert world.stats.collected_acyclic == 1
+
+
 def test_live_kernel_rejects_negative_delay():
     from repro.errors import SchedulingInPastError
 

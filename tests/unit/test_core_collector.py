@@ -170,7 +170,7 @@ def test_start_jitter_desynchronises_beats(make_world):
     delays = set()
     for proxy in proxies:
         collector = world.find_activity(proxy.activity_id).collector
-        delays.add(round(collector._timer._event.time, 6))
+        delays.add(round(collector._timer.next_fire_time, 6))
     assert len(delays) > 1
 
 
@@ -180,7 +180,7 @@ def test_no_start_jitter_when_disabled(make_world):
     driver = world.create_driver()
     proxies = [driver.context.create(Peer(), name=f"p{i}") for i in range(4)]
     delays = {
-        world.find_activity(p.activity_id).collector._timer._event.time
+        world.find_activity(p.activity_id).collector._timer.next_fire_time
         for p in proxies
     }
     assert len(delays) == 1

@@ -68,17 +68,17 @@ def test_perf_report_measure_reads_kernel_counters():
 
 def test_naive_mode_patches_and_restores():
     optimized_agree = ReferencerTable.agree
-    optimized_eq = ActivityClock.__eq__
+    optimized_expire = ReferencerTable.expire
     with naive_mode():
         assert ReferencerTable.agree is not optimized_agree
-        assert ActivityClock.__eq__ is not optimized_eq
+        assert ReferencerTable.expire is not optimized_expire
         # The naive implementations still compute the same answers.
         table = ReferencerTable()
         c1 = ActivityClock(1, "x")
         table.update("a", c1, True, 0.0)
         assert table.agree(c1) is True
     assert ReferencerTable.agree is optimized_agree
-    assert ActivityClock.__eq__ is optimized_eq
+    assert ReferencerTable.expire is optimized_expire
 
 
 def test_naive_mode_restores_after_exceptions():
