@@ -1,0 +1,197 @@
+"""App-heavy NAS benchmark — the ``BENCH_nas.json`` trajectory.
+
+The unified fabric's claim is that pulse batching pays off on
+request/reply-dominated traffic, not just DGC beats.  This benchmark
+drives the FT kernel skeleton — the all-to-all transpose, the most
+communication-heavy NAS pattern (paper Sec. 5.2) — twice on the same
+seed:
+
+* **batched** — every traffic kind staged typed (envelope-free) into the
+  per-delivery-instant pulse: one kernel event per distinct instant;
+* **per-event** — the pre-fabric baseline: one envelope and one kernel
+  event per message.
+
+and asserts (a) bit-identical simulation outcomes between the two
+delivery modes (batching changes heap traffic and allocations, never
+behaviour) and (b) a wall-clock speedup of at least ``MIN_SPEEDUP`` with
+materially fewer kernel events.  Results land in ``BENCH_nas.json`` at
+the repo root (see PERFORMANCE.md).
+
+App traffic dominates by construction: at the full scale the transpose
+moves ~200 MB of application payload against ~20 MB of DGC beats, so the
+speedup measured here is the fabric's, not the beat wheel's.
+
+Scale is controlled with ``REPRO_NAS_SCALE``:
+
+* ``full`` (default) — 128 workers on 64 nodes, speedup gate at 1.3x;
+* ``smoke`` — 24 workers on 12 nodes for CI smoke jobs (sub-second
+  runs), gate relaxed to 1.05x.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.net.topology import uniform_topology
+from repro.perf import PerfMeasurement, PerfReport, Stopwatch
+from repro.runtime.ids import reset_id_counter
+from repro.workloads.nas import kernel_spec, run_nas_kernel
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_nas.json"
+
+SCALE = os.environ.get("REPRO_NAS_SCALE", "full")
+if SCALE == "smoke":
+    AO_COUNT = 24
+    NODE_COUNT = 12
+    ITERATIONS = 10
+    MIN_SPEEDUP = 1.05
+else:
+    AO_COUNT = 128
+    NODE_COUNT = 64
+    ITERATIONS = 20
+    MIN_SPEEDUP = 1.3
+
+SEED = 7
+PAYLOAD_BYTES = 1_200
+#: The paper's NAS configuration (Sec. 5.2): TTB=30s, TTA=61s.
+NAS_CONFIG = DgcConfig(ttb=30.0, tta=61.0)
+
+
+def _run_once(batched: bool):
+    """One fixed-seed app-heavy run under controlled allocation."""
+    reset_id_counter()
+    spec = kernel_spec(
+        "FT",
+        ao_count=AO_COUNT,
+        iterations=ITERATIONS,
+        payload_bytes=PAYLOAD_BYTES,
+    )
+    gc.collect()
+    gc.disable()
+    try:
+        with Stopwatch() as watch:
+            result = run_nas_kernel(
+                spec,
+                dgc=NAS_CONFIG,
+                topology=uniform_topology(NODE_COUNT),
+                seed=SEED,
+                batched_beats=batched,
+            )
+    finally:
+        gc.enable()
+    return watch.elapsed, result
+
+
+def _signature(result):
+    """Everything that must be bit-identical between delivery modes."""
+    return (
+        result.app_time_s,
+        result.dgc_time_s,
+        result.collected_acyclic,
+        result.collected_cyclic,
+        result.dead_letters,
+        round(result.bandwidth_mb, 9),
+        round(result.app_bandwidth_mb, 9),
+        round(result.dgc_bandwidth_mb, 9),
+        result.sim_time_s,
+    )
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    batched_wall, batched = _run_once(batched=True)
+    per_event_wall, per_event = _run_once(batched=False)
+    speedup = per_event_wall / batched_wall
+
+    report = PerfReport(
+        meta={
+            "scale": SCALE,
+            "seed": SEED,
+            "kernel": "FT",
+            "ao_count": AO_COUNT,
+            "node_count": NODE_COUNT,
+            "iterations": ITERATIONS,
+            "payload_bytes": PAYLOAD_BYTES,
+            "ttb": NAS_CONFIG.ttb,
+            "tta": NAS_CONFIG.tta,
+        }
+    )
+    for name, wall, result in (
+        ("nas_ft_batched", batched_wall, batched),
+        ("nas_ft_per_event", per_event_wall, per_event),
+    ):
+        report.add(
+            PerfMeasurement(
+                name=name,
+                wall_time_s=wall,
+                events_fired=result.events_fired,
+                peak_pending_events=result.peak_pending_events,
+                sim_time_s=result.sim_time_s,
+                extra={
+                    "app_time_s": result.app_time_s,
+                    "dgc_time_s": result.dgc_time_s,
+                    "app_bandwidth_mb": round(result.app_bandwidth_mb, 6),
+                    "dgc_bandwidth_mb": round(result.dgc_bandwidth_mb, 6),
+                },
+            )
+        )
+    report.benchmarks["nas_ft_batched"].extra["speedup_vs_per_event"] = round(
+        speedup, 3
+    )
+    report.write(BENCH_PATH)
+    return {
+        "batched": (batched_wall, batched),
+        "per_event": (per_event_wall, per_event),
+        "speedup": speedup,
+    }
+
+
+def test_outcomes_are_bit_identical_across_delivery_modes(measurements):
+    batched = _signature(measurements["batched"][1])
+    per_event = _signature(measurements["per_event"][1])
+    assert batched == per_event
+
+
+def test_run_is_app_heavy_and_collects_everything(measurements):
+    for __, result in (measurements["batched"], measurements["per_event"]):
+        assert result.collected_acyclic + result.collected_cyclic == AO_COUNT
+        assert result.dead_letters == 0
+        # The point of the benchmark: application traffic dominates.
+        assert result.app_bandwidth_mb > 3 * result.dgc_bandwidth_mb
+
+
+def test_wall_clock_speedup(measurements):
+    speedup = measurements["speedup"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"unified-fabric batching is only {speedup:.2f}x faster than "
+        f"per-envelope delivery (required: {MIN_SPEEDUP}x at "
+        f"scale={SCALE!r})"
+    )
+
+
+def test_batched_run_does_materially_fewer_kernel_events(measurements):
+    """The structural claim behind the speedup: O(distinct delivery
+    instants) events instead of O(messages)."""
+    __, batched = measurements["batched"]
+    __, per_event = measurements["per_event"]
+    assert batched.events_fired < per_event.events_fired / 4
+
+
+def test_bench_artifact_written(measurements):
+    import json
+
+    assert BENCH_PATH.exists()
+    payload = json.loads(BENCH_PATH.read_text())
+    assert payload["schema"] == 1
+    benchmarks = payload["benchmarks"]
+    assert benchmarks["nas_ft_batched"]["speedup_vs_per_event"] > 0
+    for entry in benchmarks.values():
+        assert entry["wall_time_s"] > 0
+        assert entry["events_per_second"] > 0
+    assert payload["meta"]["ao_count"] == AO_COUNT

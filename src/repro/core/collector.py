@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro.core import events
 from repro.core.clock import ActivityClock
-from repro.core.config import DgcConfig
+from repro.core.config import AUTO_BEAT_SLOTS, DgcConfig
 from repro.core.protocol import (
     DgcState,
     acyclic_timeout_expired,
@@ -60,17 +60,27 @@ class DgcCollector:
         #: Current beat period; differs from ``config.ttb`` only when the
         #: dynamic-TTB extension (Sec. 7.1) accelerates the beat.
         self.current_ttb = config.ttb
+        beat_slots = config.beat_slots
+        if beat_slots == AUTO_BEAT_SLOTS:
+            # Adaptive grid: sized from the node's live activity count at
+            # registration (this activity included — it was added before
+            # the collector attaches).  Purely a function of simulated
+            # state, so batched and per-event schedulers resolve the same
+            # grid and stay bit-comparable.
+            beat_slots = activity.node.beat_slot_controller.slots_for(
+                len(activity.node.activities)
+            )
         if config.start_jitter:
             rng = activity.node.rng_registry.stream(f"dgc:{activity.id}")
             initial_delay = rng.uniform(0.0, config.ttb)
-            if config.beat_slots:
+            if beat_slots:
                 # Snap the jitter onto the slot grid so beats sharing a
                 # slot coalesce into one wheel bucket.  The RNG draw is
                 # kept (stream consumption must not depend on the knob)
                 # and the quantisation is identical under per-event
                 # scheduling, so wheel-vs-per-event runs stay
                 # bit-comparable.
-                slot = config.ttb / config.beat_slots
+                slot = config.ttb / beat_slots
                 initial_delay = int(initial_delay / slot) * slot
         else:
             initial_delay = config.ttb

@@ -19,8 +19,14 @@ all default to the paper's behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Union
 
 from repro.errors import ConfigurationError
+
+#: Sentinel value for :attr:`DgcConfig.beat_slots`: let each node's
+#: :class:`repro.sim.beats.SlotController` scale the slot grid with its
+#: live activity count.
+AUTO_BEAT_SLOTS = "auto"
 
 
 @dataclass(frozen=True)
@@ -47,7 +53,11 @@ class DgcConfig:
     #: activity.  The slot count trades desynchronisation granularity
     #: against scheduler batching; Fig. 10-scale runs use a few dozen
     #: slots so heartbeat heap traffic is O(slots), not O(activities).
-    beat_slots: int = 0
+    #: The string ``"auto"`` (:data:`AUTO_BEAT_SLOTS`) delegates the
+    #: choice to the hosting node's adaptive
+    #: :class:`repro.sim.beats.SlotController`, which re-buckets the grid
+    #: as the node's live activity count changes.
+    beat_slots: Union[int, str] = 0
     #: Schedule the TTB beat through the kernel's beat wheel and deliver
     #: its fan-out through the network's pulse batch (one kernel event
     #: per distinct delivery instant).  ``False`` restores per-event
@@ -89,7 +99,13 @@ class DgcConfig:
                 "dynamic_min_ttb_factor must be in (0, 1], got "
                 f"{self.dynamic_min_ttb_factor}"
             )
-        if self.beat_slots < 0:
+        if isinstance(self.beat_slots, str):
+            if self.beat_slots != AUTO_BEAT_SLOTS:
+                raise ConfigurationError(
+                    f"beat_slots must be an int >= 0 or "
+                    f"{AUTO_BEAT_SLOTS!r}, got {self.beat_slots!r}"
+                )
+        elif self.beat_slots < 0:
             raise ConfigurationError(
                 f"beat_slots must be >= 0, got {self.beat_slots}"
             )

@@ -1,10 +1,14 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: regenerate the paper's tables and figures,
+or drive one workload directly.
 
 Examples::
 
     python -m repro.harness fig8
     python -m repro.harness fig9 --ao-count 32 --runs 1
     python -m repro.harness fig10 --slaves 160
+    python -m repro.harness run --workload nas:ft --ao-count 32
+    python -m repro.harness run --workload torture --slaves 160 \
+        --beat-slots auto
     python -m repro.harness all
 """
 
@@ -12,10 +16,24 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.harness.figures import fig10_report, run_fig10
 from repro.harness.tables import fig8_table, fig9_table, run_comparisons
+
+
+def _beat_slots(value: str):
+    """``--beat-slots`` accepts an integer grid or ``auto`` (the
+    adaptive per-node slot controller)."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
 
 
 def _add_nas_args(parser: argparse.ArgumentParser) -> None:
@@ -59,16 +77,75 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(overrides --slaves/--nodes; see PERFORMANCE.md)",
     )
     fig10.add_argument(
-        "--beat-slots", type=int, default=None,
+        "--beat-slots", type=_beat_slots, default=None,
         help="quantize heartbeat jitter onto N phase slots per TTB so "
         "beats coalesce into wheel buckets (recommended at paper "
-        "scale: 16)",
+        "scale: 16; 'auto' scales the grid with per-node activity "
+        "count)",
     )
     fig10.add_argument(
         "--per-event-beats", action="store_true",
         help="disable the batched beat scheduler (one kernel event per "
         "tick and per DGC message; the perf baseline)",
     )
+
+    run_cmd = subparsers.add_parser(
+        "run",
+        help="drive one workload (torture or a NAS kernel) through the "
+        "unified fabric and print its summary",
+    )
+    run_cmd.add_argument(
+        "--workload",
+        choices=["torture", "nas:cg", "nas:ep", "nas:ft"],
+        default="torture",
+        help="which traffic shape to run: the Fig. 10 torture test or "
+        "one of the paper's NAS kernel skeletons (Sec. 5.2)",
+    )
+    run_cmd.add_argument("--nodes", type=int, default=32)
+    run_cmd.add_argument("--seed", type=int, default=1)
+    run_cmd.add_argument(
+        "--ttb", type=float, default=None, help="heartbeat period override"
+    )
+    run_cmd.add_argument(
+        "--tta", type=float, default=None, help="silence window override"
+    )
+    run_cmd.add_argument(
+        "--no-dgc", action="store_true",
+        help="run without the DGC (explicit termination, the paper's "
+        "bandwidth baseline)",
+    )
+    run_cmd.add_argument(
+        "--paper-scale", action="store_true",
+        help="the paper's scale for the chosen workload: 6400 slaves / "
+        "128 nodes (torture) or 256 workers / 128 nodes (NAS)",
+    )
+    run_cmd.add_argument(
+        "--beat-slots", type=_beat_slots, default=None,
+        help="heartbeat phase slots per TTB (int or 'auto')",
+    )
+    run_cmd.add_argument(
+        "--per-event-beats", action="store_true",
+        help="disable pulse batching: one kernel event per message and "
+        "per heartbeat tick (the perf baseline)",
+    )
+    # NAS knobs.
+    run_cmd.add_argument(
+        "--ao-count", type=int, default=None, help="NAS workers"
+    )
+    run_cmd.add_argument(
+        "--iterations", type=int, default=None, help="NAS iterations"
+    )
+    run_cmd.add_argument(
+        "--payload-bytes", type=int, default=None,
+        help="NAS per-message payload (CG vectors / FT transpose blocks)",
+    )
+    run_cmd.add_argument(
+        "--iter-time", type=float, default=None,
+        help="NAS per-iteration compute time (seconds)",
+    )
+    # Torture knobs.
+    run_cmd.add_argument("--slaves", type=int, default=320)
+    run_cmd.add_argument("--duration", type=float, default=600.0)
 
     everything = subparsers.add_parser("all", help="all artifacts, scaled")
     _add_nas_args(everything)
@@ -77,6 +154,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     everything.add_argument("--seed", type=int, default=1)
 
     args = parser.parse_args(argv)
+
+    if args.command == "run":
+        return _run_workload(args)
 
     if args.command in ("fig8", "fig9", "all"):
         comparisons = run_comparisons(
@@ -116,6 +196,103 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(fig10_report(results))
 
+    return 0
+
+
+def _run_workload(args: argparse.Namespace) -> int:
+    """The ``run`` subcommand: one workload, one summary."""
+    from repro.core.config import NAS_CONFIG, TORTURE_FAST_CONFIG
+    from repro.harness.report import render_table
+    from repro.net.topology import uniform_topology
+
+    batched = False if args.per_event_beats else None
+
+    def config_for(base):
+        if args.no_dgc:
+            return None
+        overrides = {}
+        if args.ttb is not None:
+            overrides["ttb"] = args.ttb
+        if args.tta is not None:
+            overrides["tta"] = args.tta
+        return base.with_overrides(**overrides) if overrides else base
+
+    started = time.perf_counter()
+    if args.workload == "torture":
+        from repro.harness.figures import PAPER_NODE_COUNT, PAPER_SLAVE_COUNT
+        from repro.workloads.torture import run_torture
+
+        slaves = PAPER_SLAVE_COUNT if args.paper_scale else args.slaves
+        nodes = PAPER_NODE_COUNT if args.paper_scale else args.nodes
+        result = run_torture(
+            dgc=config_for(TORTURE_FAST_CONFIG),
+            slave_count=slaves,
+            active_duration=args.duration,
+            topology=uniform_topology(nodes),
+            seed=args.seed,
+            beat_slots=args.beat_slots,
+            batched_beats=batched,
+            keep_world=True,
+        )
+        rows = [
+            ["activities", result.ao_count],
+            ["last collected (s)",
+             f"{result.last_collected_s:.1f}"
+             if result.last_collected_s is not None else "-"],
+            ["total MB", f"{result.total_bandwidth_mb:.2f}"],
+            ["app MB", f"{result.app_bandwidth_mb:.2f}"],
+            ["DGC MB", f"{result.dgc_bandwidth_mb:.2f}"],
+            ["collected (acyclic/cyclic)",
+             f"{result.collected_acyclic}/{result.collected_cyclic}"],
+            ["kernel events fired", result.events_fired],
+            ["sim time (s)", f"{result.sim_time_s:.1f}"],
+        ]
+        title = f"torture — {slaves} slaves on {nodes} nodes"
+    else:
+        from repro.harness.figures import PAPER_NODE_COUNT
+        from repro.workloads.nas import PAPER_AO_COUNT, kernel_spec, run_nas_kernel
+
+        kernel = args.workload.split(":", 1)[1]
+        spec = kernel_spec(
+            kernel,
+            ao_count=PAPER_AO_COUNT if args.paper_scale else args.ao_count,
+            iterations=args.iterations,
+            iter_time_s=args.iter_time,
+            payload_bytes=args.payload_bytes,
+        )
+        nodes = PAPER_NODE_COUNT if args.paper_scale else args.nodes
+        result = run_nas_kernel(
+            spec,
+            dgc=config_for(NAS_CONFIG),
+            topology=uniform_topology(nodes),
+            seed=args.seed,
+            beat_slots=args.beat_slots,
+            batched_beats=batched,
+            keep_world=True,
+        )
+        rows = [
+            ["workers", result.ao_count],
+            ["app time (s)", f"{result.app_time_s:.1f}"],
+            ["DGC time (s)", f"{result.dgc_time_s:.1f}"],
+            ["total MB", f"{result.bandwidth_mb:.2f}"],
+            ["app MB", f"{result.app_bandwidth_mb:.2f}"],
+            ["DGC MB", f"{result.dgc_bandwidth_mb:.2f}"],
+            ["collected (acyclic/cyclic)",
+             f"{result.collected_acyclic}/{result.collected_cyclic}"],
+            ["dead letters", result.dead_letters],
+            ["kernel events fired", result.events_fired],
+            ["sim time (s)", f"{result.sim_time_s:.1f}"],
+        ]
+        title = f"NAS {spec.name} — {spec.ao_count} workers on {nodes} nodes"
+    wall = time.perf_counter() - started
+    rows.append(["wall time (s)", f"{wall:.2f}"])
+    print(render_table(["metric", "value"], rows, title=title))
+    accountant = getattr(result.world, "accountant", None) if result.world else None
+    if accountant is not None:
+        breakdown = accountant.describe()
+        if breakdown:
+            print("\nper-kind traffic:")
+            print(breakdown)
     return 0
 
 

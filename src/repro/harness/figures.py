@@ -18,7 +18,7 @@ per-event scheduling and records the trajectory in ``BENCH_fig10.json``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.config import (
     DgcConfig,
@@ -58,7 +58,7 @@ def run_fig10(
     slow: DgcConfig = TORTURE_SLOW_CONFIG,
     include_slow: bool = True,
     include_no_dgc: bool = True,
-    beat_slots: Optional[int] = None,
+    beat_slots: Optional[Union[int, str]] = None,
     batched_beats: Optional[bool] = None,
     collect_timeout: float = 36_000.0,
 ) -> Fig10Results:

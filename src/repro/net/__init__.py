@@ -14,7 +14,18 @@ Bandwidth accounting mirrors the paper's instrumented-SOCKS methodology:
 only cross-node payload bytes are counted; intra-node messages are free.
 """
 
-from repro.net.message import Envelope, WireSizeModel
+from repro.net.message import (
+    ALL_KINDS,
+    KIND_APP_REPLY,
+    KIND_APP_REQUEST,
+    KIND_DGC_MESSAGE,
+    KIND_DGC_RESPONSE,
+    KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_REPLY,
+    Envelope,
+    WireSizeModel,
+    describe_traffic,
+)
 from repro.net.channel import FifoChannel
 from repro.net.network import Network
 from repro.net.topology import Site, Topology, grid5000_topology, uniform_topology
@@ -22,6 +33,14 @@ from repro.net.accounting import BandwidthAccountant, TrafficCategory
 from repro.net.faults import FaultPlan
 
 __all__ = [
+    "ALL_KINDS",
+    "KIND_APP_REPLY",
+    "KIND_APP_REQUEST",
+    "KIND_DGC_MESSAGE",
+    "KIND_DGC_RESPONSE",
+    "KIND_REGISTRY_LOOKUP",
+    "KIND_REGISTRY_REPLY",
+    "describe_traffic",
     "Envelope",
     "WireSizeModel",
     "FifoChannel",

@@ -6,8 +6,11 @@ numbers only include the TCP payload ... DGC messages and responses
 transmitted inside a single JVM are not accounted as they are directly
 passed by reference."
 
-The accountant therefore only sees envelopes that actually cross a node
-boundary; the network fabric never routes intra-node messages through it.
+The accountant therefore only sees messages that actually cross a node
+boundary; the network fabric never routes intra-node messages through
+it.  Both fabric forms — typed pulse entries and envelopes — account
+through :meth:`BandwidthAccountant.observe_sized` with the same kind
+constants, so per-kind numbers are uniform across sinks.
 """
 
 from __future__ import annotations
@@ -20,6 +23,8 @@ from repro.net.message import (
     KIND_APP_REQUEST,
     KIND_DGC_MESSAGE,
     KIND_DGC_RESPONSE,
+    KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_REPLY,
     Envelope,
 )
 
@@ -90,6 +95,14 @@ class BandwidthAccountant:
         return self.bytes_for(KIND_DGC_MESSAGE) + self.bytes_for(KIND_DGC_RESPONSE)
 
     @property
+    def registry_bytes(self) -> int:
+        """Registry traffic only (lookups + replies)."""
+        return (
+            self.bytes_for(KIND_REGISTRY_LOOKUP)
+            + self.bytes_for(KIND_REGISTRY_REPLY)
+        )
+
+    @property
     def total_messages(self) -> int:
         return sum(category.messages for category in self._by_kind.values())
 
@@ -103,3 +116,19 @@ class BandwidthAccountant:
     def megabytes(self) -> float:
         """Total cross-node traffic in MB (10^6 bytes, as in the paper)."""
         return self.total_bytes / 1e6
+
+    def describe(self) -> str:
+        """One line per observed traffic kind, in the fabric's canonical
+        :data:`~repro.net.message.ALL_KINDS` order (unknown kinds last,
+        sorted), using the same kind labels every sink reports (envelope
+        and typed alike) — kept uniform so ``grep 'dgc.message'`` works
+        on any trace or summary."""
+        from repro.net.message import ALL_KINDS
+
+        known = [kind for kind in ALL_KINDS if kind in self._by_kind]
+        extra = sorted(set(self._by_kind) - set(ALL_KINDS))
+        return "\n".join(
+            f"{kind}: {self._by_kind[kind].messages} msgs, "
+            f"{self._by_kind[kind].bytes} B"
+            for kind in known + extra
+        )

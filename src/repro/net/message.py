@@ -17,6 +17,34 @@ KIND_APP_REQUEST = "app.request"
 KIND_APP_REPLY = "app.reply"
 KIND_DGC_MESSAGE = "dgc.message"
 KIND_DGC_RESPONSE = "dgc.response"
+KIND_REGISTRY_LOOKUP = "registry.lookup"
+KIND_REGISTRY_REPLY = "registry.reply"
+
+#: Every kind the unified fabric routes, in dispatch-priority order
+#: (DGC first: it outnumbers the rest by an order of magnitude at scale).
+ALL_KINDS = (
+    KIND_DGC_MESSAGE,
+    KIND_DGC_RESPONSE,
+    KIND_APP_REQUEST,
+    KIND_APP_REPLY,
+    KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_REPLY,
+)
+
+#: Kinds whose typed form is an ``(item, payload)`` pair (the DGC fast
+#: lane addresses a per-activity collector, so the activity id travels
+#: next to the protocol message).  For every other kind the typed form
+#: is a single object and ``payload`` rides along as ``None``.  The
+#: legacy :class:`Envelope` payload shape follows the same rule: a
+#: ``(item, payload)`` tuple for paired kinds, the bare item otherwise.
+PAIRED_PAYLOAD_KINDS = frozenset({KIND_DGC_MESSAGE, KIND_DGC_RESPONSE})
+
+
+def describe_traffic(kind: str, source: str, dest: str, size_bytes: int) -> str:
+    """The one uniform rendering of a unit of traffic, shared by
+    :meth:`Envelope.__repr__` and the accountant so traces stay
+    greppable by kind regardless of which sink carried the message."""
+    return f"{kind} {source}->{dest} {size_bytes}B"
 
 
 @dataclass(slots=True)
@@ -42,8 +70,11 @@ class Envelope:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Envelope({self.kind} "
-            f"{self.source_node}->{self.dest_node}, {self.size_bytes}B)"
+            "Envelope("
+            + describe_traffic(
+                self.kind, self.source_node, self.dest_node, self.size_bytes
+            )
+            + ")"
         )
 
 
@@ -63,6 +94,11 @@ class WireSizeModel:
     request_header_bytes: int = 96
     reply_header_bytes: int = 64
     reference_bytes: int = 128
+    #: Registry traffic (paper Sec. 4.1: "anyone can look [registered
+    #: objects] up at any time"): a lookup carries a name, a reply
+    #: carries at most one serialized stub.
+    registry_lookup_bytes: int = 48
+    registry_reply_header_bytes: int = 32
 
     def request_size(self, payload_bytes: int, reference_count: int) -> int:
         """Wire size of an application request."""
@@ -78,4 +114,14 @@ class WireSizeModel:
             self.reply_header_bytes
             + payload_bytes
             + reference_count * self.reference_bytes
+        )
+
+    def registry_lookup_size(self) -> int:
+        """Wire size of a registry lookup request."""
+        return self.registry_lookup_bytes
+
+    def registry_reply_size(self, found: bool) -> int:
+        """Wire size of a registry reply (one stub when the name resolved)."""
+        return self.registry_reply_header_bytes + (
+            self.reference_bytes if found else 0
         )

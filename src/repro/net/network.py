@@ -1,4 +1,4 @@
-"""The network fabric: routes envelopes between nodes.
+"""The network fabric: routes traffic between nodes.
 
 Responsibilities:
 
@@ -8,9 +8,25 @@ Responsibilities:
 * short-circuit intra-node messages (delivered at the same simulated time,
   bypassing the accountant — paper Sec. 5: intra-JVM messages are passed
   by reference and not accounted),
-* feed every cross-node envelope to the :class:`BandwidthAccountant`,
+* feed every cross-node message to the :class:`BandwidthAccountant`,
 * in *pulse-batched* mode (the beat wheel's companion), coalesce every
   delivery sharing an exact delivery instant into one kernel event.
+
+The fabric carries two message forms over one staged transport:
+
+* **typed** (:meth:`Network.send_typed`) — the primary, allocation-light
+  form: ``(kind, item, payload)`` staged directly into the pulse for its
+  delivery instant and dispatched through the destination node's typed
+  sink.  Every traffic kind — app requests, future replies, registry
+  lookups and DGC protocol messages — rides this path; no per-message
+  :class:`Envelope` is allocated.
+* **envelope** (:meth:`Network.send`) — the per-event baseline and
+  compatibility form: one :class:`Envelope` per transmission, one kernel
+  event per delivery when batching is off.  ``send_typed`` falls back to
+  it whenever pulse semantics cannot hold (variable per-message latency
+  from fault-plan delay rules, destinations without a typed sink, or
+  batching disabled), so fixed-seed runs are bit-identical between the
+  two delivery modes.
 """
 
 from __future__ import annotations
@@ -21,13 +37,13 @@ from repro.errors import UnknownDestinationError
 from repro.net.accounting import BandwidthAccountant
 from repro.net.channel import FifoChannel
 from repro.net.faults import FaultPlan
-from repro.net.message import Envelope
+from repro.net.message import PAIRED_PAYLOAD_KINDS, Envelope
 from repro.net.topology import Topology
 from repro.sim.kernel import SimKernel
 
 
 def _drop_payload(payload: Any) -> None:
-    """Shared no-op :attr:`Envelope.deliver` for fallback DGC envelopes
+    """Shared no-op :attr:`Envelope.deliver` for fallback typed envelopes
     (dispatch happens through node sinks)."""
 
 
@@ -48,15 +64,16 @@ class Network:
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan()
         self._sinks: Dict[str, Callable[[Envelope], None]] = {}
         self._channels: Dict[Tuple[str, str], FifoChannel] = {}
-        #: Per-node DGC dispatchers ``(kind, activity_id, payload) ->
-        #: None``, used by the pulse-batched beat fan-out to skip the
-        #: per-message :class:`Envelope`.
-        self._dgc_sinks: Dict[str, Callable[[str, Any, Any], None]] = {}
+        #: Per-node typed dispatchers ``(kind, item, payload) -> None``:
+        #: the envelope-free receive path of the unified fabric, one sink
+        #: per node for *all* traffic kinds.
+        self._typed_sinks: Dict[str, Callable[[str, Any, Any], None]] = {}
         #: When true (the beat wheel is active), *all* deliveries are
         #: pulse-batched: every send staged for the same delivery
         #: instant shares one kernel event, so a beat bucket's whole
-        #: fan-out costs O(distinct delivery times) heap traffic instead
-        #: of O(messages).  Delivery times (per-channel latency plus the
+        #: fan-out — and an NAS iteration's whole exchange wave — costs
+        #: O(distinct delivery times) heap traffic instead of
+        #: O(messages).  Delivery times (per-channel latency plus the
         #: FIFO clamp), accounting, partition drops and per-channel
         #: counters are computed exactly as on the per-event path, and
         #: entries fire in stage order — which is send order, also
@@ -65,9 +82,12 @@ class Network:
         #: bit-identical with per-event delivery.
         self.pulse_batching = False
         self._pulses: Dict[float, list] = {}
+        #: Kernel events created on behalf of pulses; with
+        #: ``sent_count`` sums this is the fabric's batching ratio.
+        self.pulse_event_count = 0
         #: Hot-path cache: source -> dest -> (sink, channel-or-None).
         #: ``None`` channel means intra-node delivery.  Two nested
-        #: string-keyed dicts avoid building a key tuple per envelope.
+        #: string-keyed dicts avoid building a key tuple per message.
         #: Nodes only ever register (there is no unregister), so entries
         #: never go stale; the cache is cleared on registration anyway
         #: for hygiene.
@@ -88,25 +108,113 @@ class Network:
         self,
         node: str,
         sink: Callable[[Envelope], None],
-        dgc_sink: Optional[Callable[[str, Any, Any], None]] = None,
+        typed_sink: Optional[Callable[[str, Any, Any], None]] = None,
     ) -> None:
-        """Attach a node's receive dispatcher to the fabric.
+        """Attach a node's receive dispatchers to the fabric.
 
-        ``dgc_sink`` is the envelope-free entry point for pulse-batched
-        DGC traffic; nodes that do not provide one fall back to the
-        per-envelope path even when batching is enabled.
+        ``typed_sink`` is the envelope-free entry point for pulse-batched
+        traffic of every kind; nodes that do not provide one fall back to
+        the per-envelope path even when batching is enabled.
         """
         self._sinks[node] = sink
-        if dgc_sink is not None:
-            self._dgc_sinks[node] = dgc_sink
+        if typed_sink is not None:
+            self._typed_sinks[node] = typed_sink
         self._routes.clear()
 
     def max_comm(self) -> float:
         """Upper bound on one-way communication time (MaxComm, Sec. 3.1)."""
         return self._topology.max_one_way_latency()
 
+    def send_typed(
+        self,
+        source: str,
+        dest: str,
+        kind: str,
+        size_bytes: int,
+        item: Any,
+        payload: Any = None,
+    ) -> None:
+        """Route one typed message — the unified, allocation-light send
+        path every traffic kind goes through.
+
+        In pulse-batched mode the message is staged for its exact
+        per-envelope delivery instant (computed by the channel itself:
+        constant latency, FIFO clamp, send counter — see
+        :meth:`FifoChannel.stage_send`); all traffic sharing that instant
+        rides one kernel event and no :class:`Envelope` is allocated.
+        Accounting and partition drops match :meth:`send`, so batching
+        changes heap traffic and allocations, never simulation outcomes.
+
+        Falls back to the per-envelope path whenever pulse semantics
+        cannot hold: batching disabled (the per-event baseline), channels
+        with fault-plan delay rules (their latency is per-message), or
+        an envelope-only destination.
+        """
+        if not self.pulse_batching:
+            self.send(
+                Envelope(source, dest, kind, size_bytes,
+                         self._envelope_payload(kind, item, payload),
+                         _drop_payload)
+            )
+            return
+        by_dest = self._routes.get(source)
+        route = by_dest.get(dest) if by_dest is not None else None
+        if route is None:
+            route = self._build_route(source, dest)
+        fault_plan = self.fault_plan
+        if fault_plan._partitioned and fault_plan.is_partitioned(source, dest):
+            fault_plan.dropped_count += 1
+            return
+        channel = route[1]
+        if channel is None:
+            # Intra-node: delivered at the current instant, unaccounted.
+            typed_sink = self._typed_sinks.get(dest)
+            if typed_sink is None:
+                self.send(
+                    Envelope(source, dest, kind, size_bytes,
+                             self._envelope_payload(kind, item, payload),
+                             _drop_payload)
+                )
+                return
+            delivery_time = self._kernel.now
+        else:
+            if (
+                channel._base_latency is None
+                or channel._delay_rules
+                or dest not in self._typed_sinks
+            ):
+                # Variable latency (the pulse cannot share instants
+                # meaningfully) or an envelope-only destination: keep
+                # the per-envelope path's semantics.
+                self.send(
+                    Envelope(source, dest, kind, size_bytes,
+                             self._envelope_payload(kind, item, payload),
+                             _drop_payload)
+                )
+                return
+            delivery_time = channel.stage_send()
+            self.accountant.observe_sized(kind, size_bytes, channel.pair)
+            # Cross-node: resolved again at delivery so a node that
+            # vanishes mid-flight drops the entry (mirrors _dispatch).
+            typed_sink = None
+        self._stage(
+            delivery_time,
+            (channel, typed_sink, dest, kind, item, payload),
+        )
+
+    @staticmethod
+    def _envelope_payload(kind: str, item: Any, payload: Any) -> Any:
+        """The legacy :class:`Envelope` payload shape for a typed
+        message: a pair for the paired kinds (DGC), the bare item
+        otherwise."""
+        if kind in PAIRED_PAYLOAD_KINDS:
+            return (item, payload)
+        return item
+
     def send(self, envelope: Envelope) -> None:
-        """Route ``envelope`` to its destination node.
+        """Route a pre-built ``envelope`` to its destination node — the
+        per-event baseline and the fallback for traffic that cannot ride
+        the pulse.
 
         The (sink, channel) pair per node pair is cached so the hot path
         pays one dict probe instead of sink lookup + channel lookup per
@@ -156,69 +264,6 @@ class Network:
             return
         channel.send(envelope, self._dispatch)
 
-    def send_dgc(
-        self,
-        source: str,
-        dest: str,
-        kind: str,
-        size_bytes: int,
-        activity_id: Any,
-        payload: Any,
-    ) -> None:
-        """Pulse-batched, envelope-free DGC send: stage ``payload`` for
-        its exact per-envelope delivery instant; all traffic sharing
-        that instant rides one kernel event.
-
-        The delivery time is computed by the channel itself
-        (:meth:`FifoChannel.stage_send` — constant latency, FIFO clamp,
-        send counter), and accounting and partition drops match
-        :meth:`send`, so the batching changes heap traffic, never
-        simulation outcomes.  Channels with fault-plan delay rules fall
-        back to the per-envelope path (their latency is per-message).
-        """
-        by_dest = self._routes.get(source)
-        route = by_dest.get(dest) if by_dest is not None else None
-        if route is None:
-            route = self._build_route(source, dest)
-        fault_plan = self.fault_plan
-        if fault_plan._partitioned and fault_plan.is_partitioned(source, dest):
-            fault_plan.dropped_count += 1
-            return
-        sink, channel = route
-        if channel is None:
-            # Intra-node: delivered at the current instant, unaccounted.
-            dgc_sink = self._dgc_sinks.get(dest)
-            if dgc_sink is None:
-                self.send(
-                    Envelope(source, dest, kind, size_bytes,
-                             (activity_id, payload), _drop_payload)
-                )
-                return
-            delivery_time = self._kernel.now
-        else:
-            if (
-                channel._base_latency is None
-                or channel._delay_rules
-                or dest not in self._dgc_sinks
-            ):
-                # Variable latency (the pulse cannot share instants
-                # meaningfully) or an envelope-only destination: keep
-                # the per-envelope path's semantics.
-                self.send(
-                    Envelope(source, dest, kind, size_bytes,
-                             (activity_id, payload), _drop_payload)
-                )
-                return
-            delivery_time = channel.stage_send()
-            self.accountant.observe_sized(kind, size_bytes, channel.pair)
-            # Cross-node: resolved again at delivery so a node that
-            # vanishes mid-flight drops the entry (mirrors _dispatch).
-            dgc_sink = None
-        self._stage(
-            delivery_time,
-            (channel, dgc_sink, dest, kind, activity_id, payload),
-        )
-
     def _stage(self, delivery_time: float, entry: tuple) -> None:
         """Append one delivery to the pulse for ``delivery_time``,
         creating its (single) kernel event on first use."""
@@ -229,27 +274,33 @@ class Network:
             self._kernel.schedule_fire_at(
                 delivery_time, self._fire_pulse, (delivery_time,)
             )
+            self.pulse_event_count += 1
         batch.append(entry)
 
     def _fire_pulse(self, delivery_time: float) -> None:
         """Deliver every entry staged for ``delivery_time``, in stage
-        (i.e. send) order."""
+        (i.e. send) order.
+
+        Entry layout is uniform across message forms:
+        ``(channel, sink, dest, kind, item, payload)`` — ``kind`` is
+        ``None`` for envelope entries (``item`` is the envelope), a
+        traffic-kind constant for typed ones.  Local entries carry their
+        resolved sink; cross-node ones re-resolve the destination at
+        delivery, like ``_dispatch``.
+        """
         entries = self._pulses.pop(delivery_time)
-        dgc_sinks = self._dgc_sinks
+        typed_sinks = self._typed_sinks
         for channel, sink, dest, kind, item, payload in entries:
             if channel is not None:
                 channel.delivered_count += 1
             if kind is None:
-                # An application envelope (``item``): local entries
-                # carry their cached node sink, cross-node ones re-check
-                # the destination like ``_dispatch``.
                 if channel is None:
                     sink(item)
                 else:
                     self._dispatch(item)
                 continue
             if channel is not None:
-                sink = dgc_sinks.get(dest)
+                sink = typed_sinks.get(dest)
                 if sink is None:
                     self.fault_plan.dropped_count += 1
                     continue

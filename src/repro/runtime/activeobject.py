@@ -154,6 +154,16 @@ class ActivityContext:
         """
         return self._activity.node.deserialize_ref(self._activity, ref)
 
+    def lookup(self, name: str) -> Future:
+        """Resolve a registry name over the fabric.
+
+        Returns a future a generator handler can yield; it resolves to a
+        :class:`Proxy` for the bound activity (the stub is acquired at
+        reply delivery, creating the DGC edge) or ``None`` when the name
+        is unbound.
+        """
+        return self._activity.node.send_registry_lookup(self._activity, name)
+
     def holds(self, target: ActivityId) -> bool:
         """Does this activity currently hold a stub to ``target``?"""
         return self._activity.proxies.holds(target)

@@ -3,12 +3,14 @@
 A node owns its activities, a local garbage collector, and its attachment
 to the network fabric.  All traffic in and out of an activity flows
 through its node, which is where requests are serialized/deserialized and
-where DGC envelopes are dispatched to per-activity collectors.
+where inbound traffic of every kind — app requests/replies, registry
+lookups, DGC protocol messages — is dispatched through one per-kind sink
+table (the receive half of the unified fabric).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from repro.errors import NoSuchActivityError, RuntimeModelError
 from repro.net.message import (
@@ -16,20 +18,25 @@ from repro.net.message import (
     KIND_APP_REQUEST,
     KIND_DGC_MESSAGE,
     KIND_DGC_RESPONSE,
+    KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_REPLY,
     Envelope,
+    PAIRED_PAYLOAD_KINDS,
 )
 from repro.runtime.activeobject import Activity
 from repro.runtime.future import Future
 from repro.runtime.ids import ActivityId
 from repro.runtime.localgc import LocalGarbageCollector
 from repro.runtime.proxy import Proxy, RemoteRef
-from repro.runtime.request import Reply, ReplyAddress, Request
+from repro.runtime.request import (
+    RegistryLookup,
+    RegistryReply,
+    Reply,
+    ReplyAddress,
+    Request,
+)
 from repro.runtime.serialization import deserialize_refs, serialize_refs
-
-
-def _noop_deliver(payload: Any) -> None:
-    """Shared no-op for :attr:`Envelope.deliver` — dispatch happens via
-    node sinks, so allocating a fresh closure per envelope was waste."""
+from repro.sim.beats import SlotController
 
 
 class Node:
@@ -47,13 +54,24 @@ class Node:
         self.activities: Dict[ActivityId, Activity] = {}
         self._pending_futures: Dict[int, Future] = {}
         self.dead_letter_count = 0
+        #: Adaptive beat-slot sizing for collectors configured with
+        #: ``beat_slots="auto"`` (see :class:`repro.sim.beats.SlotController`).
+        self.beat_slot_controller = SlotController()
         # Hot-path cache: the wire-size model is frozen, so the DGC sizes
         # are constants.  (``network.send`` is deliberately NOT cached as
         # a bound method: harness code patches it per-instance to observe
         # traffic.)
         self._dgc_message_bytes = self.wire_sizes.dgc_message_bytes
         self._dgc_response_bytes = self.wire_sizes.dgc_response_bytes
-        self.network.register_node(name, self._on_envelope, self._on_dgc)
+        #: Per-kind handlers behind the typed sink.  The four hot kinds
+        #: are dispatched by explicit branches in :meth:`_on_typed`; this
+        #: table serves the rest (registry traffic, future extensions) so
+        #: adding a traffic kind means adding an entry, not a code path.
+        self._kind_handlers: Dict[str, Callable[[Any, Any], None]] = {
+            KIND_REGISTRY_LOOKUP: self._on_registry_lookup,
+            KIND_REGISTRY_REPLY: self._on_registry_reply,
+        }
+        self.network.register_node(name, self._on_envelope, self._on_typed)
 
     # ------------------------------------------------------------------
     # Activity management
@@ -125,16 +143,10 @@ class Node:
             reply_to=reply_to,
         )
         size = self.wire_sizes.request_size(payload_bytes, len(wire_refs))
-        envelope = Envelope(
-            source_node=self.name,
-            dest_node=target_ref.node,
-            kind=KIND_APP_REQUEST,
-            size_bytes=size,
-            payload=request,
-            deliver=_noop_deliver,
-        )
         self.world.note_request_sent(request)
-        self.network.send(envelope)
+        self.network.send_typed(
+            self.name, target_ref.node, KIND_APP_REQUEST, size, request
+        )
         return future
 
     def send_reply(self, sender: Activity, request: Request, result: Any) -> None:
@@ -156,16 +168,10 @@ class Node:
             data=data,
         )
         size = self.wire_sizes.reply_size(payload_bytes, len(wire_refs))
-        envelope = Envelope(
-            source_node=self.name,
-            dest_node=reply_to.node,
-            kind=KIND_APP_REPLY,
-            size_bytes=size,
-            payload=reply,
-            deliver=_noop_deliver,
-        )
         self.world.note_reply_sent(reply)
-        self.network.send(envelope)
+        self.network.send_typed(
+            self.name, reply_to.node, KIND_APP_REPLY, size, reply
+        )
 
     # ------------------------------------------------------------------
     # DGC traffic (called by the per-activity collectors)
@@ -178,74 +184,89 @@ class Node:
         *,
         size_bytes: Optional[int] = None,
     ) -> None:
-        network = self.network
         size = size_bytes if size_bytes is not None else self._dgc_message_bytes
-        if network.pulse_batching:
-            # Beat traffic rides the pulse batch: one kernel event per
-            # distinct delivery instant instead of one per message.
-            network.send_dgc(
-                self.name,
-                target_ref.node,
-                KIND_DGC_MESSAGE,
-                size,
-                target_ref.activity_id,
-                message,
-            )
-            return
-        network.send(
-            Envelope(
-                self.name,
-                target_ref.node,
-                KIND_DGC_MESSAGE,
-                size,
-                (target_ref.activity_id, message),
-                _noop_deliver,
-            )
+        self.network.send_typed(
+            self.name,
+            target_ref.node,
+            KIND_DGC_MESSAGE,
+            size,
+            target_ref.activity_id,
+            message,
         )
 
     def send_dgc_response(self, target_ref: RemoteRef, response: Any) -> None:
-        network = self.network
-        if network.pulse_batching:
-            network.send_dgc(
-                self.name,
-                target_ref.node,
-                KIND_DGC_RESPONSE,
-                self._dgc_response_bytes,
-                target_ref.activity_id,
-                response,
-            )
-            return
-        network.send(
-            Envelope(
-                self.name,
-                target_ref.node,
-                KIND_DGC_RESPONSE,
-                self._dgc_response_bytes,
-                (target_ref.activity_id, response),
-                _noop_deliver,
-            )
+        self.network.send_typed(
+            self.name,
+            target_ref.node,
+            KIND_DGC_RESPONSE,
+            self._dgc_response_bytes,
+            target_ref.activity_id,
+            response,
         )
+
+    # ------------------------------------------------------------------
+    # Registry traffic
+    # ------------------------------------------------------------------
+
+    def send_registry_lookup(self, sender: Activity, name: str) -> Future:
+        """Resolve a registry name over the fabric (paper Sec. 4.1:
+        registered objects can be looked up "at any time" — the lookup
+        itself is network traffic like any other).
+
+        Returns a :class:`Future` that resolves with a :class:`Proxy`
+        for the bound activity (acquired through the deserialization
+        hook, so the DGC sees the new edge) or ``None`` when the name is
+        unbound at serve time.
+        """
+        future = Future()
+        self._pending_futures[future.future_id] = future
+        lookup = RegistryLookup(
+            name=name,
+            reply_to=ReplyAddress(self.name, sender.id, future.future_id),
+        )
+        self.network.send_typed(
+            self.name,
+            self.world.registry_node,
+            KIND_REGISTRY_LOOKUP,
+            self.wire_sizes.registry_lookup_size(),
+            lookup,
+        )
+        return future
 
     # ------------------------------------------------------------------
     # Inbound dispatch
     # ------------------------------------------------------------------
 
     def _on_envelope(self, envelope: Envelope) -> None:
-        # DGC traffic outnumbers application traffic by an order of
-        # magnitude on large runs, so its branches come first.
-        kind = envelope.kind
-        if kind == KIND_DGC_MESSAGE:
-            activity_id, message = envelope.payload
-            self._on_dgc_message(activity_id, message)
-        elif kind == KIND_DGC_RESPONSE:
-            activity_id, response = envelope.payload
-            self._on_dgc_response(activity_id, response)
-        elif kind == KIND_APP_REQUEST:
-            self._on_request(envelope.payload)
-        elif kind == KIND_APP_REPLY:
-            self._on_reply(envelope.payload)
+        """Per-envelope receive path: unwrap into the same per-kind
+        handlers the typed sink dispatches to, so both delivery modes
+        are observably identical."""
+        payload = envelope.payload
+        if envelope.kind in PAIRED_PAYLOAD_KINDS:
+            self._on_typed(envelope.kind, payload[0], payload[1])
         else:
-            raise RuntimeModelError(f"unknown envelope kind {kind!r}")
+            self._on_typed(envelope.kind, payload, None)
+
+    def _on_typed(self, kind: str, item: Any, payload: Any) -> None:
+        """The node's typed sink: one dispatcher for every traffic kind.
+
+        DGC traffic outnumbers application traffic by an order of
+        magnitude on large runs, so its branches come first; cold kinds
+        (registry, extensions) go through the handler table.
+        """
+        if kind == KIND_DGC_MESSAGE:
+            self._on_dgc_message(item, payload)
+        elif kind == KIND_DGC_RESPONSE:
+            self._on_dgc_response(item, payload)
+        elif kind == KIND_APP_REQUEST:
+            self._on_request(item)
+        elif kind == KIND_APP_REPLY:
+            self._on_reply(item)
+        else:
+            handler = self._kind_handlers.get(kind)
+            if handler is None:
+                raise RuntimeModelError(f"unknown traffic kind {kind!r}")
+            handler(item, payload)
 
     def _on_request(self, request: Request) -> None:
         self.world.note_request_delivered(request)
@@ -280,12 +301,39 @@ class Node:
         proxies = deserialize_refs(activity, reply.refs)
         future.resolve(reply.data, tuple(proxies))
 
-    def _on_dgc(self, kind: str, activity_id: ActivityId, payload: Any) -> None:
-        """Envelope-free dispatch for pulse-batched DGC traffic."""
-        if kind == KIND_DGC_MESSAGE:
-            self._on_dgc_message(activity_id, payload)
-        else:
-            self._on_dgc_response(activity_id, payload)
+    def _on_registry_lookup(self, lookup: RegistryLookup, payload: Any) -> None:
+        """Serve a registry lookup on the registry's home node."""
+        reply_to = lookup.reply_to
+        ref = self.world.registry.resolve(lookup.name)
+        reply = RegistryReply(
+            future_id=reply_to.future_id,
+            target_activity=reply_to.activity,
+            name=lookup.name,
+            ref=ref,
+        )
+        self.network.send_typed(
+            self.name,
+            reply_to.node,
+            KIND_REGISTRY_REPLY,
+            self.wire_sizes.registry_reply_size(ref is not None),
+            reply,
+        )
+
+    def _on_registry_reply(self, reply: RegistryReply, payload: Any) -> None:
+        future = self._pending_futures.pop(reply.future_id, None)
+        if future is None:
+            self.dead_letter_count += 1
+            return
+        activity = self.activities.get(reply.target_activity)
+        if activity is None or activity.terminated:
+            # The looker-up died mid-lookup: drop, like a stale reply.
+            self.dead_letter_count += 1
+            return
+        if reply.ref is None:
+            future.resolve(None)
+            return
+        proxy = deserialize_refs(activity, (reply.ref,))[0]
+        future.resolve(proxy, (proxy,))
 
     def _on_dgc_message(self, activity_id: ActivityId, message: Any) -> None:
         activity = self.activities.get(activity_id)

@@ -8,7 +8,7 @@ activity collectable again once unreferenced and idle.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import RegistryError
 from repro.runtime.proxy import RemoteRef
@@ -47,6 +47,18 @@ class Registry:
             return self._bindings[name]
         except KeyError:
             raise RegistryError(f"name {name!r} is not bound") from None
+
+    def resolve(self, name: str) -> Optional[RemoteRef]:
+        """Non-raising :meth:`lookup`, used when serving lookups that
+        arrived over the fabric (an unbound name is a normal outcome for
+        a remote caller, not a programming error).
+
+        To *issue* a lookup over the fabric — a message to wherever the
+        registry lives, whose reply creates the reference-graph edge at
+        delivery — use :meth:`ActivityContext.lookup
+        <repro.runtime.activeobject.ActivityContext.lookup>`.
+        """
+        return self._bindings.get(name)
 
     def names(self) -> List[str]:
         return sorted(self._bindings)

@@ -61,3 +61,27 @@ class Reply:
     payload_bytes: int = 0
     refs: Tuple[RemoteRef, ...] = ()
     data: Any = None
+
+
+@dataclass(frozen=True)
+class RegistryLookup:
+    """A name resolution sent to the registry's home node.
+
+    Registry traffic rides the unified fabric like any other kind
+    (``registry.lookup``/``registry.reply``): a lookup crosses the wire,
+    is served where the registry lives, and the reply updates the
+    caller's future.
+    """
+
+    name: str
+    reply_to: ReplyAddress
+
+
+@dataclass(frozen=True)
+class RegistryReply:
+    """The registry's answer: the bound reference, or ``None``."""
+
+    future_id: int
+    target_activity: ActivityId
+    name: str
+    ref: Optional[RemoteRef] = None

@@ -42,6 +42,65 @@ from typing import Callable, ContextManager, Dict, Optional, Tuple
 from repro.errors import SchedulingInPastError, SimulationError
 
 
+class SlotController:
+    """Adaptive beat-slot sizing for ``DgcConfig.beat_slots="auto"``.
+
+    The slot grid trades desynchronisation granularity against scheduler
+    batching: too few slots on a busy node and broadcasts clump; too many
+    on a quiet node and every bucket holds one member, wasting the wheel.
+    The controller picks the grid from the node's **live activity count**
+    at each registration, so the grid re-buckets as the population grows
+    and shrinks: early registrations on a filling node get a coarse grid,
+    later ones a finer grid, targeting ``activities_per_slot`` members
+    per bucket throughout.
+
+    Slot counts are powers of two, for two reasons: hysteresis (the grid
+    only changes when the population doubles/halves, so registration
+    order perturbations do not thrash it) and nesting — a coarse grid's
+    phase boundaries are a subset of every finer grid's, so beats
+    quantized under different epochs still share buckets whenever their
+    phases coincide.
+
+    Deterministic by construction (pure function of the count), so
+    batched and per-event schedulers resolve identical grids and
+    fixed-seed equivalence holds under ``"auto"`` exactly as under a
+    pinned integer.
+    """
+
+    __slots__ = ("min_slots", "max_slots", "activities_per_slot")
+
+    def __init__(
+        self,
+        *,
+        min_slots: int = 4,
+        max_slots: int = 64,
+        activities_per_slot: int = 8,
+    ) -> None:
+        if min_slots < 1 or max_slots < min_slots:
+            raise SimulationError(
+                f"invalid slot bounds [{min_slots}, {max_slots}]"
+            )
+        if activities_per_slot < 1:
+            raise SimulationError(
+                f"activities_per_slot must be >= 1, got {activities_per_slot}"
+            )
+        self.min_slots = min_slots
+        self.max_slots = max_slots
+        self.activities_per_slot = activities_per_slot
+
+    def slots_for(self, activity_count: int) -> int:
+        """The slot grid for a node currently hosting ``activity_count``
+        live activities: the smallest power of two putting at most
+        ``activities_per_slot`` members in a bucket, clamped."""
+        needed = max(1, -(-activity_count // self.activities_per_slot))
+        slots = 1 << (needed - 1).bit_length()
+        if slots < self.min_slots:
+            return self.min_slots
+        if slots > self.max_slots:
+            return self.max_slots
+        return slots
+
+
 class BeatHandle:
     """One periodic registration; returned by :meth:`BeatWheel.register`.
 

@@ -18,18 +18,22 @@ compute time and a partner/payload pattern.
 
 from repro.workloads.nas.common import (
     KERNELS,
+    PAPER_AO_COUNT,
     NasKernelSpec,
     NasRunResult,
     NasWorker,
+    kernel_spec,
     paper_scale_kernels,
     run_nas_kernel,
 )
 
 __all__ = [
     "KERNELS",
+    "PAPER_AO_COUNT",
     "NasKernelSpec",
     "NasRunResult",
     "NasWorker",
+    "kernel_spec",
     "paper_scale_kernels",
     "run_nas_kernel",
 ]

@@ -22,7 +22,7 @@ giving the Fig. 8 (bandwidth) and Fig. 9 (time) quantities.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.core.config import DgcConfig
 from repro.errors import SimulationError
@@ -103,9 +103,52 @@ KERNELS: Dict[str, NasKernelSpec] = {
 }
 
 
+#: The paper's worker count (class C kernels, 256 active objects).
+PAPER_AO_COUNT = 256
+
+
 def paper_scale_kernels() -> Dict[str, NasKernelSpec]:
     """The paper's 256-worker variants (slow: minutes of wall time)."""
-    return {name: spec.scaled(256) for name, spec in KERNELS.items()}
+    return {name: spec.scaled(PAPER_AO_COUNT) for name, spec in KERNELS.items()}
+
+
+def kernel_spec(
+    name: str,
+    *,
+    ao_count: Optional[int] = None,
+    iterations: Optional[int] = None,
+    iter_time_s: Optional[float] = None,
+    payload_bytes: Optional[int] = None,
+) -> NasKernelSpec:
+    """One kernel spec with harness-level overrides applied.
+
+    ``payload_bytes`` re-parameterizes the communication pattern (CG's
+    boundary vectors, FT's transpose blocks); EP has no payload to
+    override.  The remaining knobs reshape the run without changing the
+    kernel's communication structure.
+    """
+    try:
+        base = KERNELS[name.upper()]
+    except KeyError:
+        raise SimulationError(
+            f"unknown NAS kernel {name!r} (have: {', '.join(KERNELS)})"
+        ) from None
+    factory = base.pattern_factory
+    if payload_bytes is not None:
+        kernel = base.name
+        if kernel == "CG":
+            factory = lambda: cg_pattern(payload_bytes=payload_bytes)  # noqa: E731
+        elif kernel == "FT":
+            factory = lambda: ft_pattern(payload_bytes=payload_bytes)  # noqa: E731
+        # EP is silent until the final reduction: nothing to resize.
+    return NasKernelSpec(
+        base.name,
+        ao_count if ao_count is not None else base.ao_count,
+        iterations if iterations is not None else base.iterations,
+        iter_time_s if iter_time_s is not None else base.iter_time_s,
+        factory,
+        base.deployment_bytes,
+    )
 
 
 @dataclass
@@ -123,6 +166,14 @@ class NasRunResult:
     collected_acyclic: int
     dead_letters: int
     ao_count: int
+    #: Kernel statistics for the perf harness (events executed, queue
+    #: high-water mark, final simulated time).
+    events_fired: int = 0
+    peak_pending_events: int = 0
+    sim_time_s: float = 0.0
+    #: The world itself, kept only when ``keep_world=True`` (equivalence
+    #: tests inspect ``world.stats`` and ``world.tracer`` afterwards).
+    world: Optional[object] = None
 
 
 def run_nas_kernel(
@@ -133,13 +184,31 @@ def run_nas_kernel(
     seed: int = 0,
     collect_timeout: float = 36_000.0,
     safety_checks: bool = False,
+    beat_slots: Optional[Union[int, str]] = None,
+    batched_beats: Optional[bool] = None,
+    trace: bool = False,
+    keep_world: bool = False,
 ) -> NasRunResult:
-    """Run one kernel once; see the module docstring for the protocol."""
+    """Run one kernel once; see the module docstring for the protocol.
+
+    ``beat_slots`` / ``batched_beats`` override the corresponding DGC
+    config knobs (see :class:`repro.core.config.DgcConfig`):
+    ``batched_beats=False`` restores per-event scheduling and
+    per-envelope delivery — the A/B axis of the NAS fabric benchmark.
+    """
+    if dgc is not None:
+        overrides = {}
+        if beat_slots is not None:
+            overrides["beat_slots"] = beat_slots
+        if batched_beats is not None:
+            overrides["batched_beats"] = batched_beats
+        if overrides:
+            dgc = dgc.with_overrides(**overrides)
     world = World(
         topology if topology is not None else uniform_topology(32),
         dgc=dgc,
         seed=seed,
-        trace=False,
+        trace=trace,
         safety_checks=safety_checks,
     )
     driver = world.create_driver(name=f"nas-{spec.name}-driver")
@@ -219,4 +288,8 @@ def run_nas_kernel(
         collected_acyclic=world.stats.collected_acyclic,
         dead_letters=world.stats.dead_letters,
         ao_count=spec.ao_count,
+        events_fired=world.kernel.fired_count,
+        peak_pending_events=getattr(world.kernel, "peak_pending_count", 0),
+        sim_time_s=world.kernel.now,
+        world=world if keep_world else None,
     )

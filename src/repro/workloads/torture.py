@@ -29,7 +29,7 @@ situation Eq. 1 describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.core.config import DgcConfig
 from repro.errors import SimulationError
@@ -174,7 +174,7 @@ def run_torture(
     collect_timeout: float = 36_000.0,
     initial_pool: int = 4,
     safety_checks: bool = False,
-    beat_slots: Optional[int] = None,
+    beat_slots: Optional[Union[int, str]] = None,
     batched_beats: Optional[bool] = None,
     trace: bool = False,
     keep_world: bool = False,
@@ -183,7 +183,8 @@ def run_torture(
 
     ``beat_slots`` / ``batched_beats`` override the corresponding DGC
     config knobs (see :class:`repro.core.config.DgcConfig`): the slot
-    count quantizes the start jitter so heartbeats coalesce into beat
+    count (an int, or ``"auto"`` for the adaptive per-node grid)
+    quantizes the start jitter so heartbeats coalesce into beat
     buckets, and ``batched_beats=False`` restores per-event scheduling —
     the A/B axis of the Fig. 10 perf benchmark.
     """

@@ -104,6 +104,10 @@ class World:
         self.collector_factory = collector_factory
         self.safety_checks = safety_checks
         self.registry = Registry(self)
+        #: Where registry lookups are served: lookups sent over the
+        #: fabric (``registry.lookup`` traffic) travel to this node and
+        #: their replies travel back, like any other traffic kind.
+        self.registry_node = self.topology.nodes[0]
         self.nodes: Dict[str, Node] = {
             name: Node(self, name, gc_delay=gc_delay)
             for name in self.topology.nodes

@@ -1,0 +1,109 @@
+"""The unified fabric is a pure delivery-mechanism change: pulse-batched
+typed delivery and per-event envelope delivery must produce bit-identical
+simulations on **app-traffic-dominated** workloads, not just DGC beats.
+
+Property checked across seeds and NAS kernels on fixed-seed runs: the
+full :class:`~repro.world.WorldStats` (including the per-activity
+collection instants) and the complete tracer event stream agree between
+the two delivery modes.  This mirrors
+``tests/integration/test_beat_equivalence.py`` (which drives the torture
+workload) on the request/reply-heavy NAS patterns — CG's neighbour
+exchanges + reductions, EP's final reduction, FT's all-to-all transpose.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import DgcConfig
+from repro.net.topology import uniform_topology
+from repro.runtime.ids import reset_id_counter
+from repro.workloads.nas import kernel_spec, run_nas_kernel
+
+CONFIG = DgcConfig(ttb=2.0, tta=5.0)
+WORKERS = 10
+NODES = 4
+
+#: Short kernels whose traffic is dominated by app requests/replies.
+SPECS = {
+    "CG": dict(iterations=8, iter_time_s=3.0, payload_bytes=5_000),
+    "EP": dict(iterations=1, iter_time_s=2.0),
+    "FT": dict(iterations=5, iter_time_s=3.0, payload_bytes=1_200),
+}
+
+
+def run(kernel: str, seed: int, batched: bool):
+    reset_id_counter()
+    return run_nas_kernel(
+        kernel_spec(kernel, ao_count=WORKERS, **SPECS[kernel]),
+        dgc=CONFIG,
+        topology=uniform_topology(NODES),
+        seed=seed,
+        collect_timeout=4_000.0,
+        batched_beats=batched,
+        trace=True,
+        keep_world=True,
+    )
+
+
+def world_fingerprint(result):
+    """Everything observable about one run: the stats block (with every
+    per-activity collection instant) and the raw tracer stream."""
+    stats = dataclasses.asdict(result.world.stats)
+    events = tuple(
+        (event.time, event.kind, event.subject,
+         tuple(sorted(event.details.items())))
+        for event in result.world.tracer
+    )
+    outcome = (
+        result.app_time_s,
+        result.dgc_time_s,
+        round(result.bandwidth_mb, 9),
+        round(result.app_bandwidth_mb, 9),
+        round(result.dgc_bandwidth_mb, 9),
+        result.dead_letters,
+    )
+    return stats, events, outcome
+
+
+@pytest.mark.parametrize("seed", [0, 5, 17])
+@pytest.mark.parametrize("kernel", sorted(SPECS))
+def test_batched_and_per_event_app_traffic_is_bit_identical(kernel, seed):
+    batched = run(kernel, seed, batched=True)
+    per_event = run(kernel, seed, batched=False)
+    b_stats, b_events, b_outcome = world_fingerprint(batched)
+    p_stats, p_events, p_outcome = world_fingerprint(per_event)
+    assert b_outcome == p_outcome
+    assert b_stats == p_stats
+    assert len(b_events) == len(p_events)
+    assert b_events == p_events
+
+
+@pytest.mark.parametrize("kernel", sorted(SPECS))
+def test_batched_runs_do_less_heap_traffic(kernel):
+    """The structural claim: typed pulses cost O(distinct delivery
+    instants) kernel events, per-event delivery O(messages)."""
+    batched = run(kernel, seed=3, batched=True)
+    per_event = run(kernel, seed=3, batched=False)
+    assert batched.events_fired < per_event.events_fired
+
+
+def test_auto_beat_slots_collects_and_stays_equivalent():
+    """``beat_slots="auto"`` resolves the same adaptive grid under both
+    delivery modes, so equivalence holds exactly as for a pinned int."""
+    reset_id_counter()
+    kwargs = dict(
+        dgc=CONFIG,
+        topology=uniform_topology(NODES),
+        seed=9,
+        collect_timeout=4_000.0,
+        beat_slots="auto",
+        trace=True,
+        keep_world=True,
+    )
+    spec = kernel_spec("FT", ao_count=WORKERS, **SPECS["FT"])
+    batched = run_nas_kernel(spec, batched_beats=True, **kwargs)
+    reset_id_counter()
+    per_event = run_nas_kernel(spec, batched_beats=False, **kwargs)
+    assert batched.collected_cyclic + batched.collected_acyclic == WORKERS
+    assert world_fingerprint(batched) == world_fingerprint(per_event)

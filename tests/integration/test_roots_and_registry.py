@@ -69,3 +69,40 @@ def test_lookup_then_acquire_creates_edge(make_world, fast_dgc):
     world.run_for(40 * fast_dgc.tta)
     # Still alive: the client (held by the root driver) references it.
     assert world.find_activity(service.activity_id) is not None
+
+
+def test_lookup_over_fabric_creates_live_dgc_edge(make_world, fast_dgc):
+    """A behavior yields ``ctx.lookup(name)``; the acquired stub is a
+    real reference-graph edge the DGC honours: the service stays alive
+    while held and collects after the holder drops it and unbinds."""
+    from repro.runtime.behaviors import Behavior
+
+    class LookerUp(Behavior):
+        def do_find(self, ctx, request, proxies):
+            future = ctx.lookup("svc")
+            yield future
+            self.found = ctx.keep(future.value)
+            return None
+
+        def do_forget(self, ctx, request, proxies):
+            ctx.drop(self.found)
+            return None
+
+    world = make_world()
+    driver = world.create_driver()
+    service = driver.context.create(Peer(), node="site-1", name="service")
+    world.registry.bind("svc", service.ref)
+    looker = driver.context.create(LookerUp(), node="site-2", name="looker")
+    driver.context.call(looker, "find")
+    world.run_for(2.0)
+    world.registry.unbind("svc")
+    release_all(driver, [service])
+    # Held through the looked-up stub (the looker stays pinned by the
+    # driver): the service survives well past TTA.
+    world.run_for(20 * fast_dgc.tta)
+    assert world.find_activity(service.activity_id) is not None
+    driver.context.call(looker, "forget")
+    world.run_for(1.0)
+    release_all(driver, [looker])
+    assert world.run_until_collected(60 * fast_dgc.tta)
+    assert world.accountant.registry_bytes > 0

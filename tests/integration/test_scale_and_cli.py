@@ -57,6 +57,68 @@ def test_cli_fig10(capsys):
     assert "Total bandwidth" in output
 
 
+def test_cli_run_nas_workload(capsys):
+    code = harness_main(
+        [
+            "run",
+            "--workload", "nas:ep",
+            "--ao-count", "8",
+            "--nodes", "4",
+            "--ttb", "2",
+            "--tta", "6",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "NAS EP — 8 workers" in output
+    assert "kernel events fired" in output
+
+
+def test_cli_run_nas_payload_and_iteration_knobs(capsys):
+    code = harness_main(
+        [
+            "run",
+            "--workload", "nas:ft",
+            "--ao-count", "6",
+            "--iterations", "2",
+            "--payload-bytes", "500",
+            "--iter-time", "2.0",
+            "--nodes", "3",
+            "--ttb", "2",
+            "--tta", "6",
+            "--beat-slots", "auto",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "NAS FT — 6 workers" in output
+
+
+def test_cli_run_torture_per_event(capsys):
+    code = harness_main(
+        [
+            "run",
+            "--workload", "torture",
+            "--slaves", "8",
+            "--duration", "30",
+            "--nodes", "4",
+            "--ttb", "2",
+            "--tta", "6",
+            "--per-event-beats",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "torture — 8 slaves" in output
+
+
+def test_cli_run_rejects_bad_beat_slots():
+    with pytest.raises(SystemExit):
+        harness_main(
+            ["run", "--workload", "torture", "--beat-slots", "sometimes"]
+        )
+
+
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         harness_main([])

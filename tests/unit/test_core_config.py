@@ -59,3 +59,17 @@ def test_paper_options_default_on():
     assert config.consensus_propagation
     assert config.increment_on_referencer_loss
     assert config.increment_on_referenced_loss
+
+
+def test_beat_slots_accepts_auto():
+    from repro.core.config import AUTO_BEAT_SLOTS
+
+    config = DgcConfig(ttb=1.0, tta=3.0, beat_slots=AUTO_BEAT_SLOTS)
+    assert config.beat_slots == "auto"
+
+
+def test_beat_slots_rejects_other_strings_and_negatives():
+    with pytest.raises(ConfigurationError):
+        DgcConfig(ttb=1.0, tta=3.0, beat_slots="adaptive")
+    with pytest.raises(ConfigurationError):
+        DgcConfig(ttb=1.0, tta=3.0, beat_slots=-1)

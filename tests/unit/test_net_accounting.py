@@ -55,3 +55,31 @@ def test_summary_is_a_copy():
     summary = accountant.summary()
     summary[KIND_APP_REQUEST].bytes = 999
     assert accountant.bytes_for(KIND_APP_REQUEST) == 10
+
+
+def test_describe_reports_kinds_uniformly_across_sinks():
+    """Typed and envelope sinks account with the same kind constants, in
+    the fabric's canonical order — the summary stays greppable by kind."""
+    from repro.net.message import KIND_APP_REQUEST, KIND_DGC_MESSAGE
+
+    accountant = BandwidthAccountant()
+    # One observation through the envelope form, one through the typed
+    # (pre-sized) form, one unknown extension kind.
+    accountant.observe(make_envelope(kind=KIND_APP_REQUEST, size=100))
+    accountant.observe_sized(KIND_DGC_MESSAGE, 64, ("a", "b"))
+    accountant.observe_sized("custom.kind", 10, ("a", "b"))
+    lines = accountant.describe().splitlines()
+    # Canonical ALL_KINDS order (DGC first), unknown kinds last.
+    assert lines == [
+        "dgc.message: 1 msgs, 64 B",
+        "app.request: 1 msgs, 100 B",
+        "custom.kind: 1 msgs, 10 B",
+    ]
+
+
+def test_envelope_repr_uses_the_uniform_traffic_description():
+    from repro.net.message import describe_traffic
+
+    envelope = make_envelope(kind="dgc.message", size=64)
+    assert describe_traffic("dgc.message", envelope.source_node,
+                            envelope.dest_node, 64) in repr(envelope)

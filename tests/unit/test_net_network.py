@@ -4,7 +4,12 @@ import pytest
 
 from repro.errors import UnknownDestinationError
 from repro.net.faults import FaultPlan
-from repro.net.message import KIND_APP_REQUEST, KIND_DGC_MESSAGE, Envelope
+from repro.net.message import (
+    KIND_APP_REPLY,
+    KIND_APP_REQUEST,
+    KIND_DGC_MESSAGE,
+    Envelope,
+)
 from repro.net.network import Network
 from repro.net.topology import uniform_topology
 from repro.sim.kernel import SimKernel
@@ -127,3 +132,128 @@ def test_delivery_to_vanished_node_is_dropped():
     kernel.run()
     assert sink_calls == []
     assert network.fault_plan.dropped_count == 1
+
+
+# ----------------------------------------------------------------------
+# The unified typed fabric (send_typed)
+# ----------------------------------------------------------------------
+
+
+def make_typed_network(node_count=2, batching=True):
+    kernel, network = make_network(node_count)
+    network.pulse_batching = batching
+    received = {}
+    for index in range(node_count):
+        name = f"site-{index}"
+
+        def typed_sink(kind, item, payload, _name=name):
+            received.setdefault(_name, []).append((kind, item, payload))
+
+        network.register_node(name, lambda env: None, typed_sink)
+    return kernel, network, received
+
+
+def test_send_typed_delivers_through_typed_sink_and_accounts():
+    kernel, network, received = make_typed_network()
+    network.send_typed("site-0", "site-1", KIND_APP_REQUEST, 123, "req")
+    kernel.run()
+    assert received["site-1"] == [(KIND_APP_REQUEST, "req", None)]
+    assert network.accountant.bytes_for(KIND_APP_REQUEST) == 123
+
+
+def test_send_typed_batches_same_instant_into_one_pulse_event():
+    kernel, network, received = make_typed_network()
+    for index in range(10):
+        network.send_typed(
+            "site-0", "site-1", KIND_APP_REQUEST, 10, f"req{index}"
+        )
+    kernel.run()
+    assert [item for __, item, __ in received["site-1"]] == [
+        f"req{index}" for index in range(10)
+    ]
+    # Ten messages share one delivery instant: one kernel pulse event.
+    assert network.pulse_event_count == 1
+
+
+def test_send_typed_intra_node_is_unaccounted_and_same_tick():
+    kernel, network, received = make_typed_network()
+    network.send_typed("site-0", "site-0", KIND_APP_REPLY, 99, "reply")
+    kernel.run()
+    assert received["site-0"] == [(KIND_APP_REPLY, "reply", None)]
+    assert network.accountant.total_bytes == 0
+
+
+def test_send_typed_falls_back_to_envelopes_without_batching():
+    kernel, network, __ = make_typed_network(batching=False)
+    envelopes = []
+    network.register_node("site-1", envelopes.append)
+    network.send_typed("site-0", "site-1", KIND_APP_REQUEST, 50, "req")
+    network.send_typed(
+        "site-0", "site-1", KIND_DGC_MESSAGE, 64, "ao-1", "beat"
+    )
+    kernel.run()
+    assert [env.kind for env in envelopes] == [
+        KIND_APP_REQUEST, KIND_DGC_MESSAGE
+    ]
+    # Paired kinds (DGC) wrap (item, payload); the rest carry the item.
+    assert envelopes[0].payload == "req"
+    assert envelopes[1].payload == ("ao-1", "beat")
+
+
+def test_send_typed_falls_back_for_envelope_only_destination():
+    kernel, network = make_network()
+    network.pulse_batching = True
+    typed, envelopes = [], []
+    network.register_node(
+        "site-0", lambda env: None, lambda *args: typed.append(args)
+    )
+    network.register_node("site-1", envelopes.append)  # no typed sink
+    network.send_typed("site-0", "site-1", KIND_APP_REQUEST, 10, "req")
+    kernel.run()
+    assert typed == []
+    assert len(envelopes) == 1 and envelopes[0].payload == "req"
+
+
+def test_send_typed_respects_partitions():
+    plan = FaultPlan()
+    kernel, network = make_network(fault_plan=plan)
+    network.pulse_batching = True
+    received = []
+    network.register_node("site-0", lambda env: None, lambda *a: None)
+    network.register_node(
+        "site-1", lambda env: None, lambda *args: received.append(args)
+    )
+    plan.partition("site-0", "site-1")
+    network.send_typed("site-0", "site-1", KIND_APP_REQUEST, 10, "req")
+    kernel.run()
+    assert received == []
+    assert plan.dropped_count == 1
+    assert network.accountant.total_bytes == 0
+
+
+def test_send_typed_to_vanished_node_is_dropped():
+    kernel, network, received = make_typed_network()
+    network.send_typed("site-0", "site-1", KIND_APP_REQUEST, 10, "req")
+    network._typed_sinks.pop("site-1")
+    kernel.run()
+    assert received.get("site-1") is None
+    assert network.fault_plan.dropped_count == 1
+
+
+def test_typed_and_envelope_traffic_share_channel_fifo():
+    kernel, network, received = make_typed_network()
+    order = []
+    network.register_node(
+        "site-1",
+        lambda env: order.append(("envelope", env.kind)),
+        lambda kind, item, payload: order.append(("typed", kind)),
+    )
+    network.send_typed("site-0", "site-1", KIND_APP_REQUEST, 10, "first")
+    network.send(make_envelope("site-0", "site-1", kind=KIND_DGC_MESSAGE))
+    network.send_typed("site-0", "site-1", KIND_APP_REPLY, 10, "third")
+    kernel.run()
+    assert order == [
+        ("typed", KIND_APP_REQUEST),
+        ("envelope", KIND_DGC_MESSAGE),
+        ("typed", KIND_APP_REPLY),
+    ]

@@ -82,3 +82,71 @@ def test_names_sorted(world):
     world.registry.bind("zeta", a.ref)
     world.registry.bind("alpha", b.ref)
     assert world.registry.names() == ["alpha", "zeta"]
+
+
+# ----------------------------------------------------------------------
+# Registry lookups over the fabric (registry.lookup / registry.reply)
+# ----------------------------------------------------------------------
+
+
+def test_lookup_via_fabric_resolves_future_with_proxy(world):
+    driver = world.create_driver(node="site-1")
+    svc = driver.context.create(SinkBehavior(), node="site-0", name="svc")
+    world.registry.bind("service", svc.ref)
+    driver_activity = world.find_activity(driver.id)
+    future = driver_activity.context.lookup("service")
+    assert not future.resolved
+    world.run_for(1.0)
+    assert future.resolved
+    proxy = future.value
+    assert proxy.activity_id == svc.activity_id
+    # The stub was acquired through the deserialization hook: the DGC
+    # edge exists and the proxy is held by the looker-up.
+    assert driver_activity.proxies.holds(svc.activity_id)
+
+
+def test_lookup_via_fabric_is_accounted_as_registry_traffic(world):
+    driver = world.create_driver(node="site-1")
+    svc = driver.context.create(SinkBehavior(), node="site-0", name="svc")
+    world.registry.bind("service", svc.ref)
+    driver_activity = world.find_activity(driver.id)
+    driver_activity.context.lookup("service")
+    world.run_for(1.0)
+    sizes = world.wire_sizes
+    assert world.accountant.registry_bytes == (
+        sizes.registry_lookup_size() + sizes.registry_reply_size(True)
+    )
+
+
+def test_lookup_via_fabric_unbound_name_resolves_none(world):
+    driver = world.create_driver(node="site-1")
+    driver_activity = world.find_activity(driver.id)
+    future = driver_activity.context.lookup("nothing-here")
+    world.run_for(1.0)
+    assert future.resolved
+    assert future.value is None
+
+
+def test_ctx_lookup_from_registry_home_node_is_free(world):
+    """A lookup from the registry's own node is intra-node traffic:
+    resolved at the same instant, not accounted."""
+    driver = world.create_driver(node=world.registry_node)
+    svc = driver.context.create(SinkBehavior(), node="site-1", name="svc")
+    world.registry.bind("service", svc.ref)
+    future = world.find_activity(driver.id).context.lookup("service")
+    world.run_for(0.1)
+    assert future.resolved
+    assert world.accountant.registry_bytes == 0
+
+
+def test_lookup_reply_to_terminated_caller_is_dead_lettered(world):
+    driver = world.create_driver(node="site-1")
+    looker = driver.context.create(SinkBehavior(), node="site-1", name="lk")
+    svc = driver.context.create(SinkBehavior(), node="site-0", name="svc")
+    world.registry.bind("service", svc.ref)
+    looker_activity = world.find_activity(looker.activity_id)
+    future = looker_activity.context.lookup("service")
+    looker_activity.terminate("explicit")
+    world.run_for(1.0)
+    assert not future.resolved
+    assert world.nodes["site-1"].dead_letter_count >= 1

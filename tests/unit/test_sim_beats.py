@@ -208,3 +208,50 @@ def test_bucket_events_are_o_buckets_not_o_members():
     # 50 members x 10 ticks = 500 member fires, but only 10 bucket
     # events (plus the one pending re-arm) ever touched the heap.
     assert wheel_of(kernel).bucket_event_count == 11
+
+
+# ----------------------------------------------------------------------
+# SlotController (adaptive beat_slots="auto")
+# ----------------------------------------------------------------------
+
+
+def test_slot_controller_targets_occupancy_with_power_of_two_grids():
+    from repro.sim.beats import SlotController
+
+    controller = SlotController(
+        min_slots=4, max_slots=64, activities_per_slot=8
+    )
+    # Quiet node: clamped to the floor.
+    assert controller.slots_for(1) == 4
+    assert controller.slots_for(32) == 4
+    # Growing population: next power of two of count/8.
+    assert controller.slots_for(33) == 8
+    assert controller.slots_for(64) == 8
+    assert controller.slots_for(100) == 16
+    # Paper-scale node (6401/128 ≈ 50 activities) still lands low.
+    assert controller.slots_for(50) == 8
+    # Huge node: clamped to the ceiling.
+    assert controller.slots_for(100_000) == 64
+
+
+def test_slot_controller_is_monotone_and_deterministic():
+    from repro.sim.beats import SlotController
+
+    controller = SlotController()
+    grids = [controller.slots_for(count) for count in range(1, 2_000)]
+    assert grids == sorted(grids)
+    assert grids == [controller.slots_for(count) for count in range(1, 2_000)]
+    # Powers of two only: coarse grids nest inside finer ones, so beats
+    # quantized under different population epochs can share buckets.
+    assert all(grid & (grid - 1) == 0 for grid in grids)
+
+
+def test_slot_controller_rejects_bad_bounds():
+    from repro.sim.beats import SlotController
+
+    with pytest.raises(SimulationError):
+        SlotController(min_slots=0)
+    with pytest.raises(SimulationError):
+        SlotController(min_slots=16, max_slots=8)
+    with pytest.raises(SimulationError):
+        SlotController(activities_per_slot=0)
