@@ -153,7 +153,8 @@ def measurements():
             "tta": TORTURE_CONFIG.tta,
             "beat_slots": TORTURE_CONFIG.beat_slots,
             "rounds": ROUNDS,
-        }
+        },
+        pr_label="PR4",
     )
     for mode, (wall, result) in best.items():
         report.add(

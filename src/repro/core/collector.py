@@ -22,12 +22,12 @@ from repro.core.config import AUTO_BEAT_SLOTS, DgcConfig
 from repro.core.protocol import (
     DgcState,
     acyclic_timeout_expired,
-    consensus_flag_for,
     cyclic_consensus_made,
     process_message,
     process_response,
 )
 from repro.core.wire import DgcMessage, DgcResponse
+from repro.net.message import KIND_DGC_RESPONSE
 from repro.runtime.activeobject import Activity
 from repro.runtime.proxy import Proxy, RemoteRef, StubTag
 from repro.sim.timers import PeriodicTimer
@@ -49,6 +49,9 @@ class DgcCollector:
             last_message_timestamp=self._kernel.now,
         )
         self.doomed_since: Optional[float] = None
+        #: Interned Sec. 4.3 verdict response (built on first use after
+        #: dooming; invalidated by identity if the clock ever moved).
+        self._doomed_response: Optional[DgcResponse] = None
         self._stopped = False
         self.messages_sent = 0
         self.messages_received = 0
@@ -57,6 +60,20 @@ class DgcCollector:
         # received response add up at scale).
         self._consensus_propagation = config.consensus_propagation
         self._bfs_parent_election = config.bfs_parent_election
+        #: The steady-state receive diet (doomed-response interning,
+        #: field-identical touch-write skip) is part of the aggregated
+        #: columnar core; with ``aggregate_site_pairs`` off the receive
+        #: path stays the previous core's, so the perf A/B measures the
+        #: whole package against it.  The diet is observably neutral —
+        #: outcomes are bit-identical either way.
+        self._receive_diet = config.aggregate_site_pairs
+        self.state.referencers.touch_skip = config.aggregate_site_pairs
+        # Direct response lane (diet only): responses go straight into
+        # the fabric's fused DGC send unless the node has a response run
+        # open (an aggregate unwrap in progress — those must collect).
+        self._net_send_single = self._node.network.send_dgc_single
+        self._node_name = self._node.name
+        self._response_bytes = self._node.wire_sizes.dgc_response_bytes
         #: Current beat period; differs from ``config.ttb`` only when the
         #: dynamic-TTB extension (Sec. 7.1) accelerates the beat.
         self.current_ttb = config.ttb
@@ -153,15 +170,36 @@ class DgcCollector:
         if self.doomed:
             # Decision already taken: do not adopt clocks or mutate state;
             # just keep propagating the verdict (Sec. 4.3 optimisation).
-            response = DgcResponse(
-                responder=self.state.self_id,
-                clock=self.state.clock,
-                has_parent=True,
-                consensus_reached=True,
-            )
+            # The verdict is immutable while doomed (the clock is frozen:
+            # every increment occasion is gated on ``doomed``), so with
+            # the receive diet one interned response serves the whole
+            # doom window instead of allocating one per incoming
+            # message — the collapse phase is receive-dominated, so this
+            # is the steady state at scale.
+            response = self._doomed_response
+            if response is None or response.clock is not self.state.clock:
+                response = DgcResponse(
+                    responder=self.state.self_id,
+                    clock=self.state.clock,
+                    has_parent=True,
+                    consensus_reached=True,
+                )
+                if self._receive_diet:
+                    self._doomed_response = response
         else:
             response = process_message(self.state, message, now)
-        self._node.send_dgc_response(message.sender_ref, response)
+        sender_ref = message.sender_ref
+        if self._receive_diet and self._node._response_run is None:
+            self._net_send_single(
+                self._node_name,
+                sender_ref.node,
+                KIND_DGC_RESPONSE,
+                self._response_bytes,
+                sender_ref.activity_id,
+                response,
+            )
+            return
+        self._node.send_dgc_response(sender_ref, response)
 
     def on_dgc_response(self, response: DgcResponse) -> None:
         if self._stopped or self.doomed:
@@ -236,20 +274,42 @@ class DgcCollector:
         # Messages are immutable and identical for every record with the
         # same consensus flag, so at most two objects are built per tick.
         by_flag: dict = {}
-        for record in self.state.referenced.records():
-            if is_idle and self.state.parent == record.target:
-                if referencers_agree is None:
-                    referencers_agree = self.state.referencers.agree(
-                        self.state.clock
-                    )
-                consensus = consensus_flag_for(
-                    self.state,
-                    record,
-                    is_idle,
-                    referencers_agree=referencers_agree,
-                )
+        # The fan-out is grouped by destination node (first-appearance
+        # order, deterministic): records sharing a site become one
+        # site-pair run — one fabric call, and in aggregated-columnar
+        # mode one pulse entry — instead of one send per record.  The
+        # grouped order is the send order under *every* delivery mode
+        # (per-event, per-entry batched, aggregated), so the modes stay
+        # bit-identical with each other.  Sends happen after the flag
+        # loop; nothing in the loop observes them (delivery is always
+        # deferred to a kernel event, even intra-node).
+        by_node: dict = {}
+        sent = 0
+        state = self.state
+        clock = state.clock
+        parent = state.parent
+        # Inlined :func:`consensus_flag_for` (which stays the canonical,
+        # tested form): the is-idle/connected conjuncts are loop
+        # constants, and the clock comparison is identity-first —
+        # shared clock objects make the structural compare redundant in
+        # the steady state.  One call per record becomes none.
+        connected = is_idle and (
+            parent is not None or clock.owner == state.self_id
+        )
+        for record in state.referenced.records_view():
+            last_response = record.last_response
+            if not connected or last_response is None:
+                consensus = False
             else:
-                consensus = consensus_flag_for(self.state, record, is_idle)
+                proposed = last_response.clock
+                if proposed is not clock and proposed != clock:
+                    consensus = False
+                elif parent == record.target:
+                    if referencers_agree is None:
+                        referencers_agree = state.referencers.agree(clock)
+                    consensus = referencers_agree
+                else:
+                    consensus = True
             message = by_flag.get(consensus)
             if message is None:
                 message = by_flag[consensus] = DgcMessage(
@@ -259,10 +319,23 @@ class DgcCollector:
                     sender_ref=self.self_ref,
                     sender_ttb=declared_ttb,
                 )
-            self._node.send_dgc_message(record.ref, message)
-            self.messages_sent += 1
+            ref = record.ref
+            group = by_node.get(ref.node)
+            if group is None:
+                by_node[ref.node] = group = (ref, [], [])
+            group[1].append(ref.activity_id)
+            group[2].append(message)
+            sent += 1
             record.messages_sent += 1
             record.needs_send = False
+        if sent:
+            self.messages_sent += sent
+            node = self._node
+            for dest_node, (ref, targets, messages) in by_node.items():
+                if len(targets) == 1:
+                    node.send_dgc_message(ref, messages[0])
+                else:
+                    node.send_dgc_messages(dest_node, targets, messages)
         if self.state.referenced.pop_removable():
             self._remove_referenced(already_popped=True)
         if self.config.dynamic_ttb:

@@ -65,6 +65,15 @@ class DgcConfig:
     #: and per message — which is the baseline the Fig. 10 benchmark
     #: measures the batched scheduler against.
     batched_beats: bool = True
+    #: Stage pulse-batched traffic in the columnar (struct-of-arrays)
+    #: pulse and coalesce adjacent same-site-pair DGC runs into single
+    #: aggregate entries unwrapped by one batch-sink call (see
+    #: :mod:`repro.net.network`).  ``False`` keeps the previous
+    #: per-entry batched pulse — the A/B baseline the aggregated
+    #: columnar core is benchmarked against.  Only meaningful while
+    #: ``batched_beats`` is on; either way fixed-seed outcomes are
+    #: bit-identical across all delivery modes.
+    aggregate_site_pairs: bool = True
     #: Sec. 7.1 extension: honour the ``sender_ttb`` declared in DGC
     #: messages when expiring referencer records, so activities with
     #: heterogeneous (or dynamically adjusted) beat periods interoperate

@@ -120,7 +120,11 @@ def consensus_flag_for(
     if not is_idle:
         return False
     last_response = record.last_response
-    if last_response is None or last_response.clock != state.clock:
+    if last_response is None:
+        return False
+    proposed = last_response.clock
+    clock = state.clock
+    if proposed is not clock and proposed != clock:
         return False
     if not (state.owns_clock or state.parent is not None):
         return False
@@ -154,13 +158,18 @@ def process_message(
     (one property plus one method call per message adds up at scale).
     """
     clock = state.clock
-    if message.clock > clock:
-        clock = state.clock = message.clock
+    message_clock = message.clock
+    # Identity-first: in the steady state between clock movements every
+    # referencer proposes the *object* we adopted from it (clocks are
+    # shared, not copied), so the structural comparison is skipped for
+    # the bulk of received messages.
+    if message_clock is not clock and message_clock > clock:
+        clock = state.clock = message_clock
         state.parent = None
         state.depth = None
     state.referencers.update(
         message.sender,
-        message.clock,
+        message_clock,
         message.consensus,
         now,
         message.sender_ttb,
@@ -221,8 +230,13 @@ def process_response(
         # Stale response: the edge was already removed.
         return False
     record.last_response = response
+    # Identity-first (clocks are shared objects in the steady state, see
+    # process_message): the structural comparison only runs when the
+    # response proposes a clock object we did not adopt from it.
+    response_clock = response.clock
+    clock = state.clock
     if (
-        response.clock != state.clock
+        (response_clock is not clock and response_clock != clock)
         or not response.has_parent
         or state.owns_clock
     ):

@@ -48,6 +48,11 @@ class ReferencedTable:
 
     def __init__(self) -> None:
         self._records: Dict[ActivityId, ReferencedRecord] = {}
+        #: True while some record *may* be removable: armed whenever a
+        #: tag dies (the needs-send bit may clear later) so
+        #: :meth:`pop_removable` — which runs once per TTB tick — can
+        #: skip its O(records) scan in the steady state.
+        self._maybe_removable = False
 
     def __len__(self) -> int:
         return len(self._records)
@@ -64,6 +69,14 @@ class ReferencedTable:
     def records(self) -> List[ReferencedRecord]:
         return list(self._records.values())
 
+    def records_view(self):
+        """Live view over the records, in insertion order — for hot
+        loops that do not mutate the table while iterating (the TTB
+        broadcast; removal happens afterwards via
+        :meth:`pop_removable`).  Copy-free: :meth:`records` allocates a
+        fresh list on every tick of every activity."""
+        return self._records.values()
+
     def on_deserialized(self, ref: RemoteRef, tag: StubTag) -> ReferencedRecord:
         """A stub for ``ref`` was deserialized: (re)establish the edge.
 
@@ -78,6 +91,8 @@ class ReferencedTable:
         record.ref = ref
         record.tag = tag
         record.tag_dead = tag.dead
+        if tag.dead:
+            self._maybe_removable = True
         record.needs_send = True
         return record
 
@@ -90,13 +105,28 @@ class ReferencedTable:
             # re-established before the GC noticed the old tag's death.
             return None
         record.tag_dead = True
+        self._maybe_removable = True
         return record
 
     def pop_removable(self) -> List[ReferencedRecord]:
-        """Remove and return every record whose edge is gone."""
-        removable = [
-            record for record in self._records.values() if record.removable
-        ]
+        """Remove and return every record whose edge is gone.
+
+        O(1) in the steady state: the scan only runs while a dead tag
+        is outstanding (``_maybe_removable``), and the flag stays armed
+        as long as any dead-tagged record survives the scan (it may
+        still owe its mandatory first send).
+        """
+        if not self._maybe_removable:
+            return []
+        removable = []
+        armed = False
+        for record in self._records.values():
+            if record.tag_dead:
+                if record.needs_send:
+                    armed = True
+                else:
+                    removable.append(record)
         for record in removable:
             del self._records[record.target]
+        self._maybe_removable = armed
         return removable

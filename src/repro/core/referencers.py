@@ -54,6 +54,12 @@ class ReferencerTable:
 
     def __init__(self) -> None:
         self._records: Dict[ActivityId, ReferencerRecord] = {}
+        #: Steady-state receive diet (set by the collector when the
+        #: aggregated columnar core is active): skip the field writes and
+        #: agreement-count adjustment for messages that are
+        #: field-identical to the referencer's current record.
+        #: Observably neutral — only the arrival time matters then.
+        self.touch_skip = False
         #: Clock the incremental agreement count refers to; ``None`` until
         #: the first :meth:`agree` call.
         self._agree_clock: Optional[ActivityClock] = None
@@ -102,6 +108,18 @@ class ReferencerTable:
             if agree_clock is not None and consensus and clock == agree_clock:
                 self._agree_count += 1
             return True
+        if (
+            self.touch_skip
+            and record.consensus == consensus
+            and record.sender_ttb == sender_ttb
+            and (record.clock is clock or record.clock == clock)
+        ):
+            # Field-identical to the last message from this referencer —
+            # the steady state between clock movements.  Only the arrival
+            # time matters (loss-of-referencer detection); skip the
+            # agreement-count adjustment and the field writes.
+            record.last_message_time = now
+            return False
         if agree_clock is not None:
             if record.consensus and record.clock == agree_clock:
                 self._agree_count -= 1

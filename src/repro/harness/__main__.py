@@ -88,6 +88,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the batched beat scheduler (one kernel event per "
         "tick and per DGC message; the perf baseline)",
     )
+    fig10.add_argument(
+        "--per-entry-pulse", action="store_true",
+        help="disable the columnar pulse and site-pair DGC aggregation "
+        "(one 6-tuple pulse entry per message; the previous batched "
+        "core, kept as the A/B baseline)",
+    )
 
     run_cmd = subparsers.add_parser(
         "run",
@@ -128,9 +134,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable pulse batching: one kernel event per message and "
         "per heartbeat tick (the perf baseline)",
     )
+    run_cmd.add_argument(
+        "--per-entry-pulse", action="store_true",
+        help="disable the columnar pulse and site-pair DGC aggregation "
+        "(the previous batched core, kept as the A/B baseline)",
+    )
     # NAS knobs.
     run_cmd.add_argument(
         "--ao-count", type=int, default=None, help="NAS workers"
+    )
+    run_cmd.add_argument(
+        "--nas-barrier", action="store_true",
+        help="synchronous NAS variant: every exchange expects a reply "
+        "and each iteration barriers on the returned futures",
     )
     run_cmd.add_argument(
         "--iterations", type=int, default=None, help="NAS iterations"
@@ -193,6 +209,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             batched_beats=(
                 False if getattr(args, "per_event_beats", False) else None
             ),
+            aggregate_site_pairs=(
+                False if getattr(args, "per_entry_pulse", False) else None
+            ),
         )
         print(fig10_report(results))
 
@@ -206,6 +225,7 @@ def _run_workload(args: argparse.Namespace) -> int:
     from repro.net.topology import uniform_topology
 
     batched = False if args.per_event_beats else None
+    aggregated = False if args.per_entry_pulse else None
 
     def config_for(base):
         if args.no_dgc:
@@ -232,6 +252,7 @@ def _run_workload(args: argparse.Namespace) -> int:
             seed=args.seed,
             beat_slots=args.beat_slots,
             batched_beats=batched,
+            aggregate_site_pairs=aggregated,
             keep_world=True,
         )
         rows = [
@@ -259,6 +280,7 @@ def _run_workload(args: argparse.Namespace) -> int:
             iterations=args.iterations,
             iter_time_s=args.iter_time,
             payload_bytes=args.payload_bytes,
+            reply_barrier=True if args.nas_barrier else None,
         )
         nodes = PAPER_NODE_COUNT if args.paper_scale else args.nodes
         result = run_nas_kernel(
@@ -268,6 +290,7 @@ def _run_workload(args: argparse.Namespace) -> int:
             seed=args.seed,
             beat_slots=args.beat_slots,
             batched_beats=batched,
+            aggregate_site_pairs=aggregated,
             keep_world=True,
         )
         rows = [
@@ -283,7 +306,11 @@ def _run_workload(args: argparse.Namespace) -> int:
             ["kernel events fired", result.events_fired],
             ["sim time (s)", f"{result.sim_time_s:.1f}"],
         ]
-        title = f"NAS {spec.name} — {spec.ao_count} workers on {nodes} nodes"
+        variant = " (reply barrier)" if spec.reply_barrier else ""
+        title = (
+            f"NAS {spec.name}{variant} — {spec.ao_count} workers "
+            f"on {nodes} nodes"
+        )
     wall = time.perf_counter() - started
     rows.append(["wall time (s)", f"{wall:.2f}"])
     print(render_table(["metric", "value"], rows, title=title))

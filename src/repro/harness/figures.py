@@ -60,14 +60,15 @@ def run_fig10(
     include_no_dgc: bool = True,
     beat_slots: Optional[Union[int, str]] = None,
     batched_beats: Optional[bool] = None,
+    aggregate_site_pairs: Optional[bool] = None,
     collect_timeout: float = 36_000.0,
 ) -> Fig10Results:
     """Run the torture test under both configurations plus no-DGC.
 
-    ``beat_slots``/``batched_beats`` are forwarded to
-    :func:`repro.workloads.torture.run_torture` (heartbeat batching
-    knobs); skipped runs reuse the fast result so the report shape is
-    stable.
+    ``beat_slots``/``batched_beats``/``aggregate_site_pairs`` are
+    forwarded to :func:`repro.workloads.torture.run_torture` (heartbeat
+    and pulse batching knobs); skipped runs reuse the fast result so the
+    report shape is stable.
     """
 
     def run(dgc: Optional[DgcConfig], sample: float) -> TortureResult:
@@ -81,6 +82,7 @@ def run_fig10(
             collect_timeout=collect_timeout,
             beat_slots=beat_slots,
             batched_beats=batched_beats,
+            aggregate_site_pairs=aggregate_site_pairs,
         )
 
     fast_result = run(fast, sample=10.0)

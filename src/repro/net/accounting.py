@@ -42,11 +42,17 @@ class TrafficCategory:
 
 
 class BandwidthAccountant:
-    """Counts cross-node payload bytes per traffic kind."""
+    """Counts cross-node payload bytes per traffic kind.
+
+    Per-pair totals live in one-element list *boxes* so hot senders (the
+    fabric's fused DGC lane) can hold a channel's box and bump it in
+    place instead of re-probing the dict per message; :meth:`pair_box`
+    lends them out, :meth:`pair_bytes` reads them back.
+    """
 
     def __init__(self) -> None:
         self._by_kind: Dict[str, TrafficCategory] = {}
-        self._by_pair: Dict[Tuple[str, str], int] = {}
+        self._by_pair: Dict[Tuple[str, str], list] = {}
 
     def observe(self, envelope: Envelope) -> None:
         """Record one cross-node envelope."""
@@ -68,8 +74,56 @@ class BandwidthAccountant:
             self._by_kind[kind] = category
         category.bytes += size
         category.messages += 1
-        by_pair = self._by_pair
-        by_pair[pair] = by_pair.get(pair, 0) + size
+        box = self._by_pair.get(pair)
+        if box is None:
+            self._by_pair[pair] = [size]
+        else:
+            box[0] += size
+
+    def pair_box(self, pair: Tuple[str, str]) -> list:
+        """The live one-element byte box for ``pair`` (created empty on
+        first use)."""
+        box = self._by_pair.get(pair)
+        if box is None:
+            self._by_pair[pair] = box = [0]
+        return box
+
+    def pair_bytes(self, pair: Tuple[str, str]) -> int:
+        """Cross-node payload bytes observed for one ordered node pair."""
+        box = self._by_pair.get(pair)
+        return box[0] if box is not None else 0
+
+    def category(self, kind: str) -> TrafficCategory:
+        """The live per-kind aggregate for ``kind``, created on first
+        use.  Hot senders (the fabric's fused DGC lane) hold onto the
+        returned object and bump its counters directly — the category is
+        the unit of aggregation, so this is observably identical to
+        :meth:`observe_sized` at a fraction of the cost."""
+        category = self._by_kind.get(kind)
+        if category is None:
+            category = TrafficCategory()
+            self._by_kind[kind] = category
+        return category
+
+    def observe_run(
+        self, kind: str, size: int, pair: Tuple[str, str], count: int
+    ) -> None:
+        """Record ``count`` same-kind, same-size messages crossing
+        ``pair`` at once (a site-pair aggregate run).  Each constituent
+        is charged at its modeled wire size — totals are bit-identical
+        to ``count`` :meth:`observe_sized` calls."""
+        category = self._by_kind.get(kind)
+        if category is None:
+            category = TrafficCategory()
+            self._by_kind[kind] = category
+        total = size * count
+        category.bytes += total
+        category.messages += count
+        box = self._by_pair.get(pair)
+        if box is None:
+            self._by_pair[pair] = [total]
+        else:
+            box[0] += total
 
     def bytes_for(self, kind: str) -> int:
         category = self._by_kind.get(kind)

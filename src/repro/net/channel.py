@@ -35,6 +35,7 @@ class FifoChannel:
         "_label",
         "sent_count",
         "delivered_count",
+        "acct_box",
     )
 
     def __init__(
@@ -65,6 +66,10 @@ class FifoChannel:
         self._label = f"deliver:{source}->{dest}"
         self.sent_count = 0
         self.delivered_count = 0
+        #: Per-pair byte box lent out by the accountant (the fabric's
+        #: fused DGC lane bumps it directly); reset when the network's
+        #: accountant is replaced.
+        self.acct_box = None
 
     def send(self, envelope: Envelope, sink: Callable[[Envelope], None]) -> float:
         """Schedule delivery of ``envelope`` into ``sink``; return the
@@ -93,9 +98,38 @@ class FifoChannel:
         """
         return self._reserve_slot(self._base_latency)
 
+    def stage_send_n(self, count: int) -> float:
+        """Reserve FIFO delivery slots for ``count`` constant-latency
+        messages sent at the same instant (a site-pair aggregate run).
+
+        All ``count`` messages share one delivery time: with a constant
+        latency the clamp resolves identically for each of them, so one
+        clamp plus a bulk counter bump is bit-identical to ``count``
+        :meth:`stage_send` calls — at 1/``count`` the cost.
+        """
+        latency = self._base_latency
+        if latency < 0:
+            latency = 0.0
+        delivery_time = self._kernel.now + latency
+        if delivery_time < self._last_delivery_time:
+            delivery_time = self._last_delivery_time
+        self._last_delivery_time = delivery_time
+        self.sent_count += count
+        return delivery_time
+
     def _reserve_slot(self, latency: float) -> float:
-        """The single implementation of latency clamp + FIFO ordering +
-        send accounting, shared by both delivery paths."""
+        """Latency clamp + FIFO ordering + send accounting for the
+        envelope and staged paths.
+
+        The clamp sequence (non-negative latency, non-decreasing
+        delivery time, ``sent_count``) is deliberately duplicated in two
+        hot lanes that cannot afford the callee frames:
+        :meth:`stage_send_n` below and the inlined block in
+        :meth:`repro.net.network.Network.send_dgc_single`.  A change
+        here must be mirrored in both — the bit-identical equivalence
+        across delivery cores depends on all three computing the same
+        delivery times and counters.
+        """
         if latency < 0:
             latency = 0.0
         delivery_time = self._kernel.now + latency

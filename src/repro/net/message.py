@@ -39,6 +39,19 @@ ALL_KINDS = (
 #: ``(item, payload)`` tuple for paired kinds, the bare item otherwise.
 PAIRED_PAYLOAD_KINDS = frozenset({KIND_DGC_MESSAGE, KIND_DGC_RESPONSE})
 
+#: Site-pair aggregate markers: in the columnar pulse, a run of DGC
+#: messages staged back-to-back on the same channel for the same
+#: delivery instant rides **one** pulse entry whose item/payload columns
+#: hold flat ``(target_id, message)`` lists.  The aggregate kinds are
+#: internal to the fabric — they never appear on the wire, in the
+#: accountant (each constituent is charged at its own kind and modeled
+#: size) or in node-facing sinks (the destination unwraps them through a
+#: dedicated batch sink).  Keyed by the base kind they aggregate.
+AGGREGATE_KINDS = {
+    KIND_DGC_MESSAGE: "dgc.message[]",
+    KIND_DGC_RESPONSE: "dgc.response[]",
+}
+
 
 def describe_traffic(kind: str, source: str, dest: str, size_bytes: int) -> str:
     """The one uniform rendering of a unit of traffic, shared by

@@ -27,19 +27,58 @@ The fabric carries two message forms over one staged transport:
   from fault-plan delay rules, destinations without a typed sink, or
   batching disabled), so fixed-seed runs are bit-identical between the
   two delivery modes.
+
+Pulse storage comes in two selectable shapes:
+
+* **aggregated columnar** (``aggregate_site_pairs`` on, the default
+  batched core) — per-instant pulse records pooled and recycled across
+  instants through a free list, so steady-state staging allocates
+  O(instants), not O(messages).  DGC traffic rides the fused
+  :meth:`send_dgc_single`/:meth:`send_dgc_run` lanes: messages staged
+  back-to-back on the same channel coalesce into **one** site-pair
+  aggregate entry carrying flat parallel ``(target_id, message)``
+  columns, which the destination unwraps in one batch-sink call —
+  per-message kind dispatch and route re-probing disappear for the whole
+  run.  Runs only ever merge when *adjacent in stage order*, so the
+  global delivery sequence — and with it per-channel FIFO and every
+  fixed-seed outcome — is preserved by construction.  (A
+  struct-of-arrays record for *plain* entries was measured slower than
+  the tuple layout — five list appends beat one tuple only when entries
+  merge — so the columnar form lives where it pays: the aggregate runs'
+  flat columns and the pooled records; see PERFORMANCE.md.)
+* **per-entry** (``aggregate_site_pairs`` off) — the previous batched
+  core: one freshly-allocated list of 6-tuples per instant, one entry
+  and one typed dispatch per message.  Kept selectable as the A/B
+  baseline the aggregated columnar core is benchmarked against.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import UnknownDestinationError
 from repro.net.accounting import BandwidthAccountant
 from repro.net.channel import FifoChannel
 from repro.net.faults import FaultPlan
-from repro.net.message import PAIRED_PAYLOAD_KINDS, Envelope
+from repro.net.message import (
+    AGGREGATE_KINDS,
+    KIND_DGC_MESSAGE,
+    KIND_DGC_RESPONSE,
+    PAIRED_PAYLOAD_KINDS,
+    Envelope,
+)
 from repro.net.topology import Topology
 from repro.sim.kernel import SimKernel
+
+#: Internal aggregate markers (see :data:`repro.net.message.AGGREGATE_KINDS`);
+#: bound to module globals so the hot paths compare by identity.
+_AGG_DGC_MESSAGE = AGGREGATE_KINDS[KIND_DGC_MESSAGE]
+_AGG_DGC_RESPONSE = AGGREGATE_KINDS[KIND_DGC_RESPONSE]
+
+#: Free-list high-water mark: distinct in-flight delivery instants are
+#: bounded by distinct channel latencies, so a short list suffices; the
+#: cap only guards against pathological churn keeping dead records alive.
+_PULSE_POOL_CAP = 64
 
 
 def _drop_payload(payload: Any) -> None:
@@ -48,7 +87,22 @@ def _drop_payload(payload: Any) -> None:
 
 
 class Network:
-    """Connects registered node sinks through FIFO channels."""
+    """Connects registered node sinks through FIFO channels.
+
+    Pulse entry layout (shared by both batched cores) is
+    ``(channel, sink, dest, kind, item, payload)``:
+
+    * envelope entries — ``kind`` is ``None``, ``item`` the envelope;
+      local ones carry their resolved sink, cross-node ones re-resolve
+      the destination at delivery,
+    * typed entries — ``kind`` is a traffic-kind constant; local ones
+      carry the resolved typed sink, cross-node ones the destination
+      node name in ``dest``,
+    * aggregate entries (aggregated core only) — ``kind`` is an
+      :data:`~repro.net.message.AGGREGATE_KINDS` marker and
+      ``item``/``payload`` are flat parallel ``(target_id, message)``
+      column lists covering an adjacent same-channel run of DGC traffic.
+    """
 
     def __init__(
         self,
@@ -68,6 +122,15 @@ class Network:
         #: the envelope-free receive path of the unified fabric, one sink
         #: per node for *all* traffic kinds.
         self._typed_sinks: Dict[str, Callable[[str, Any, Any], None]] = {}
+        #: Per-node DGC receive lanes of the aggregated core, keyed by
+        #: destination: single-message handlers ``(target, message)``
+        #: (skipping the typed sink's kind dispatch) and aggregate
+        #: unwrappers ``(targets, messages)`` looping the flat columns
+        #: locally.
+        self._dgc_message_sinks: Dict[str, Callable[[Any, Any], None]] = {}
+        self._dgc_response_sinks: Dict[str, Callable[[Any, Any], None]] = {}
+        self._dgc_message_batch_sinks: Dict[str, Callable[[list, list], None]] = {}
+        self._dgc_response_batch_sinks: Dict[str, Callable[[list, list], None]] = {}
         #: When true (the beat wheel is active), *all* deliveries are
         #: pulse-batched: every send staged for the same delivery
         #: instant shares one kernel event, so a beat bucket's whole
@@ -81,10 +144,40 @@ class Network:
         #: is preserved by construction and fixed-seed outcomes are
         #: bit-identical with per-event delivery.
         self.pulse_batching = False
+        #: The aggregated columnar core (see module docstring).  Off,
+        #: the per-entry batched pulse of the previous core is used —
+        #: the A/B baseline.  Only meaningful while ``pulse_batching``
+        #: is on.
+        self.aggregate_site_pairs = False
         self._pulses: Dict[float, list] = {}
+        #: Free list of recycled pulse records (aggregated core): the
+        #: per-instant entry lists are cleared and reused, keeping their
+        #: grown capacity, so steady-state staging allocates nothing.
+        self._pulse_pool: List[list] = []
+        #: One-slot staging memo (aggregated core): consecutive sends
+        #: overwhelmingly share a delivery instant (a fan-out's channels
+        #: have equal latencies), so the float-keyed dict probe is
+        #: skipped when the instant repeats.  Invalidated when the
+        #: matching pulse fires.
+        self._last_pulse_time = -1.0
+        self._last_pulse: list = []
+        #: Accounting memo for the fused DGC lane: the two live
+        #: per-kind categories, re-fetched whenever ``accountant`` is
+        #: replaced (it is a public attribute).
+        self._acct_owner: Optional[BandwidthAccountant] = None
+        self._acct_msg = None
+        self._acct_resp = None
+        #: Clock fast path: the simulation kernel maintains ``_now`` as
+        #: a plain attribute (its ``now`` property just reads it); the
+        #: live kernel computes ``now`` dynamically and keeps the
+        #: property path.
+        self._fast_clock = hasattr(kernel, "_now")
         #: Kernel events created on behalf of pulses; with
         #: ``sent_count`` sums this is the fabric's batching ratio.
         self.pulse_event_count = 0
+        #: Site-pair aggregation effectiveness: constituent DGC messages
+        #: that merged into an already-staged aggregate entry.
+        self.aggregated_message_count = 0
         #: Hot-path cache: source -> dest -> (sink, channel-or-None).
         #: ``None`` channel means intra-node delivery.  Two nested
         #: string-keyed dicts avoid building a key tuple per message.
@@ -109,21 +202,40 @@ class Network:
         node: str,
         sink: Callable[[Envelope], None],
         typed_sink: Optional[Callable[[str, Any, Any], None]] = None,
+        dgc_sinks: Optional[
+            Dict[str, Tuple[Callable[[Any, Any], None], Callable[[list, list], None]]]
+        ] = None,
     ) -> None:
         """Attach a node's receive dispatchers to the fabric.
 
         ``typed_sink`` is the envelope-free entry point for pulse-batched
         traffic of every kind; nodes that do not provide one fall back to
         the per-envelope path even when batching is enabled.
+        ``dgc_sinks`` maps a DGC kind to its ``(single, batch)`` handler
+        pair — the aggregated core's direct receive lanes; without them
+        DGC traffic for this node rides the typed sink like every other
+        kind.
         """
         self._sinks[node] = sink
         if typed_sink is not None:
             self._typed_sinks[node] = typed_sink
+        if dgc_sinks:
+            for kind, (single, batch) in dgc_sinks.items():
+                if kind == KIND_DGC_MESSAGE:
+                    self._dgc_message_sinks[node] = single
+                    self._dgc_message_batch_sinks[node] = batch
+                elif kind == KIND_DGC_RESPONSE:
+                    self._dgc_response_sinks[node] = single
+                    self._dgc_response_batch_sinks[node] = batch
         self._routes.clear()
 
     def max_comm(self) -> float:
         """Upper bound on one-way communication time (MaxComm, Sec. 3.1)."""
         return self._topology.max_one_way_latency()
+
+    # ------------------------------------------------------------------
+    # Send paths
+    # ------------------------------------------------------------------
 
     def send_typed(
         self,
@@ -176,31 +288,241 @@ class Network:
                              _drop_payload)
                 )
                 return
-            delivery_time = self._kernel.now
-        else:
-            if (
-                channel._base_latency is None
-                or channel._delay_rules
-                or dest not in self._typed_sinks
-            ):
-                # Variable latency (the pulse cannot share instants
-                # meaningfully) or an envelope-only destination: keep
-                # the per-envelope path's semantics.
-                self.send(
-                    Envelope(source, dest, kind, size_bytes,
-                             self._envelope_payload(kind, item, payload),
-                             _drop_payload)
-                )
-                return
-            delivery_time = channel.stage_send()
-            self.accountant.observe_sized(kind, size_bytes, channel.pair)
-            # Cross-node: resolved again at delivery so a node that
-            # vanishes mid-flight drops the entry (mirrors _dispatch).
-            typed_sink = None
+            self._stage(
+                self._kernel.now,
+                (None, typed_sink, dest, kind, item, payload),
+            )
+            return
+        if (
+            channel._base_latency is None
+            or channel._delay_rules
+            or dest not in self._typed_sinks
+        ):
+            # Variable latency (the pulse cannot share instants
+            # meaningfully) or an envelope-only destination: keep
+            # the per-envelope path's semantics.
+            self.send(
+                Envelope(source, dest, kind, size_bytes,
+                         self._envelope_payload(kind, item, payload),
+                         _drop_payload)
+            )
+            return
+        delivery_time = channel.stage_send()
+        self.accountant.observe_sized(kind, size_bytes, channel.pair)
+        # Cross-node: resolved again at delivery so a node that
+        # vanishes mid-flight drops the entry (mirrors _dispatch).
         self._stage(
             delivery_time,
-            (channel, typed_sink, dest, kind, item, payload),
+            (channel, None, dest, kind, item, payload),
         )
+
+    def send_dgc_single(
+        self,
+        source: str,
+        dest: str,
+        kind: str,
+        size_bytes: int,
+        item: Any,
+        payload: Any,
+    ) -> None:
+        """Fused DGC send lane of the aggregated columnar core: one
+        frame from the node to the staged pulse entry.
+
+        Equivalent to :meth:`send_typed` — same route/partition/fallback
+        semantics, same accounting, same FIFO reservation — plus the
+        site-pair tail merge: when the pulse's most recently staged
+        entry is a same-channel DGC entry of the same kind, this message
+        joins its flat ``(target_id, message)`` columns instead of
+        adding an entry.  Merging only ever extends the *tail*, so the
+        global delivery sequence equals per-message stage order exactly.
+        """
+        if not (self.pulse_batching and self.aggregate_site_pairs):
+            self.send_typed(source, dest, kind, size_bytes, item, payload)
+            return
+        by_dest = self._routes.get(source)
+        route = by_dest.get(dest) if by_dest is not None else None
+        if route is None:
+            route = self._build_route(source, dest)
+        fault_plan = self.fault_plan
+        if fault_plan._partitioned and fault_plan.is_partitioned(source, dest):
+            fault_plan.dropped_count += 1
+            return
+        channel = route[1]
+        if not route[2] or channel._delay_rules:
+            self.send_typed(source, dest, kind, size_bytes, item, payload)
+            return
+        # Inlined FifoChannel.stage_send_n(1): clamp + counter without a
+        # callee frame — this lane runs once per DGC message at scale.
+        latency = channel._base_latency
+        if latency < 0.0:
+            latency = 0.0
+        kernel = self._kernel
+        now = kernel._now if self._fast_clock else kernel.now
+        delivery_time = now + latency
+        if delivery_time < channel._last_delivery_time:
+            delivery_time = channel._last_delivery_time
+        else:
+            channel._last_delivery_time = delivery_time
+        channel.sent_count += 1
+        # Inlined BandwidthAccountant.observe_sized through the memoized
+        # per-kind categories and the channel's lent per-pair byte box
+        # (bit-identical totals, no callee frame, no dict probes).
+        acct = self.accountant
+        if acct is not self._acct_owner:
+            self._acct_owner = acct
+            self._acct_msg = acct.category(KIND_DGC_MESSAGE)
+            self._acct_resp = acct.category(KIND_DGC_RESPONSE)
+            for stale in self._channels.values():
+                stale.acct_box = None
+        is_message = kind is KIND_DGC_MESSAGE or kind == KIND_DGC_MESSAGE
+        category = self._acct_msg if is_message else self._acct_resp
+        category.bytes += size_bytes
+        category.messages += 1
+        box = channel.acct_box
+        if box is None:
+            channel.acct_box = box = acct.pair_box(channel.pair)
+        box[0] += size_bytes
+        if delivery_time == self._last_pulse_time:
+            entries = self._last_pulse
+        else:
+            pulses = self._pulses
+            entries = pulses.get(delivery_time)
+            if entries is None:
+                pool = self._pulse_pool
+                entries = pool.pop() if pool else []
+                pulses[delivery_time] = entries
+                self._kernel.schedule_fire_at(
+                    delivery_time, self._fire_pulse_columnar, (delivery_time,)
+                )
+                self.pulse_event_count += 1
+                self._last_pulse_time = delivery_time
+                self._last_pulse = entries
+                entries.append((channel, None, dest, kind, item, payload))
+                return
+            self._last_pulse_time = delivery_time
+            self._last_pulse = entries
+        last = entries[-1]
+        if last[0] is channel:
+            last_kind = last[3]
+            agg_kind = _AGG_DGC_MESSAGE if is_message else _AGG_DGC_RESPONSE
+            if last_kind is agg_kind:
+                last[4].append(item)
+                last[5].append(payload)
+                self.aggregated_message_count += 1
+                return
+            if last_kind == kind:
+                # Promote the adjacent single into an aggregate pair —
+                # the batch sinks are guaranteed present: this lane is
+                # only reached through the route's ``dgc_fast`` check.
+                entries[-1] = (
+                    channel, None, dest, agg_kind,
+                    [last[4], item], [last[5], payload],
+                )
+                self.aggregated_message_count += 1
+                return
+        entries.append((channel, None, dest, kind, item, payload))
+
+    def send_dgc_run(
+        self,
+        source: str,
+        dest: str,
+        kind: str,
+        size_bytes: int,
+        targets: list,
+        messages: list,
+    ) -> None:
+        """Route a run of same-kind DGC messages staged at one instant
+        for one destination node — a collector broadcast's per-site
+        fan-out, sent with **one** route probe, one FIFO reservation,
+        one accounting call and one pulse entry.
+
+        ``targets``/``messages`` are parallel ``(target_id, message)``
+        columns in send order; ownership transfers to the fabric.  Every
+        constituent is accounted at ``size_bytes`` (DGC messages are of
+        fixed size, paper Sec. 4.3) and counted individually, and the
+        run occupies consecutive stage positions, so outcomes are
+        bit-identical to sending each message through
+        :meth:`send_typed` — which is exactly what the fallback does
+        whenever aggregation or batching is off, the channel has
+        fault-plan delay rules, or the destination lacks a batch sink.
+        """
+        count = len(targets)
+        if count == 0:
+            return
+        if count == 1:
+            self.send_dgc_single(
+                source, dest, kind, size_bytes, targets[0], messages[0]
+            )
+            return
+        if not (self.pulse_batching and self.aggregate_site_pairs):
+            for index in range(count):
+                self.send_typed(
+                    source, dest, kind, size_bytes,
+                    targets[index], messages[index],
+                )
+            return
+        by_dest = self._routes.get(source)
+        route = by_dest.get(dest) if by_dest is not None else None
+        if route is None:
+            route = self._build_route(source, dest)
+        fault_plan = self.fault_plan
+        if fault_plan._partitioned and fault_plan.is_partitioned(source, dest):
+            fault_plan.dropped_count += count
+            return
+        channel = route[1]
+        agg_kind = (
+            _AGG_DGC_MESSAGE if kind == KIND_DGC_MESSAGE else _AGG_DGC_RESPONSE
+        )
+        if not route[2] or channel._delay_rules:
+            # Intra-node, variable-latency or batch-less destination:
+            # per-message semantics, exact same order.
+            for index in range(count):
+                self.send_typed(
+                    source, dest, kind, size_bytes,
+                    targets[index], messages[index],
+                )
+            return
+        delivery_time = channel.stage_send_n(count)
+        self.accountant.observe_run(kind, size_bytes, channel.pair, count)
+        if delivery_time == self._last_pulse_time:
+            entries = self._last_pulse
+        else:
+            pulses = self._pulses
+            entries = pulses.get(delivery_time)
+            if entries is None:
+                pool = self._pulse_pool
+                entries = pool.pop() if pool else []
+                pulses[delivery_time] = entries
+                self._kernel.schedule_fire_at(
+                    delivery_time, self._fire_pulse_columnar, (delivery_time,)
+                )
+                self.pulse_event_count += 1
+                self._last_pulse_time = delivery_time
+                self._last_pulse = entries
+                entries.append(
+                    (channel, None, dest, agg_kind, targets, messages)
+                )
+                self.aggregated_message_count += count - 1
+                return
+            self._last_pulse_time = delivery_time
+            self._last_pulse = entries
+        last = entries[-1]
+        if last[0] is channel:
+            last_kind = last[3]
+            if last_kind is agg_kind:
+                last[4].extend(targets)
+                last[5].extend(messages)
+                self.aggregated_message_count += count
+                return
+            if last_kind == kind:
+                # Promote the adjacent single entry into the aggregate.
+                targets.insert(0, last[4])
+                messages.insert(0, last[5])
+                entries[-1] = (channel, None, dest, agg_kind, targets, messages)
+                self.aggregated_message_count += count
+                return
+        entries.append((channel, None, dest, agg_kind, targets, messages))
+        self.aggregated_message_count += count - 1
 
     @staticmethod
     def _envelope_payload(kind: str, item: Any, payload: Any) -> Any:
@@ -238,7 +560,8 @@ class Network:
         if fault_plan._partitioned and fault_plan.is_partitioned(source, dest):
             fault_plan.dropped_count += 1
             return
-        sink, channel = route
+        sink = route[0]
+        channel = route[1]
         if channel is None:
             # Intra-node: delivered immediately (same tick), not accounted.
             if self.pulse_batching:
@@ -264,29 +587,40 @@ class Network:
             return
         channel.send(envelope, self._dispatch)
 
+    # ------------------------------------------------------------------
+    # Pulse staging and firing
+    # ------------------------------------------------------------------
+
     def _stage(self, delivery_time: float, entry: tuple) -> None:
         """Append one delivery to the pulse for ``delivery_time``,
-        creating its (single) kernel event on first use."""
+        creating its (single) kernel event on first use.
+
+        The aggregated core reuses recycled entry lists from the free
+        list and fires through the columnar loop; the per-entry baseline
+        allocates a fresh list per instant, exactly as the previous core
+        did.
+        """
         pulses = self._pulses
         batch = pulses.get(delivery_time)
         if batch is None:
-            pulses[delivery_time] = batch = []
-            self._kernel.schedule_fire_at(
-                delivery_time, self._fire_pulse, (delivery_time,)
-            )
+            if self.aggregate_site_pairs:
+                pool = self._pulse_pool
+                batch = pool.pop() if pool else []
+                fire = self._fire_pulse_columnar
+            else:
+                batch = []
+                fire = self._fire_pulse
+            pulses[delivery_time] = batch
+            self._kernel.schedule_fire_at(delivery_time, fire, (delivery_time,))
             self.pulse_event_count += 1
         batch.append(entry)
 
     def _fire_pulse(self, delivery_time: float) -> None:
         """Deliver every entry staged for ``delivery_time``, in stage
-        (i.e. send) order.
+        (i.e. send) order — the per-entry baseline loop.
 
-        Entry layout is uniform across message forms:
-        ``(channel, sink, dest, kind, item, payload)`` — ``kind`` is
-        ``None`` for envelope entries (``item`` is the envelope), a
-        traffic-kind constant for typed ones.  Local entries carry their
-        resolved sink; cross-node ones re-resolve the destination at
-        delivery, like ``_dispatch``.
+        Local entries carry their resolved sink; cross-node ones
+        re-resolve the destination at delivery, like ``_dispatch``.
         """
         entries = self._pulses.pop(delivery_time)
         typed_sinks = self._typed_sinks
@@ -306,14 +640,115 @@ class Network:
                     continue
             sink(kind, item, payload)
 
+    def _fire_pulse_columnar(self, delivery_time: float) -> None:
+        """Deliver every entry staged for ``delivery_time``, in stage
+        (i.e. send) order, then recycle the pulse record — the
+        aggregated core's loop.
+
+        One tight loop with every per-entry lookup bound to a local:
+        aggregate entries cost one batch-sink call per *run* (the
+        destination loops the flat columns itself), plain DGC entries
+        dispatch straight to their single-message lane (no typed-sink
+        kind dispatch), and everything else behaves exactly as the
+        per-entry loop.  Handlers running inside the loop may stage new
+        traffic freely — even for this same instant — because the record
+        was detached from ``_pulses`` before the loop and only recycled
+        after it.
+        """
+        entries = self._pulses.pop(delivery_time)
+        if delivery_time == self._last_pulse_time:
+            # Detach the staging memo: a send staged after this fire at
+            # the very same instant must open a fresh pulse.
+            self._last_pulse_time = -1.0
+        typed_get = self._typed_sinks.get
+        msg_batch_get = self._dgc_message_batch_sinks.get
+        resp_batch_get = self._dgc_response_batch_sinks.get
+        msg_single_get = self._dgc_message_sinks.get
+        resp_single_get = self._dgc_response_sinks.get
+        dispatch = self._dispatch
+        fault_plan = self.fault_plan
+        # Branches ordered by frequency at scale: single DGC entries
+        # dominate, then aggregate runs, then app/registry typed
+        # traffic, then envelopes.
+        for channel, sink, dest, kind, item, payload in entries:
+            if kind is KIND_DGC_MESSAGE and channel is not None:
+                channel.delivered_count += 1
+                handler = msg_single_get(dest)
+                if handler is not None:
+                    handler(item, payload)
+                    continue
+            elif kind is KIND_DGC_RESPONSE and channel is not None:
+                channel.delivered_count += 1
+                handler = resp_single_get(dest)
+                if handler is not None:
+                    handler(item, payload)
+                    continue
+            elif kind is _AGG_DGC_MESSAGE:
+                channel.delivered_count += len(item)
+                handler = msg_batch_get(dest)
+                if handler is None:
+                    fault_plan.dropped_count += len(item)
+                else:
+                    handler(item, payload)
+                continue
+            elif kind is _AGG_DGC_RESPONSE:
+                channel.delivered_count += len(item)
+                handler = resp_batch_get(dest)
+                if handler is None:
+                    fault_plan.dropped_count += len(item)
+                else:
+                    handler(item, payload)
+                continue
+            elif kind is None:
+                if channel is None:
+                    sink(item)
+                else:
+                    channel.delivered_count += 1
+                    dispatch(item)
+                continue
+            elif channel is None:
+                # Typed intra-node: ``sink`` is the resolved typed sink.
+                sink(kind, item, payload)
+                continue
+            else:
+                channel.delivered_count += 1
+            handler = typed_get(dest)
+            if handler is None:
+                fault_plan.dropped_count += 1
+            else:
+                handler(kind, item, payload)
+        entries.clear()
+        pool = self._pulse_pool
+        if len(pool) < _PULSE_POOL_CAP:
+            pool.append(entries)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
     def _build_route(
         self, source: str, dest: str
-    ) -> Tuple[Callable[[Envelope], None], Optional[FifoChannel]]:
+    ) -> Tuple[Callable[[Envelope], None], Optional[FifoChannel], bool]:
+        """Resolve and cache ``(sink, channel, dgc_fast)`` for a pair.
+
+        ``dgc_fast`` precomputes the fused-DGC-lane eligibility checks
+        that cannot change while the route cache is valid (constant
+        latency, typed and DGC sinks registered); the cache is cleared
+        on every registration.  Fault-plan delay rules are the one live
+        condition and stay checked per send.
+        """
         sink = self._sinks.get(dest)
         if sink is None:
             raise UnknownDestinationError(f"node {dest!r} is not registered")
         channel = None if source == dest else self._channel(source, dest)
-        route = (sink, channel)
+        dgc_fast = (
+            channel is not None
+            and channel._base_latency is not None
+            and dest in self._typed_sinks
+            and dest in self._dgc_message_batch_sinks
+            and dest in self._dgc_response_batch_sinks
+        )
+        route = (sink, channel, dgc_fast)
         self._routes.setdefault(source, {})[dest] = route
         return route
 

@@ -16,11 +16,17 @@ and ``benchmarks/test_perf_fig10.py`` are the entry points.
 """
 
 from repro.perf.baseline import naive_mode
-from repro.perf.stopwatch import PerfMeasurement, PerfReport, Stopwatch
+from repro.perf.stopwatch import (
+    PerfMeasurement,
+    PerfReport,
+    Stopwatch,
+    current_git_sha,
+)
 
 __all__ = [
     "PerfMeasurement",
     "PerfReport",
     "Stopwatch",
+    "current_git_sha",
     "naive_mode",
 ]

@@ -9,10 +9,34 @@ from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+
+def current_git_sha(repo_root: Optional[Path] = None) -> str:
+    """The repository's current commit (short SHA), or ``"unknown"``.
+
+    Benchmark artifacts carry this in their ``meta`` block so a
+    ``BENCH_*.json`` file is attributable to the exact code state that
+    produced it — the perf trajectory across PRs needs provenance, not
+    just timestamps.
+    """
+    root = repo_root if repo_root is not None else Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
 
 
 class Stopwatch:
@@ -120,12 +144,21 @@ class PerfReport:
 
     SCHEMA = 1
 
-    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+    def __init__(
+        self,
+        meta: Optional[Dict[str, Any]] = None,
+        *,
+        pr_label: Optional[str] = None,
+    ) -> None:
         self.meta: Dict[str, Any] = {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "created_unix": round(time.time(), 1),
+            # Provenance: which code state produced this artifact.
+            "git_sha": current_git_sha(),
         }
+        if pr_label is not None:
+            self.meta["pr_label"] = pr_label
         if meta:
             self.meta.update(meta)
         self.benchmarks: Dict[str, PerfMeasurement] = {}

@@ -63,6 +63,23 @@ class Node:
         # traffic.)
         self._dgc_message_bytes = self.wire_sizes.dgc_message_bytes
         self._dgc_response_bytes = self.wire_sizes.dgc_response_bytes
+        #: Direct DGC dispatch tables: activity id -> bound collector
+        #: handler, maintained by :meth:`register_collector` and the
+        #: termination hook.  The aggregated core's receive lanes hit
+        #: these with one dict probe instead of activity lookup +
+        #: collector null-checks per message; a miss falls back to the
+        #: full lookup (collectors attached outside the world's create
+        #: path are never registered here).
+        self._dgc_message_targets: Dict[Any, Callable[[Any], None]] = {}
+        self._dgc_response_targets: Dict[Any, Callable[[Any], None]] = {}
+        #: Open response run, active only while an aggregate DGC batch is
+        #: being unwrapped: ``[dest_node | None, targets, responses]``.
+        #: Responses produced inside the unwrap loop collect here (in
+        #: send order) and leave as one site-pair run, instead of one
+        #: full fabric traversal per response.  Within the loop only
+        #: collector code runs, and any non-response DGC send flushes the
+        #: run first, so the wire order is exactly the unbatched one.
+        self._response_run: Optional[list] = None
         #: Per-kind handlers behind the typed sink.  The four hot kinds
         #: are dispatched by explicit branches in :meth:`_on_typed`; this
         #: table serves the rest (registry traffic, future extensions) so
@@ -71,7 +88,17 @@ class Node:
             KIND_REGISTRY_LOOKUP: self._on_registry_lookup,
             KIND_REGISTRY_REPLY: self._on_registry_reply,
         }
-        self.network.register_node(name, self._on_envelope, self._on_typed)
+        self.network.register_node(
+            name,
+            self._on_envelope,
+            self._on_typed,
+            dgc_sinks={
+                KIND_DGC_MESSAGE: (self._on_dgc_message, self._on_dgc_messages),
+                KIND_DGC_RESPONSE: (
+                    self._on_dgc_response, self._on_dgc_responses,
+                ),
+            },
+        )
 
     # ------------------------------------------------------------------
     # Activity management
@@ -91,8 +118,22 @@ class Node:
     def find_activity(self, activity_id: ActivityId) -> Optional[Activity]:
         return self.activities.get(activity_id)
 
+    def register_collector(self, activity: Activity) -> None:
+        """Expose ``activity``'s collector on the direct DGC dispatch
+        tables (any collector duck-typing ``on_dgc_message`` /
+        ``on_dgc_response`` — the paper's and the baselines')."""
+        collector = activity.collector
+        handler = getattr(collector, "on_dgc_message", None)
+        if handler is not None:
+            self._dgc_message_targets[activity.id] = handler
+        handler = getattr(collector, "on_dgc_response", None)
+        if handler is not None:
+            self._dgc_response_targets[activity.id] = handler
+
     def on_activity_terminated(self, activity: Activity, reason: str) -> None:
         self.activities.pop(activity.id, None)
+        self._dgc_message_targets.pop(activity.id, None)
+        self._dgc_response_targets.pop(activity.id, None)
         if self.tracer.enabled:
             self.tracer.record(
                 self.kernel.now, "activity.terminated", activity.id, reason=reason
@@ -184,8 +225,20 @@ class Node:
         *,
         size_bytes: Optional[int] = None,
     ) -> None:
+        if self._response_run is not None:
+            # A collector (e.g. a baseline protocol) is sending a DGC
+            # message from inside an aggregate unwrap: release the
+            # buffered responses first so per-channel order is exactly
+            # the unbatched one.
+            self._flush_response_run()
         size = size_bytes if size_bytes is not None else self._dgc_message_bytes
-        self.network.send_typed(
+        network = self.network
+        send = (
+            network.send_dgc_single
+            if network.aggregate_site_pairs
+            else network.send_typed
+        )
+        send(
             self.name,
             target_ref.node,
             KIND_DGC_MESSAGE,
@@ -194,8 +247,54 @@ class Node:
             message,
         )
 
+    def send_dgc_messages(
+        self, dest_node: str, targets: list, messages: list
+    ) -> None:
+        """Send one collector broadcast's fan-out to ``dest_node`` as a
+        site-pair run: parallel ``(target activity id, message)`` columns
+        in send order, one fabric call for the whole group.
+
+        The fabric stages the run as a single aggregate pulse entry in
+        aggregated-columnar mode and falls back to per-message
+        :meth:`send_dgc_message` semantics (same order, same accounting)
+        everywhere else, so the grouping is a pure dispatch optimisation.
+        """
+        self.network.send_dgc_run(
+            self.name,
+            dest_node,
+            KIND_DGC_MESSAGE,
+            self._dgc_message_bytes,
+            targets,
+            messages,
+        )
+
     def send_dgc_response(self, target_ref: RemoteRef, response: Any) -> None:
-        self.network.send_typed(
+        run = self._response_run
+        if run is not None:
+            dest = target_ref.node
+            if run[0] is None:
+                run[0] = dest
+            if run[0] == dest:
+                run[1].append(target_ref.activity_id)
+                run[2].append(response)
+                return
+            # A different destination mid-run (generic collectors only —
+            # an aggregate's senders share one node): flush and rebase.
+            self.network.send_dgc_run(
+                self.name, run[0], KIND_DGC_RESPONSE,
+                self._dgc_response_bytes, run[1], run[2],
+            )
+            run[0] = dest
+            run[1] = [target_ref.activity_id]
+            run[2] = [response]
+            return
+        network = self.network
+        send = (
+            network.send_dgc_single
+            if network.aggregate_site_pairs
+            else network.send_typed
+        )
+        send(
             self.name,
             target_ref.node,
             KIND_DGC_RESPONSE,
@@ -203,6 +302,19 @@ class Node:
             target_ref.activity_id,
             response,
         )
+
+    def _flush_response_run(self) -> None:
+        """Send the open response run (if any entries collected) and
+        reset the buffer for further collection."""
+        run = self._response_run
+        if run is not None and run[1]:
+            self.network.send_dgc_run(
+                self.name, run[0], KIND_DGC_RESPONSE,
+                self._dgc_response_bytes, run[1], run[2],
+            )
+            run[0] = None
+            run[1] = []
+            run[2] = []
 
     # ------------------------------------------------------------------
     # Registry traffic
@@ -255,9 +367,9 @@ class Node:
         (registry, extensions) go through the handler table.
         """
         if kind == KIND_DGC_MESSAGE:
-            self._on_dgc_message(item, payload)
+            self._on_dgc_message_via_lookup(item, payload)
         elif kind == KIND_DGC_RESPONSE:
-            self._on_dgc_response(item, payload)
+            self._on_dgc_response_via_lookup(item, payload)
         elif kind == KIND_APP_REQUEST:
             self._on_request(item)
         elif kind == KIND_APP_REPLY:
@@ -335,18 +447,81 @@ class Node:
         proxy = deserialize_refs(activity, (reply.ref,))[0]
         future.resolve(proxy, (proxy,))
 
-    def _on_dgc_message(self, activity_id: ActivityId, message: Any) -> None:
+    def _on_dgc_message_via_lookup(
+        self, activity_id: ActivityId, message: Any
+    ) -> None:
+        """Typed-sink DGC delivery — the previous core's receive path
+        (activity lookup per message), kept for the per-entry baseline
+        and the envelope fallback."""
         activity = self.activities.get(activity_id)
         if activity is None or activity.collector is None:
             # Referenced activity already collected/terminated: silence.
             return
         activity.collector.on_dgc_message(message)
 
-    def _on_dgc_response(self, activity_id: ActivityId, response: Any) -> None:
+    def _on_dgc_response_via_lookup(
+        self, activity_id: ActivityId, response: Any
+    ) -> None:
         activity = self.activities.get(activity_id)
         if activity is None or activity.collector is None:
             return
         activity.collector.on_dgc_response(response)
+
+    def _on_dgc_message(self, activity_id: ActivityId, message: Any) -> None:
+        """Single-message DGC lane of the aggregated core: one dispatch
+        table probe to the bound collector handler."""
+        handler = self._dgc_message_targets.get(activity_id)
+        if handler is not None:
+            handler(message)
+            return
+        self._on_dgc_message_via_lookup(activity_id, message)
+
+    def _on_dgc_response(self, activity_id: ActivityId, response: Any) -> None:
+        handler = self._dgc_response_targets.get(activity_id)
+        if handler is not None:
+            handler(response)
+            return
+        self._on_dgc_response_via_lookup(activity_id, response)
+
+    # -- aggregate unwrappers (the fabric's batch sinks) ----------------
+    #
+    # One call per site-pair run instead of one typed dispatch per
+    # message: the loops below deliver the flat (target, message)
+    # columns with every lookup bound to a local, in column order —
+    # which is send order, so per-channel FIFO is untouched.
+
+    def _on_dgc_messages(self, targets: list, messages: list) -> None:
+        targets_get = self._dgc_message_targets.get
+        self._response_run = run = [None, [], []]
+        try:
+            for activity_id, message in zip(targets, messages):
+                handler = targets_get(activity_id)
+                if handler is not None:
+                    handler(message)
+                    continue
+                activity = self.activities.get(activity_id)
+                if activity is None or activity.collector is None:
+                    continue
+                activity.collector.on_dgc_message(message)
+        finally:
+            self._response_run = None
+        if run[1]:
+            self.network.send_dgc_run(
+                self.name, run[0], KIND_DGC_RESPONSE,
+                self._dgc_response_bytes, run[1], run[2],
+            )
+
+    def _on_dgc_responses(self, targets: list, responses: list) -> None:
+        targets_get = self._dgc_response_targets.get
+        for activity_id, response in zip(targets, responses):
+            handler = targets_get(activity_id)
+            if handler is not None:
+                handler(response)
+                continue
+            activity = self.activities.get(activity_id)
+            if activity is None or activity.collector is None:
+                continue
+            activity.collector.on_dgc_response(response)
 
 
 class ReplyPayload:

@@ -13,8 +13,11 @@ the test-suite probe exactly the boundary cases the paper reasons about.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+# Bound as module globals: ``heapq.heappush`` resolves an attribute per
+# call, and the schedule/step paths run once per staged delivery — at
+# pulse-fabric scale (millions of events) the attribute walk is real.
+from heapq import heappop, heappush
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SchedulingInPastError, SimulationError
@@ -153,7 +156,7 @@ class SimKernel:
             )
         seq = next(self._seq)
         event = Event(time, seq, callback, args, label, owner=self)
-        heapq.heappush(self._heap, (time, seq, event, callback, args))
+        heappush(self._heap, (time, seq, event, callback, args))
         self._scheduled += 1
         self._pending += 1
         if self._pending > self._peak_pending:
@@ -176,7 +179,7 @@ class SimKernel:
             raise SchedulingInPastError(
                 f"cannot schedule {callback!r} at {time} < now {self._now}"
             )
-        heapq.heappush(self._heap, (time, next(self._seq), None, callback, args))
+        heappush(self._heap, (time, next(self._seq), None, callback, args))
         self._scheduled += 1
         self._pending += 1
         if self._pending > self._peak_pending:
@@ -232,7 +235,7 @@ class SimKernel:
         Returns ``False`` when the queue is exhausted.
         """
         while self._heap:
-            entry = heapq.heappop(self._heap)
+            entry = heappop(self._heap)
             event = entry[2]
             if event is not None:
                 if event.cancelled:
@@ -264,7 +267,6 @@ class SimKernel:
         self._stop_requested = False
         fired = 0
         heap = self._heap
-        heappop = heapq.heappop
         try:
             while heap:
                 if self._stop_requested:

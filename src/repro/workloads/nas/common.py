@@ -39,7 +39,22 @@ from repro.world import World
 
 
 class NasWorker(Peer):
-    """One NAS worker: computes per iteration, then messages partners."""
+    """One NAS worker: computes per iteration, then messages partners.
+
+    Two driving modes share the same communication pattern:
+
+    * ``run`` — the asynchronous kernel skeleton: one long-lived handler
+      loops through every iteration, exchanges one-way pings, and the
+      driver's future resolves with the final result;
+    * ``step`` — one iteration per request, for the reply-barrier
+      variant: the driver calls ``step`` with ``expect_reply=True`` on
+      every worker and waits on all of the returned futures before
+      launching the next iteration.  Exchanges stay one-way (a worker
+      blocked on futures cannot serve its partners' pings — the paper's
+      active objects are single-threaded, so peer-to-peer reply waits
+      would deadlock the all-to-all patterns); the barrier rides the
+      future/reply path between driver and workers instead.
+    """
 
     def __init__(self, index: int, count: int, pattern: Pattern) -> None:
         super().__init__()
@@ -48,15 +63,25 @@ class NasWorker(Peer):
         self.pattern = pattern
         self.iterations_done = 0
 
+    def _exchange(self, ctx, iteration: int) -> None:
+        for partner, payload in self.pattern(self.index, self.count, iteration):
+            proxy = self.held.get(f"peer{partner}")
+            if proxy is not None:
+                ctx.call(proxy, "ping", payload_bytes=payload)
+
     def do_run(self, ctx, request: Request, proxies):
         iterations, iter_time = request.data
         for iteration in range(iterations):
             yield ctx.sleep(iter_time)
-            for partner, payload in self.pattern(self.index, self.count, iteration):
-                proxy = self.held.get(f"peer{partner}")
-                if proxy is not None:
-                    ctx.call(proxy, "ping", payload_bytes=payload)
+            self._exchange(ctx, iteration)
             self.iterations_done += 1
+        return self.index
+
+    def do_step(self, ctx, request: Request, proxies):
+        iteration, iter_time = request.data
+        yield ctx.sleep(iter_time)
+        self._exchange(ctx, iteration)
+        self.iterations_done += 1
         return self.index
 
 
@@ -72,6 +97,9 @@ class NasKernelSpec:
     #: Modelled per-worker deployment payload (code/class shipping); part
     #: of the application traffic in both DGC and no-DGC runs.
     deployment_bytes: int = 4_000
+    #: Synchronous variant: every exchange expects a reply and each
+    #: iteration barriers on all of them (see :class:`NasWorker`).
+    reply_barrier: bool = False
 
     def scaled(self, ao_count: int) -> "NasKernelSpec":
         """Same kernel shape with a different worker count."""
@@ -82,6 +110,7 @@ class NasKernelSpec:
             self.iter_time_s,
             self.pattern_factory,
             self.deployment_bytes,
+            self.reply_barrier,
         )
 
 
@@ -119,12 +148,15 @@ def kernel_spec(
     iterations: Optional[int] = None,
     iter_time_s: Optional[float] = None,
     payload_bytes: Optional[int] = None,
+    reply_barrier: Optional[bool] = None,
 ) -> NasKernelSpec:
     """One kernel spec with harness-level overrides applied.
 
     ``payload_bytes`` re-parameterizes the communication pattern (CG's
     boundary vectors, FT's transpose blocks); EP has no payload to
-    override.  The remaining knobs reshape the run without changing the
+    override.  ``reply_barrier`` switches the kernel to its synchronous
+    variant (every exchange replied to, iterations barrier on the
+    futures).  The remaining knobs reshape the run without changing the
     kernel's communication structure.
     """
     try:
@@ -148,6 +180,7 @@ def kernel_spec(
         iter_time_s if iter_time_s is not None else base.iter_time_s,
         factory,
         base.deployment_bytes,
+        reply_barrier if reply_barrier is not None else base.reply_barrier,
     )
 
 
@@ -186,15 +219,18 @@ def run_nas_kernel(
     safety_checks: bool = False,
     beat_slots: Optional[Union[int, str]] = None,
     batched_beats: Optional[bool] = None,
+    aggregate_site_pairs: Optional[bool] = None,
     trace: bool = False,
     keep_world: bool = False,
 ) -> NasRunResult:
     """Run one kernel once; see the module docstring for the protocol.
 
-    ``beat_slots`` / ``batched_beats`` override the corresponding DGC
-    config knobs (see :class:`repro.core.config.DgcConfig`):
-    ``batched_beats=False`` restores per-event scheduling and
-    per-envelope delivery — the A/B axis of the NAS fabric benchmark.
+    ``beat_slots`` / ``batched_beats`` / ``aggregate_site_pairs``
+    override the corresponding DGC config knobs (see
+    :class:`repro.core.config.DgcConfig`): ``batched_beats=False``
+    restores per-event scheduling and per-envelope delivery,
+    ``aggregate_site_pairs=False`` keeps the per-entry batched pulse —
+    the A/B axes of the NAS fabric benchmark.
     """
     if dgc is not None:
         overrides = {}
@@ -202,6 +238,8 @@ def run_nas_kernel(
             overrides["beat_slots"] = beat_slots
         if batched_beats is not None:
             overrides["batched_beats"] = batched_beats
+        if aggregate_site_pairs is not None:
+            overrides["aggregate_site_pairs"] = aggregate_site_pairs
         if overrides:
             dgc = dgc.with_overrides(**overrides)
     world = World(
@@ -239,11 +277,34 @@ def run_nas_kernel(
         raise SimulationError("NAS deployment did not settle")
 
     start_time = world.kernel.now
-    futures = [
-        ctx.call(worker, "run", data=(spec.iterations, spec.iter_time_s),
-                 expect_reply=True)
-        for worker in workers
-    ]
+    horizon = spec.iterations * spec.iter_time_s * 4 + 3_600.0
+    if spec.reply_barrier:
+        # Synchronous variant: one ``step`` request per worker per
+        # iteration, each with a future; the driver barriers on all of
+        # them before launching the next iteration, so the future/reply
+        # path carries one reply per worker per iteration.
+        futures: List = []
+        for iteration in range(spec.iterations):
+            wave = [
+                ctx.call(worker, "step",
+                         data=(iteration, spec.iter_time_s),
+                         expect_reply=True)
+                for worker in workers
+            ]
+            if not world.kernel.run_until_quiescent(
+                lambda: all(future.resolved for future in wave), 1.0, horizon
+            ):
+                raise SimulationError(
+                    f"NAS {spec.name} barrier {iteration} did not clear "
+                    f"in {horizon}s"
+                )
+            futures = wave
+    else:
+        futures = [
+            ctx.call(worker, "run", data=(spec.iterations, spec.iter_time_s),
+                     expect_reply=True)
+            for worker in workers
+        ]
 
     def result_ready() -> bool:
         if not all(future.resolved for future in futures):
@@ -252,7 +313,6 @@ def run_nas_kernel(
             return False
         return all(a.is_idle() for a in world.live_non_roots())
 
-    horizon = spec.iterations * spec.iter_time_s * 4 + 3_600.0
     if not world.kernel.run_until_quiescent(result_ready, 1.0, horizon):
         raise SimulationError(f"NAS {spec.name} did not finish in {horizon}s")
     result_time = world.kernel.now

@@ -176,17 +176,20 @@ def run_torture(
     safety_checks: bool = False,
     beat_slots: Optional[Union[int, str]] = None,
     batched_beats: Optional[bool] = None,
+    aggregate_site_pairs: Optional[bool] = None,
     trace: bool = False,
     keep_world: bool = False,
 ) -> TortureResult:
     """Run the torture test and sample the Fig. 10 curves.
 
-    ``beat_slots`` / ``batched_beats`` override the corresponding DGC
-    config knobs (see :class:`repro.core.config.DgcConfig`): the slot
-    count (an int, or ``"auto"`` for the adaptive per-node grid)
-    quantizes the start jitter so heartbeats coalesce into beat
-    buckets, and ``batched_beats=False`` restores per-event scheduling —
-    the A/B axis of the Fig. 10 perf benchmark.
+    ``beat_slots`` / ``batched_beats`` / ``aggregate_site_pairs``
+    override the corresponding DGC config knobs (see
+    :class:`repro.core.config.DgcConfig`): the slot count (an int, or
+    ``"auto"`` for the adaptive per-node grid) quantizes the start
+    jitter so heartbeats coalesce into beat buckets,
+    ``batched_beats=False`` restores per-event scheduling, and
+    ``aggregate_site_pairs=False`` keeps the per-entry batched pulse —
+    the A/B axes of the Fig. 10 perf benchmark.
     """
     if dgc is not None:
         overrides = {}
@@ -194,6 +197,8 @@ def run_torture(
             overrides["beat_slots"] = beat_slots
         if batched_beats is not None:
             overrides["batched_beats"] = batched_beats
+        if aggregate_site_pairs is not None:
+            overrides["aggregate_site_pairs"] = aggregate_site_pairs
         if overrides:
             dgc = dgc.with_overrides(**overrides)
     world = World(

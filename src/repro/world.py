@@ -98,6 +98,10 @@ class World:
             # network's pulse batch too (one kernel event per distinct
             # delivery instant instead of one per message).
             self.network.pulse_batching = True
+            # Columnar pulse storage + site-pair DGC aggregation (the
+            # default batched core); off, the per-entry batched pulse of
+            # the previous core serves as the A/B baseline.
+            self.network.aggregate_site_pairs = dgc.aggregate_site_pairs
         #: Optional callable ``factory(activity) -> collector`` overriding
         #: the paper's DGC; used to attach baseline collectors
         #: (:mod:`repro.baselines`).
@@ -181,6 +185,8 @@ class World:
         elif dgc_config is not None or self.dgc_config is not None:
             effective = dgc_config if dgc_config is not None else self.dgc_config
             activity.collector = DgcCollector(activity, effective)
+        if activity.collector is not None:
+            host.register_collector(activity)
         activity.start()
         if creator is not None:
             ref = RemoteRef(activity.id, node_name)

@@ -24,7 +24,7 @@ ACTIVE = 40.0
 CONFIG = DgcConfig(ttb=2.0, tta=5.0)
 
 
-def run(seed: int, slots: int, batched: bool):
+def run(seed: int, slots: int, batched: bool, aggregated: bool = False):
     reset_id_counter()
     return run_torture(
         dgc=CONFIG,
@@ -36,6 +36,7 @@ def run(seed: int, slots: int, batched: bool):
         collect_timeout=4_000.0,
         beat_slots=slots,
         batched_beats=batched,
+        aggregate_site_pairs=aggregated,
         trace=True,
         keep_world=True,
     )
@@ -55,16 +56,27 @@ def world_fingerprint(result):
 
 @pytest.mark.parametrize("seed", [0, 1, 7, 23])
 @pytest.mark.parametrize("slots", [0, 4])
-def test_wheel_and_per_event_runs_are_bit_identical(seed, slots):
+def test_all_three_cores_are_bit_identical(seed, slots):
+    """Aggregated columnar, per-entry batched and per-event delivery
+    are pure mechanics changes: same stats, same series, same tracer
+    stream, event for event."""
+    aggregated = run(seed, slots, batched=True, aggregated=True)
     batched = run(seed, slots, batched=True)
     per_event = run(seed, slots, batched=False)
+    assert aggregated.all_collected
     assert batched.all_collected and per_event.all_collected
+    a_stats, a_events, a_series = world_fingerprint(aggregated)
     b_stats, b_events, b_series = world_fingerprint(batched)
     p_stats, p_events, p_series = world_fingerprint(per_event)
     assert b_stats == p_stats
     assert b_series == p_series
     assert len(b_events) == len(p_events)
     assert b_events == p_events
+    assert a_stats == b_stats
+    assert a_series == b_series
+    assert a_events == b_events
+    # The aggregated core actually merged site-pair runs on this graph.
+    assert aggregated.world.network.aggregated_message_count > 0
 
 
 def test_quantized_phases_change_schedule_but_not_liveness():

@@ -32,15 +32,18 @@ SPECS = {
 }
 
 
-def run(kernel: str, seed: int, batched: bool):
+def run(kernel: str, seed: int, batched: bool, aggregated: bool = False,
+        reply_barrier: bool = False):
     reset_id_counter()
     return run_nas_kernel(
-        kernel_spec(kernel, ao_count=WORKERS, **SPECS[kernel]),
+        kernel_spec(kernel, ao_count=WORKERS, reply_barrier=reply_barrier,
+                    **SPECS[kernel]),
         dgc=CONFIG,
         topology=uniform_topology(NODES),
         seed=seed,
         collect_timeout=4_000.0,
         batched_beats=batched,
+        aggregate_site_pairs=aggregated,
         trace=True,
         keep_world=True,
     )
@@ -68,15 +71,43 @@ def world_fingerprint(result):
 
 @pytest.mark.parametrize("seed", [0, 5, 17])
 @pytest.mark.parametrize("kernel", sorted(SPECS))
-def test_batched_and_per_event_app_traffic_is_bit_identical(kernel, seed):
+def test_all_three_cores_are_bit_identical_on_app_traffic(kernel, seed):
+    aggregated = run(kernel, seed, batched=True, aggregated=True)
     batched = run(kernel, seed, batched=True)
     per_event = run(kernel, seed, batched=False)
+    a_stats, a_events, a_outcome = world_fingerprint(aggregated)
     b_stats, b_events, b_outcome = world_fingerprint(batched)
     p_stats, p_events, p_outcome = world_fingerprint(per_event)
     assert b_outcome == p_outcome
     assert b_stats == p_stats
     assert len(b_events) == len(p_events)
     assert b_events == p_events
+    assert a_outcome == b_outcome
+    assert a_stats == b_stats
+    assert a_events == b_events
+    # NAS workers hold complete graphs: site-pair runs must merge.
+    assert aggregated.world.network.aggregated_message_count > 0
+
+
+@pytest.mark.parametrize("seed", [2, 11])
+def test_reply_barrier_is_bit_identical_across_cores(seed):
+    """The synchronous NAS variant (driver-mediated iteration barriers,
+    one reply future per worker per iteration) exercises the
+    future/reply path; its outcomes must be identical under aggregated,
+    per-entry batched and per-event delivery."""
+    aggregated = run("FT", seed, batched=True, aggregated=True,
+                     reply_barrier=True)
+    batched = run("FT", seed, batched=True, reply_barrier=True)
+    per_event = run("FT", seed, batched=False, reply_barrier=True)
+    assert world_fingerprint(aggregated) == world_fingerprint(batched)
+    assert world_fingerprint(batched) == world_fingerprint(per_event)
+    # The barrier actually rode the reply path: one reply per worker
+    # per iteration was delivered on top of the async variant's.
+    plain = run("FT", seed, batched=True, aggregated=True)
+    assert (
+        aggregated.app_bandwidth_mb > plain.app_bandwidth_mb
+    ), "reply traffic missing"
+    assert aggregated.collected_acyclic + aggregated.collected_cyclic == WORKERS
 
 
 @pytest.mark.parametrize("kernel", sorted(SPECS))

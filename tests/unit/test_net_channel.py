@@ -70,3 +70,19 @@ def test_many_messages_keep_order():
         )
     kernel.run()
     assert received == list(range(len(rng_latencies)))
+
+
+def test_stage_send_n_matches_n_individual_stage_sends():
+    def build():
+        kernel = SimKernel()
+        return kernel, FifoChannel(
+            kernel, "a", "b", lambda env: 0.25, base_latency=0.25
+        )
+
+    __, one = build()
+    times_one = [one.stage_send() for __ in range(5)]
+    __, many = build()
+    time_many = many.stage_send_n(5)
+    assert times_one == [time_many] * 5
+    assert one.sent_count == many.sent_count == 5
+    assert one._last_delivery_time == many._last_delivery_time

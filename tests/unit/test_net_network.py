@@ -257,3 +257,157 @@ def test_typed_and_envelope_traffic_share_channel_fifo():
         ("envelope", KIND_DGC_MESSAGE),
         ("typed", KIND_APP_REPLY),
     ]
+
+
+# ----------------------------------------------------------------------
+# The aggregated columnar core (send_dgc_single / send_dgc_run)
+# ----------------------------------------------------------------------
+
+
+def make_aggregated_network(node_count=3):
+    kernel, network = make_network(node_count)
+    network.pulse_batching = True
+    network.aggregate_site_pairs = True
+    typed, singles, batches = [], [], []
+    for index in range(node_count):
+        name = f"site-{index}"
+
+        def typed_sink(kind, item, payload, _name=name):
+            typed.append((_name, kind, item, payload))
+
+        def single(target, message, _name=name):
+            singles.append((_name, target, message))
+
+        def batch(targets, messages, _name=name):
+            batches.append((_name, list(targets), list(messages)))
+
+        network.register_node(
+            name, lambda env: None, typed_sink,
+            dgc_sinks={
+                KIND_DGC_MESSAGE: (single, batch),
+                "dgc.response": (single, batch),
+            },
+        )
+    return kernel, network, typed, singles, batches
+
+
+def test_adjacent_same_channel_dgc_sends_merge_into_one_aggregate():
+    kernel, network, typed, singles, batches = make_aggregated_network()
+    message = object()
+    for index in range(5):
+        network.send_dgc_single(
+            "site-0", "site-1", KIND_DGC_MESSAGE, 64, f"ao-{index}", message
+        )
+    kernel.run()
+    # One batch-sink call carrying the flat columns, in send order.
+    assert singles == []
+    assert batches == [
+        ("site-1", [f"ao-{i}" for i in range(5)], [message] * 5)
+    ]
+    assert network.aggregated_message_count == 4
+    # Accounting charges each constituent at its modeled size.
+    assert network.accountant.messages_for(KIND_DGC_MESSAGE) == 5
+    assert network.accountant.bytes_for(KIND_DGC_MESSAGE) == 5 * 64
+    assert network.accountant.pair_bytes(("site-0", "site-1")) == 5 * 64
+
+
+def test_interleaved_traffic_breaks_the_run_and_keeps_order():
+    kernel, network, typed, singles, batches = make_aggregated_network()
+    message = object()
+    order = []
+    # Re-register site-1 sinks that record global arrival order.
+    network.register_node(
+        "site-1", lambda env: None,
+        lambda kind, item, payload: order.append(("typed", item)),
+        dgc_sinks={
+            KIND_DGC_MESSAGE: (
+                lambda t, m: order.append(("single", t)),
+                lambda ts, ms: order.extend(("batch", t) for t in ts),
+            ),
+            "dgc.response": (
+                lambda t, m: order.append(("single", t)),
+                lambda ts, ms: order.extend(("batch", t) for t in ts),
+            ),
+        },
+    )
+    network.send_dgc_single("site-0", "site-1", KIND_DGC_MESSAGE, 64, "a", message)
+    network.send_typed("site-0", "site-1", KIND_APP_REQUEST, 10, "req")
+    network.send_dgc_single("site-0", "site-1", KIND_DGC_MESSAGE, 64, "b", message)
+    network.send_dgc_single("site-0", "site-1", KIND_DGC_MESSAGE, 64, "c", message)
+    kernel.run()
+    # The app request broke the run: "a" stays single, "b"/"c" merged —
+    # and the global sequence is exactly the send sequence.
+    assert order == [
+        ("single", "a"), ("typed", "req"), ("batch", "b"), ("batch", "c"),
+    ]
+
+
+def test_send_dgc_run_stages_one_entry_and_counts_constituents():
+    kernel, network, typed, singles, batches = make_aggregated_network()
+    message = object()
+    network.send_dgc_run(
+        "site-0", "site-2", KIND_DGC_MESSAGE, 64,
+        ["x", "y", "z"], [message, message, message],
+    )
+    kernel.run()
+    assert batches == [("site-2", ["x", "y", "z"], [message] * 3)]
+    channel = network._channels[("site-0", "site-2")]
+    assert channel.sent_count == 3
+    assert channel.delivered_count == 3
+    assert network.accountant.messages_for(KIND_DGC_MESSAGE) == 3
+
+
+def test_send_dgc_run_falls_back_per_message_without_aggregation():
+    kernel, network, typed, singles, batches = make_aggregated_network()
+    network.aggregate_site_pairs = False
+    network.send_dgc_run(
+        "site-0", "site-1", KIND_DGC_MESSAGE, 64, ["x", "y"], ["m", "m"]
+    )
+    kernel.run()
+    assert batches == []
+    assert [item for __, kind, item, __ in typed
+            if kind == KIND_DGC_MESSAGE] == ["x", "y"]
+
+
+def test_send_dgc_single_respects_partitions_and_counts_drops():
+    plan = FaultPlan()
+    kernel, network = make_network(2, fault_plan=plan)
+    network.pulse_batching = True
+    network.aggregate_site_pairs = True
+    received = []
+    network.register_node(
+        "site-0", lambda env: None, lambda *a: None,
+        dgc_sinks={KIND_DGC_MESSAGE: (lambda t, m: None, lambda ts, ms: None)},
+    )
+    network.register_node(
+        "site-1", lambda env: None, lambda *a: received.append(a),
+        dgc_sinks={
+            KIND_DGC_MESSAGE: (
+                lambda t, m: received.append(t), lambda ts, ms: None
+            ),
+        },
+    )
+    plan.partition("site-0", "site-1")
+    network.send_dgc_single("site-0", "site-1", KIND_DGC_MESSAGE, 64, "a", "m")
+    network.send_dgc_run(
+        "site-0", "site-1", KIND_DGC_MESSAGE, 64, ["b", "c"], ["m", "m"]
+    )
+    kernel.run()
+    assert received == []
+    assert plan.dropped_count == 3
+    assert network.accountant.total_bytes == 0
+
+
+def test_aggregated_pulse_records_are_pooled_and_recycled():
+    kernel, network, typed, singles, batches = make_aggregated_network()
+    assert network._pulse_pool == []
+    network.send_dgc_single("site-0", "site-1", KIND_DGC_MESSAGE, 64, "a", "m")
+    kernel.run()
+    assert len(network._pulse_pool) == 1
+    recycled = network._pulse_pool[0]
+    assert recycled == []
+    network.send_dgc_single("site-0", "site-1", KIND_DGC_MESSAGE, 64, "b", "m")
+    # The recycled record was reused, not a new allocation.
+    assert network._pulse_pool == []
+    assert len(network._pulses) == 1 and next(iter(network._pulses.values())) is recycled
+    kernel.run()
