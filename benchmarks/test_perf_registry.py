@@ -1,0 +1,249 @@
+"""Naming-service benchmark — the ``BENCH_registry.json`` trajectory.
+
+The naming service's claim is that placement and lease caching turn
+far-site resolution from a cross-grid round trip into local work.  This
+benchmark drives the lookup-heavy naming workload (bind/resolve/unbind
+churn across sites, :mod:`repro.workloads.naming`) on the same seed
+under three registry modes:
+
+* **static_home** — placement ``home``, no leases: every far-site
+  resolve is a ``registry.lookup``/``registry.reply`` round trip to one
+  static node — the PR-3-shaped baseline;
+* **cached** — placement ``home`` with lease-cached bindings (explicit
+  invalidation on unbind, renewals batched on the beat wheel);
+* **replicated** — a primary pushing full replicas; resolves never
+  cross the wire at all.
+
+and asserts (a) every mode resolves the same lookups and collects every
+service, (b) resolve *throughput* (completed resolves per wall second)
+of the cached and replicated modes beats the static-home baseline by at
+least ``MIN_SPEEDUP``, and (c) the structural wins behind it: fewer
+registry bytes on the wire and lower mean simulated resolve latency.
+Results land in ``BENCH_registry.json`` at the repo root (see
+PERFORMANCE.md).
+
+Scale is controlled with ``REPRO_REGISTRY_SCALE``:
+
+* ``full`` (default) — 128 clients on 64 nodes, 115k resolves, gate
+  1.3x (measured 1.8-2.0x cached, 2.2-2.5x replicated best-of-rounds on
+  this machine; the gate leaves noise margin and the artifact records
+  the measured ratios);
+* ``smoke`` — 32 clients on 16 nodes for CI smoke jobs (sub-second
+  runs), gate relaxed to 1.05x.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import DgcConfig, RegistryConfig
+from repro.net.topology import uniform_topology
+from repro.perf import PerfMeasurement, PerfReport, Stopwatch
+from repro.runtime.ids import reset_id_counter
+from repro.workloads.naming import run_naming
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_registry.json"
+PR_LABEL = "PR5"
+
+SCALE = os.environ.get("REPRO_REGISTRY_SCALE", "full")
+if SCALE == "smoke":
+    CLIENT_COUNT = 32
+    SERVICE_COUNT = 12
+    NODE_COUNT = 16
+    DURATION = 240.0
+    MIN_SPEEDUP = 1.05
+else:
+    CLIENT_COUNT = 128
+    SERVICE_COUNT = 32
+    NODE_COUNT = 64
+    DURATION = 600.0
+    MIN_SPEEDUP = 1.3
+
+SEED = 7
+LOOKUP_PERIOD = 4.0
+LOOKUP_BURST = 6
+CHURN_PERIOD = 20.0
+#: The paper's NAS beat with a margin over the 64-node MaxComm.
+DGC = DgcConfig(ttb=30.0, tta=90.0)
+
+MODES = {
+    "static_home": RegistryConfig(),
+    "cached": RegistryConfig(lease_ttb=8),
+    "replicated": RegistryConfig(placement="replicated"),
+}
+
+#: Best-of-N timing: the modes differ by fractions of a second of wall
+#: time at smoke scale, so each is timed over a few rounds.
+ROUNDS = 3
+
+
+def _run_once(registry: RegistryConfig):
+    reset_id_counter()
+    gc.collect()
+    gc.disable()
+    try:
+        with Stopwatch() as watch:
+            result = run_naming(
+                dgc=DGC,
+                registry=registry,
+                client_count=CLIENT_COUNT,
+                service_count=SERVICE_COUNT,
+                duration=DURATION,
+                lookup_period=LOOKUP_PERIOD,
+                lookup_burst=LOOKUP_BURST,
+                churn_period=CHURN_PERIOD,
+                topology=uniform_topology(NODE_COUNT),
+                seed=SEED,
+            )
+    finally:
+        gc.enable()
+    return watch.elapsed, result
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    runs = {}
+    for name, registry in MODES.items():
+        runs[name] = _run_once(registry)
+    for _ in range(ROUNDS - 1):
+        for name, registry in MODES.items():
+            wall, __ = _run_once(registry)
+            if wall < runs[name][0]:
+                runs[name] = (wall, runs[name][1])
+
+    def throughput(key):
+        wall, result = runs[key]
+        return result.resolves_completed / wall
+
+    base = throughput("static_home")
+    speedups = {
+        name: throughput(name) / base for name in ("cached", "replicated")
+    }
+
+    report = PerfReport(
+        meta={
+            "scale": SCALE,
+            "seed": SEED,
+            "client_count": CLIENT_COUNT,
+            "service_count": SERVICE_COUNT,
+            "node_count": NODE_COUNT,
+            "duration_s": DURATION,
+            "lookup_period_s": LOOKUP_PERIOD,
+            "lookup_burst": LOOKUP_BURST,
+            "churn_period_s": CHURN_PERIOD,
+            "lease_ttb": MODES["cached"].lease_ttb,
+            "ttb": DGC.ttb,
+            "tta": DGC.tta,
+        },
+        pr_label=PR_LABEL,
+    )
+    for name, (wall, result) in runs.items():
+        extra = {
+            "resolves_completed": result.resolves_completed,
+            "resolve_throughput_per_s": round(
+                result.resolves_completed / wall, 1
+            ),
+            "mean_resolve_latency_us": round(
+                result.mean_resolve_latency_s * 1e6, 3
+            ),
+            "registry_mb": round(result.registry_bandwidth_mb, 6),
+            "total_mb": round(result.total_bandwidth_mb, 6),
+            "cache_hits": result.cache_hits,
+            "replica_hits": result.replica_hits,
+            "local_misses": result.local_misses,
+            "remote_lookups": result.remote_lookups,
+            "invalidations_sent": result.invalidations_sent,
+            "renew_messages_sent": result.renew_messages_sent,
+        }
+        if name in speedups:
+            extra["resolve_speedup_vs_static_home"] = round(
+                speedups[name], 3
+            )
+        report.add(
+            PerfMeasurement(
+                name=f"naming_{name}",
+                wall_time_s=wall,
+                events_fired=result.events_fired,
+                peak_pending_events=result.peak_pending_events,
+                sim_time_s=result.sim_time_s,
+                extra=extra,
+            )
+        )
+    report.write(BENCH_PATH)
+    return {**runs, "speedups": speedups}
+
+
+def test_every_mode_resolves_everything_and_collects(measurements):
+    for key in MODES:
+        __, result = measurements[key]
+        assert result.all_collected
+        assert result.dead_letters == 0
+        assert result.resolves_completed == result.resolves_issued > 0
+        assert result.collected_acyclic + result.collected_cyclic == (
+            SERVICE_COUNT
+        )
+    # The same client schedules issued the same resolves in every mode
+    # (static_home/cached/replicated differ only in where resolution is
+    # served — bind acks travel identical paths).
+    issued = {measurements[k][1].resolves_issued for k in MODES}
+    assert len(issued) == 1
+
+
+def test_modes_actually_exercise_their_machinery(measurements):
+    __, static = measurements["static_home"]
+    __, cached = measurements["cached"]
+    __, replicated = measurements["replicated"]
+    assert static.cache_hits == 0 and static.replica_hits == 0
+    assert cached.cache_hits > cached.remote_lookups
+    assert cached.renew_messages_sent > 0
+    assert cached.invalidations_sent > 0
+    assert replicated.remote_lookups == 0
+    assert replicated.replica_hits > 0
+
+
+def test_cached_and_replicated_resolve_throughput_beats_static_home(
+    measurements,
+):
+    for mode, speedup in measurements["speedups"].items():
+        assert speedup >= MIN_SPEEDUP, (
+            f"{mode} resolve throughput is only {speedup:.2f}x the "
+            f"static-home baseline (required: {MIN_SPEEDUP}x at "
+            f"scale={SCALE!r})"
+        )
+
+
+def test_registry_bytes_on_wire_beat_static_home(measurements):
+    __, static = measurements["static_home"]
+    for mode in ("cached", "replicated"):
+        __, result = measurements[mode]
+        assert result.registry_bandwidth_mb < static.registry_bandwidth_mb
+
+
+def test_resolve_latency_beats_static_home(measurements):
+    __, static = measurements["static_home"]
+    for mode in ("cached", "replicated"):
+        __, result = measurements[mode]
+        assert (
+            result.mean_resolve_latency_s < static.mean_resolve_latency_s
+        )
+
+
+def test_bench_artifact_written(measurements):
+    import json
+
+    assert BENCH_PATH.exists()
+    payload = json.loads(BENCH_PATH.read_text())
+    assert payload["schema"] == 1
+    benchmarks = payload["benchmarks"]
+    for mode in ("cached", "replicated"):
+        entry = benchmarks[f"naming_{mode}"]
+        assert entry["resolve_speedup_vs_static_home"] > 0
+        assert entry["resolve_throughput_per_s"] > 0
+    for entry in benchmarks.values():
+        assert entry["wall_time_s"] > 0
+        assert entry["events_per_second"] > 0

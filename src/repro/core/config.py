@@ -19,7 +19,7 @@ all default to the paper's behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Union
+from typing import Optional, Union
 
 from repro.errors import ConfigurationError
 
@@ -134,6 +134,90 @@ class DgcConfig:
         return self.tta > 2.0 * self.ttb + max_comm
 
     def with_overrides(self, **changes) -> "DgcConfig":
+        """Functional update (configs are immutable)."""
+        return replace(self, **changes)
+
+
+#: :attr:`RegistryConfig.placement` values.
+PLACEMENT_HOME = "home"
+PLACEMENT_REPLICATED = "replicated"
+PLACEMENT_HASHED = "hashed"
+
+PLACEMENTS = (PLACEMENT_HOME, PLACEMENT_REPLICATED, PLACEMENT_HASHED)
+
+
+@dataclass(frozen=True)
+class RegistryConfig:
+    """Parameters of the naming service (paper Sec. 4.1: registered
+    active objects are DGC roots "as anyone can look them up at any
+    time").
+
+    The naming service is a fabric subsystem: every operation
+    (bind/unbind/lookup, plus the coherence traffic — invalidations and
+    lease renewals) rides the typed pulse transport as ``registry.*``
+    kinds.  The config chooses where bindings live and how aggressively
+    far sites may cache them.
+    """
+
+    #: Where the authoritative shard for a name lives:
+    #:
+    #: * ``home`` — one static home node owns every binding (the
+    #:   RMIRegistry-style baseline; far sites pay full cross-grid
+    #:   latency unless the lease cache is on),
+    #: * ``replicated`` — a primary (the home node) owns root pins and
+    #:   pushes full replicas to every node; resolves are served from
+    #:   the local replica with zero wire traffic,
+    #: * ``hashed`` — the authority for a name is chosen by a stable
+    #:   hash over the node list, spreading bindings (and their lookup
+    #:   load) across the grid.
+    placement: str = PLACEMENT_HOME
+    #: Lease TTL for cached bindings, measured in *beats* of
+    #: :attr:`lease_beat_s` (so renewals quantize onto the beat wheel
+    #: like heartbeats).  ``0`` disables the lease cache — every
+    #: non-authoritative resolve crosses the wire, the PR-3-shaped
+    #: static-home behaviour.
+    lease_ttb: int = 0
+    #: Per-node lease-cache capacity (entries); eviction is FIFO in
+    #: insertion order.  ``0`` disables caching like ``lease_ttb=0``.
+    cache_size: int = 256
+    #: Period of the per-node lease sweep (cache expiry + batched
+    #: renewals), in seconds.  ``None`` inherits the DGC's TTB when a
+    #: DGC is configured, else 30 s (the paper's NAS TTB).
+    lease_beat_s: Optional[float] = None
+    #: The home node (placement ``home``/``replicated``'s primary);
+    #: ``None`` picks the topology's first node.
+    home_node: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise ConfigurationError(
+                f"placement must be one of {PLACEMENTS}, got "
+                f"{self.placement!r}"
+            )
+        if self.lease_ttb < 0:
+            raise ConfigurationError(
+                f"lease_ttb must be >= 0 beats, got {self.lease_ttb}"
+            )
+        if self.cache_size < 0:
+            raise ConfigurationError(
+                f"cache_size must be >= 0, got {self.cache_size}"
+            )
+        if self.lease_beat_s is not None and self.lease_beat_s <= 0:
+            raise ConfigurationError(
+                f"lease_beat_s must be positive, got {self.lease_beat_s}"
+            )
+
+    @property
+    def caching(self) -> bool:
+        """Lease caching is on (meaningful for ``home``/``hashed``;
+        ``replicated`` keeps coherent replicas instead of leases)."""
+        return (
+            self.lease_ttb > 0
+            and self.cache_size > 0
+            and self.placement != PLACEMENT_REPLICATED
+        )
+
+    def with_overrides(self, **changes) -> "RegistryConfig":
         """Functional update (configs are immutable)."""
         return replace(self, **changes)
 

@@ -102,10 +102,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     run_cmd.add_argument(
         "--workload",
-        choices=["torture", "nas:cg", "nas:ep", "nas:ft"],
+        choices=["torture", "nas:cg", "nas:ep", "nas:ft", "naming"],
         default="torture",
-        help="which traffic shape to run: the Fig. 10 torture test or "
-        "one of the paper's NAS kernel skeletons (Sec. 5.2)",
+        help="which traffic shape to run: the Fig. 10 torture test, one "
+        "of the paper's NAS kernel skeletons (Sec. 5.2), or the naming "
+        "service's bind/resolve/unbind churn (Sec. 4.1)",
     )
     run_cmd.add_argument("--nodes", type=int, default=32)
     run_cmd.add_argument("--seed", type=int, default=1)
@@ -162,6 +163,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     # Torture knobs.
     run_cmd.add_argument("--slaves", type=int, default=320)
     run_cmd.add_argument("--duration", type=float, default=600.0)
+    # Naming knobs.
+    run_cmd.add_argument(
+        "--registry-placement",
+        choices=["home", "replicated", "hashed"],
+        default="home",
+        help="where authoritative registry shards live (naming service)",
+    )
+    run_cmd.add_argument(
+        "--lease-ttb", type=int, default=0,
+        help="lease TTL for cached bindings, in beats of the lease sweep "
+        "(0 disables the lease cache — the static-home baseline)",
+    )
+    run_cmd.add_argument(
+        "--registry-cache", type=int, default=256,
+        help="per-node lease-cache capacity (entries)",
+    )
+    run_cmd.add_argument(
+        "--clients", type=int, default=64,
+        help="naming workload: lookup clients spread across the grid",
+    )
+    run_cmd.add_argument(
+        "--services", type=int, default=24,
+        help="naming workload: bound services",
+    )
+    run_cmd.add_argument(
+        "--lookup-period", type=float, default=4.0,
+        help="naming workload: mean seconds between client lookup bursts",
+    )
+    run_cmd.add_argument(
+        "--lookup-burst", type=int, default=4,
+        help="naming workload: lookups issued per client wake-up",
+    )
+    run_cmd.add_argument(
+        "--churn-period", type=float, default=None,
+        help="naming workload: mean seconds between unbind/rebind churn",
+    )
 
     everything = subparsers.add_parser("all", help="all artifacts, scaled")
     _add_nas_args(everything)
@@ -269,6 +306,64 @@ def _run_workload(args: argparse.Namespace) -> int:
             ["sim time (s)", f"{result.sim_time_s:.1f}"],
         ]
         title = f"torture — {slaves} slaves on {nodes} nodes"
+    elif args.workload == "naming":
+        from repro.core.config import RegistryConfig
+        from repro.workloads.naming import run_naming
+
+        registry = RegistryConfig(
+            placement=args.registry_placement,
+            lease_ttb=args.lease_ttb,
+            cache_size=args.registry_cache,
+        )
+        if args.registry_placement == "replicated" and args.lease_ttb > 0:
+            print(
+                "note: --lease-ttb has no effect with "
+                "--registry-placement replicated (replicas are coherent "
+                "copies; leases apply to home/hashed placement)",
+                file=sys.stderr,
+            )
+        result = run_naming(
+            dgc=config_for(NAS_CONFIG),
+            registry=registry,
+            client_count=args.clients,
+            service_count=args.services,
+            duration=args.duration,
+            lookup_period=args.lookup_period,
+            lookup_burst=args.lookup_burst,
+            churn_period=args.churn_period,
+            topology=uniform_topology(args.nodes),
+            seed=args.seed,
+            beat_slots=args.beat_slots,
+            batched_beats=batched,
+            aggregate_site_pairs=aggregated,
+            keep_world=True,
+        )
+        rows = [
+            ["clients / services", f"{result.client_count}/{result.service_count}"],
+            ["resolves (hit/miss)",
+             f"{result.resolves_completed} ({result.hits}/{result.misses})"],
+            ["served (authority/replica/cache/remote/local-miss)",
+             f"{result.authority_hits}/{result.replica_hits}/"
+             f"{result.cache_hits}/{result.remote_lookups}/"
+             f"{result.local_misses}"],
+            ["mean resolve latency (ms)",
+             f"{result.mean_resolve_latency_s * 1e3:.3f}"],
+            ["invalidations / renews",
+             f"{result.invalidations_sent}/{result.renew_messages_sent}"],
+            ["registry MB", f"{result.registry_bandwidth_mb:.3f}"],
+            ["total MB", f"{result.total_bandwidth_mb:.2f}"],
+            ["DGC MB", f"{result.dgc_bandwidth_mb:.2f}"],
+            ["collected (acyclic/cyclic)",
+             f"{result.collected_acyclic}/{result.collected_cyclic}"],
+            ["dead letters", result.dead_letters],
+            ["kernel events fired", result.events_fired],
+            ["sim time (s)", f"{result.sim_time_s:.1f}"],
+        ]
+        cached = " + leases" if registry.caching else ""
+        title = (
+            f"naming ({registry.placement}{cached}) — {args.clients} "
+            f"clients, {args.services} services on {args.nodes} nodes"
+        )
     else:
         from repro.harness.figures import PAPER_NODE_COUNT
         from repro.workloads.nas import PAPER_AO_COUNT, kernel_spec, run_nas_kernel

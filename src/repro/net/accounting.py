@@ -18,15 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.net.message import (
-    KIND_APP_REPLY,
-    KIND_APP_REQUEST,
-    KIND_DGC_MESSAGE,
-    KIND_DGC_RESPONSE,
-    KIND_REGISTRY_LOOKUP,
-    KIND_REGISTRY_REPLY,
-    Envelope,
-)
+from repro.net import kinds
+from repro.net.message import Envelope
 
 
 @dataclass
@@ -138,23 +131,34 @@ class BandwidthAccountant:
         """All cross-node payload bytes (the paper's headline number)."""
         return sum(category.bytes for category in self._by_kind.values())
 
+    def _family_bytes(self, family: Tuple[str, ...]) -> int:
+        by_kind = self._by_kind
+        total = 0
+        for kind in family:
+            category = by_kind.get(kind)
+            if category is not None:
+                total += category.bytes
+        return total
+
+    # The family tuples are read through the kinds module (not bound at
+    # import) so late-registered kinds are rolled up like describe().
+
     @property
     def app_bytes(self) -> int:
         """Application traffic only (requests + replies)."""
-        return self.bytes_for(KIND_APP_REQUEST) + self.bytes_for(KIND_APP_REPLY)
+        return self._family_bytes(kinds.APP_KINDS)
 
     @property
     def dgc_bytes(self) -> int:
         """DGC traffic only (messages + responses)."""
-        return self.bytes_for(KIND_DGC_MESSAGE) + self.bytes_for(KIND_DGC_RESPONSE)
+        return self._family_bytes(kinds.DGC_KINDS)
 
     @property
     def registry_bytes(self) -> int:
-        """Registry traffic only (lookups + replies)."""
-        return (
-            self.bytes_for(KIND_REGISTRY_LOOKUP)
-            + self.bytes_for(KIND_REGISTRY_REPLY)
-        )
+        """Naming-service traffic only (every ``registry.*`` kind:
+        lookups, replies, bind/unbind updates, invalidations, lease
+        renewals — the family rollup comes from the kind registry)."""
+        return self._family_bytes(kinds.REGISTRY_KINDS)
 
     @property
     def total_messages(self) -> int:
@@ -173,14 +177,14 @@ class BandwidthAccountant:
 
     def describe(self) -> str:
         """One line per observed traffic kind, in the fabric's canonical
-        :data:`~repro.net.message.ALL_KINDS` order (unknown kinds last,
+        :data:`~repro.net.kinds.ALL_KINDS` order (unknown kinds last,
         sorted), using the same kind labels every sink reports (envelope
         and typed alike) — kept uniform so ``grep 'dgc.message'`` works
         on any trace or summary."""
-        from repro.net.message import ALL_KINDS
-
-        known = [kind for kind in ALL_KINDS if kind in self._by_kind]
-        extra = sorted(set(self._by_kind) - set(ALL_KINDS))
+        # Read through the module so late-registered kinds are ordered.
+        all_kinds = kinds.ALL_KINDS
+        known = [kind for kind in all_kinds if kind in self._by_kind]
+        extra = sorted(set(self._by_kind) - set(all_kinds))
         return "\n".join(
             f"{kind}: {self._by_kind[kind].messages} msgs, "
             f"{self._by_kind[kind].bytes} B"

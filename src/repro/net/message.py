@@ -11,53 +11,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-
-#: Categories used by the bandwidth accountant.
-KIND_APP_REQUEST = "app.request"
-KIND_APP_REPLY = "app.reply"
-KIND_DGC_MESSAGE = "dgc.message"
-KIND_DGC_RESPONSE = "dgc.response"
-KIND_REGISTRY_LOOKUP = "registry.lookup"
-KIND_REGISTRY_REPLY = "registry.reply"
-
-#: Every kind the unified fabric routes, in dispatch-priority order
-#: (DGC first: it outnumbers the rest by an order of magnitude at scale).
-ALL_KINDS = (
+# Kind constants and their groupings live in the central registry
+# (:mod:`repro.net.kinds`); re-exported here for backward compatibility —
+# most of the codebase historically imported them from this module.
+# These re-exports are import-time snapshots: a `register_kind` call
+# after this module loads rebinds the tuples in `repro.net.kinds` only
+# (the shared AGGREGATE_KINDS dict stays live either way).  Code that
+# must see late registrations reads through the kinds module, as the
+# accountant's family rollups do.
+from repro.net.kinds import (  # noqa: F401  (re-exports)
+    AGGREGATE_KINDS,
+    ALL_KINDS,
+    APP_KINDS,
+    DGC_KINDS,
+    KIND_APP_REPLY,
+    KIND_APP_REQUEST,
     KIND_DGC_MESSAGE,
     KIND_DGC_RESPONSE,
-    KIND_APP_REQUEST,
-    KIND_APP_REPLY,
+    KIND_REGISTRY_BIND,
+    KIND_REGISTRY_INVALIDATE,
     KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_RENEW,
     KIND_REGISTRY_REPLY,
+    PAIRED_PAYLOAD_KINDS,
+    REGISTRY_KINDS,
+    describe_traffic,
 )
-
-#: Kinds whose typed form is an ``(item, payload)`` pair (the DGC fast
-#: lane addresses a per-activity collector, so the activity id travels
-#: next to the protocol message).  For every other kind the typed form
-#: is a single object and ``payload`` rides along as ``None``.  The
-#: legacy :class:`Envelope` payload shape follows the same rule: a
-#: ``(item, payload)`` tuple for paired kinds, the bare item otherwise.
-PAIRED_PAYLOAD_KINDS = frozenset({KIND_DGC_MESSAGE, KIND_DGC_RESPONSE})
-
-#: Site-pair aggregate markers: in the columnar pulse, a run of DGC
-#: messages staged back-to-back on the same channel for the same
-#: delivery instant rides **one** pulse entry whose item/payload columns
-#: hold flat ``(target_id, message)`` lists.  The aggregate kinds are
-#: internal to the fabric — they never appear on the wire, in the
-#: accountant (each constituent is charged at its own kind and modeled
-#: size) or in node-facing sinks (the destination unwraps them through a
-#: dedicated batch sink).  Keyed by the base kind they aggregate.
-AGGREGATE_KINDS = {
-    KIND_DGC_MESSAGE: "dgc.message[]",
-    KIND_DGC_RESPONSE: "dgc.response[]",
-}
-
-
-def describe_traffic(kind: str, source: str, dest: str, size_bytes: int) -> str:
-    """The one uniform rendering of a unit of traffic, shared by
-    :meth:`Envelope.__repr__` and the accountant so traces stay
-    greppable by kind regardless of which sink carried the message."""
-    return f"{kind} {source}->{dest} {size_bytes}B"
 
 
 @dataclass(slots=True)
@@ -112,6 +91,14 @@ class WireSizeModel:
     #: carries at most one serialized stub.
     registry_lookup_bytes: int = 48
     registry_reply_header_bytes: int = 32
+    #: Naming-service control traffic: a bind/unbind update carries a
+    #: name (plus one stub when binding); invalidations and lease
+    #: renewals are batched — one header plus one serialized name per
+    #: entry (the lease sweep flushes a whole beat's renewals as one
+    #: message per authority, like a heartbeat).
+    registry_update_bytes: int = 64
+    registry_batch_header_bytes: int = 32
+    registry_name_bytes: int = 24
 
     def request_size(self, payload_bytes: int, reference_count: int) -> int:
         """Wire size of an application request."""
@@ -137,4 +124,22 @@ class WireSizeModel:
         """Wire size of a registry reply (one stub when the name resolved)."""
         return self.registry_reply_header_bytes + (
             self.reference_bytes if found else 0
+        )
+
+    def registry_update_size(self, with_ref: bool) -> int:
+        """Wire size of a bind (carries a stub) or unbind update."""
+        return self.registry_update_bytes + (
+            self.reference_bytes if with_ref else 0
+        )
+
+    def registry_ack_size(self) -> int:
+        """Wire size of a bind/unbind acknowledgement."""
+        return self.registry_reply_header_bytes
+
+    def registry_batch_size(self, name_count: int) -> int:
+        """Wire size of a batched invalidation / lease-renewal message
+        (one header, one serialized name per entry)."""
+        return (
+            self.registry_batch_header_bytes
+            + name_count * self.registry_name_bytes
         )

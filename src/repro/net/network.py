@@ -60,13 +60,13 @@ from repro.errors import UnknownDestinationError
 from repro.net.accounting import BandwidthAccountant
 from repro.net.channel import FifoChannel
 from repro.net.faults import FaultPlan
-from repro.net.message import (
+from repro.net.kinds import (
     AGGREGATE_KINDS,
     KIND_DGC_MESSAGE,
     KIND_DGC_RESPONSE,
     PAIRED_PAYLOAD_KINDS,
-    Envelope,
 )
+from repro.net.message import Envelope
 from repro.net.topology import Topology
 from repro.sim.kernel import SimKernel
 

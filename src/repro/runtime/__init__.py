@@ -18,7 +18,12 @@ from repro.runtime.future import Future
 from repro.runtime.activeobject import Activity, ActivityContext, ActivityState, Sleep
 from repro.runtime.behaviors import Behavior, FunctionBehavior, SinkBehavior
 from repro.runtime.node import Node
-from repro.runtime.registry import Registry
+from repro.runtime.registry import (
+    LeaseCache,
+    NamingService,
+    Registry,
+    RegistryShard,
+)
 from repro.runtime.localgc import LocalGarbageCollector
 
 __all__ = [
@@ -41,5 +46,8 @@ __all__ = [
     "SinkBehavior",
     "Node",
     "Registry",
+    "NamingService",
+    "RegistryShard",
+    "LeaseCache",
     "LocalGarbageCollector",
 ]

@@ -155,14 +155,46 @@ class ActivityContext:
         return self._activity.node.deserialize_ref(self._activity, ref)
 
     def lookup(self, name: str) -> Future:
-        """Resolve a registry name over the fabric.
+        """Resolve a registry name through the naming service.
 
         Returns a future a generator handler can yield; it resolves to a
         :class:`Proxy` for the bound activity (the stub is acquired at
-        reply delivery, creating the DGC edge) or ``None`` when the name
-        is unbound.
+        reply/hit time, creating the DGC edge) or ``None`` when the name
+        is unbound at serve time.  Depending on the registry placement
+        the resolve is served by the local shard, a replica, a leased
+        cache entry, or a ``registry.lookup`` round trip to the
+        authority — local hits return an already-resolved future.
+
+        An unbound name is answered with a *negative reply* (``None``),
+        never held open: a name bound after the lookup was issued but
+        before the authority serves it resolves normally (the lookup is
+        served against shard state at serve time); one bound after
+        serving requires the caller to retry.
         """
         return self._activity.node.send_registry_lookup(self._activity, name)
+
+    def bind(self, name: str, target: Union[Proxy, RemoteRef]) -> Future:
+        """Publish ``target`` under ``name`` over the fabric
+        (``registry.bind`` to the authoritative shard; the target
+        becomes a DGC root there, paper Sec. 4.1).
+
+        Returns a future resolving ``True`` when the authority applied
+        the binding, ``False`` when it rejected it (name conflict or
+        dead target at apply time).
+        """
+        ref = target.ref if isinstance(target, Proxy) else target
+        return self._activity.node.send_registry_bind(
+            self._activity, name, ref
+        )
+
+    def unbind(self, name: str) -> Future:
+        """Remove a binding over the fabric, releasing the root pin at
+        the authoritative shard (the target stays pinned while other
+        names still bind it).  Resolves ``True``/``False`` with the
+        authority's verdict."""
+        return self._activity.node.send_registry_bind(
+            self._activity, name, None
+        )
 
     def holds(self, target: ActivityId) -> bool:
         """Does this activity currently hold a stub to ``target``?"""

@@ -13,24 +13,28 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from repro.errors import NoSuchActivityError, RuntimeModelError
-from repro.net.message import (
+from repro.net.kinds import (
     KIND_APP_REPLY,
     KIND_APP_REQUEST,
     KIND_DGC_MESSAGE,
     KIND_DGC_RESPONSE,
+    KIND_REGISTRY_BIND,
+    KIND_REGISTRY_INVALIDATE,
     KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_RENEW,
     KIND_REGISTRY_REPLY,
-    Envelope,
     PAIRED_PAYLOAD_KINDS,
 )
+from repro.net.message import Envelope
 from repro.runtime.activeobject import Activity
 from repro.runtime.future import Future
 from repro.runtime.ids import ActivityId
 from repro.runtime.localgc import LocalGarbageCollector
 from repro.runtime.proxy import Proxy, RemoteRef
 from repro.runtime.request import (
+    RegistryAck,
     RegistryLookup,
-    RegistryReply,
+    RegistryRenewAck,
     Reply,
     ReplyAddress,
     Request,
@@ -87,6 +91,9 @@ class Node:
         self._kind_handlers: Dict[str, Callable[[Any, Any], None]] = {
             KIND_REGISTRY_LOOKUP: self._on_registry_lookup,
             KIND_REGISTRY_REPLY: self._on_registry_reply,
+            KIND_REGISTRY_BIND: self._on_registry_bind,
+            KIND_REGISTRY_INVALIDATE: self._on_registry_invalidate,
+            KIND_REGISTRY_RENEW: self._on_registry_renew,
         }
         self.network.register_node(
             name,
@@ -321,29 +328,37 @@ class Node:
     # ------------------------------------------------------------------
 
     def send_registry_lookup(self, sender: Activity, name: str) -> Future:
-        """Resolve a registry name over the fabric (paper Sec. 4.1:
-        registered objects can be looked up "at any time" — the lookup
-        itself is network traffic like any other).
+        """Resolve a registry name through the naming service (paper
+        Sec. 4.1: registered objects can be looked up "at any time" —
+        resolution is fabric traffic routed by the configured placement,
+        served from the closest live copy).
 
         Returns a :class:`Future` that resolves with a :class:`Proxy`
         for the bound activity (acquired through the deserialization
-        hook, so the DGC sees the new edge) or ``None`` when the name is
-        unbound at serve time.
+        hook, so the DGC sees the new edge at reply/hit time) or
+        ``None`` when the name is unbound at serve time.  Local
+        authority, replica and live-lease cache hits resolve the future
+        before it is returned.
         """
+        return self.world.registry.lookup_from(self, sender, name)
+
+    def send_registry_bind(
+        self, sender: Activity, name: str, ref: Optional[RemoteRef]
+    ) -> Future:
+        """Bind (``ref`` set) or unbind (``ref`` ``None``) a name over
+        the fabric; the future resolves ``True``/``False`` with the
+        authoritative shard's verdict."""
+        return self.world.registry.bind_from(self, sender, name, ref)
+
+    def register_pending_future(self, sender: Activity) -> "tuple[Future, ReplyAddress]":
+        """Create a future awaiting a fabric reply for ``sender`` and
+        the reply address that routes back to it.  The reply side
+        (:meth:`_on_reply` / :meth:`_on_registry_reply`) owns expiry and
+        dead-lettering; every out-of-class sender (the naming service)
+        must register through here rather than touching the table."""
         future = Future()
         self._pending_futures[future.future_id] = future
-        lookup = RegistryLookup(
-            name=name,
-            reply_to=ReplyAddress(self.name, sender.id, future.future_id),
-        )
-        self.network.send_typed(
-            self.name,
-            self.world.registry_node,
-            KIND_REGISTRY_LOOKUP,
-            self.wire_sizes.registry_lookup_size(),
-            lookup,
-        )
-        return future
+        return future, ReplyAddress(self.name, sender.id, future.future_id)
 
     # ------------------------------------------------------------------
     # Inbound dispatch
@@ -414,38 +429,49 @@ class Node:
         future.resolve(reply.data, tuple(proxies))
 
     def _on_registry_lookup(self, lookup: RegistryLookup, payload: Any) -> None:
-        """Serve a registry lookup on the registry's home node."""
-        reply_to = lookup.reply_to
-        ref = self.world.registry.resolve(lookup.name)
-        reply = RegistryReply(
-            future_id=reply_to.future_id,
-            target_activity=reply_to.activity,
-            name=lookup.name,
-            ref=ref,
-        )
-        self.network.send_typed(
-            self.name,
-            reply_to.node,
-            KIND_REGISTRY_REPLY,
-            self.wire_sizes.registry_reply_size(ref is not None),
-            reply,
-        )
+        """Serve a registry lookup at this node's authoritative shard."""
+        self.world.registry.serve_lookup(self, lookup)
 
-    def _on_registry_reply(self, reply: RegistryReply, payload: Any) -> None:
+    def _on_registry_reply(self, reply: Any, payload: Any) -> None:
+        """Deliver a naming-service answer: a lookup reply (resolves the
+        future with an acquired stub, caching the binding when a lease
+        was granted) or a bind/unbind acknowledgement (resolves the
+        future with the authority's verdict)."""
         future = self._pending_futures.pop(reply.future_id, None)
         if future is None:
             self.dead_letter_count += 1
             return
         activity = self.activities.get(reply.target_activity)
         if activity is None or activity.terminated:
-            # The looker-up died mid-lookup: drop, like a stale reply.
+            # The caller died mid-operation: drop, like a stale reply.
             self.dead_letter_count += 1
+            return
+        if isinstance(reply, RegistryAck):
+            future.resolve(reply.ok)
             return
         if reply.ref is None:
             future.resolve(None)
             return
+        if reply.lease_s > 0.0:
+            self.world.registry.note_cacheable_reply(self, reply)
         proxy = deserialize_refs(activity, (reply.ref,))[0]
         future.resolve(proxy, (proxy,))
+
+    def _on_registry_bind(self, update: Any, payload: Any) -> None:
+        """Apply a fabric bind/unbind (or install a replica push)."""
+        self.world.registry.serve_bind(self, update)
+
+    def _on_registry_invalidate(self, invalidate: Any, payload: Any) -> None:
+        """Drop stale local knowledge of the named bindings."""
+        self.world.registry.apply_invalidate(self, invalidate)
+
+    def _on_registry_renew(self, message: Any, payload: Any) -> None:
+        """Lease renewals: a client's batch at the authority, or the
+        authority's grant back at the client."""
+        if isinstance(message, RegistryRenewAck):
+            self.world.registry.apply_renew_ack(self, message)
+        else:
+            self.world.registry.serve_renew(self, message)
 
     def _on_dgc_message_via_lookup(
         self, activity_id: ActivityId, message: Any

@@ -1,70 +1,648 @@
-"""Name registry for activities.
+"""The naming service: a replicated, lease-cached registry shard fabric.
 
 Paper Sec. 4.1: "registered active objects [are roots] as anyone can look
-them up at any time".  Binding a name marks the target activity as a root
-(never idle for the DGC); unbinding releases the root pin, making the
-activity collectable again once unreferenced and idle.
+them up at any time".  Binding a name pins the target activity as a DGC
+root (never idle); unbinding releases the pin, making the activity
+collectable again once unreferenced and idle.
+
+Where the seed design kept one world-global dict with a bolted-on fabric
+path to a single static home node, the :class:`NamingService` is a
+first-class fabric subsystem:
+
+* every node owns a :class:`RegistryShard` — the bindings it is
+  *authoritative* for, the replica copies pushed to it (``replicated``
+  placement), its client-side :class:`LeaseCache`, and the lease-holder
+  book it keeps as an authority;
+* all operations are modelled as fabric traffic kinds riding the typed
+  pulse transport: ``registry.bind`` (bind/unbind updates),
+  ``registry.lookup``/``registry.reply`` (resolution),
+  ``registry.invalidate`` (explicit coherence) and ``registry.renew``
+  (batched lease renewals);
+* placement (:class:`repro.core.config.RegistryConfig`) decides where the
+  authoritative shard for a name lives: one static ``home`` node, a
+  ``replicated`` primary pushing full replicas everywhere, or ``hashed``
+  authorities spread across the grid;
+* the **root pin lives at the authoritative shard**, maintained as a
+  world-level refcount so the same activity bound under several names —
+  possibly under *different* authorities in ``hashed`` placement — stays
+  pinned until its last name is unbound;
+* cache/replica hits still create the reference-graph edge at hit time
+  (through the deserialization hook, like a reply would), so the DGC
+  sees exactly the references the application holds;
+* lease expiry and renewal ride the kernel's beat wheel: one sweep beat
+  per node batches a whole beat's renewals into one ``registry.renew``
+  message per authority, like heartbeats.
+
+Consistency model (the paper never specifies one; we pick the classic
+lease contract and test it): a lookup is served against the shard state
+at *serve* time — a name bound after the lookup was issued but before it
+is served resolves; a name bound after serving yields a negative reply
+and the caller retries.  Cached and replicated resolves may be stale for
+at most one propagation delay after an unbind (the invalidation is in
+flight) plus, for leases, the TTL bound if the holder misses renewals.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+from zlib import crc32
 
+from repro.core.config import (
+    PLACEMENT_HASHED,
+    PLACEMENT_REPLICATED,
+    RegistryConfig,
+)
 from repro.errors import RegistryError
+from repro.net.kinds import (
+    KIND_REGISTRY_BIND,
+    KIND_REGISTRY_INVALIDATE,
+    KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_RENEW,
+    KIND_REGISTRY_REPLY,
+)
+from repro.runtime.future import Future
 from repro.runtime.proxy import RemoteRef
+from repro.runtime.request import (
+    RegistryAck,
+    RegistryBind,
+    RegistryInvalidate,
+    RegistryLookup,
+    RegistryRenew,
+    RegistryRenewAck,
+    RegistryReply,
+)
 
 
-class Registry:
-    """A world-global name -> remote reference table."""
+class LeaseCache:
+    """One node's client-side binding cache.
 
-    def __init__(self, world) -> None:
+    Entries are ``name -> [ref, expires_at, used_since_sweep]``.  A hit
+    is only served while the lease is live (lazy expiry check on every
+    get, so an entry whose lease lapsed between sweeps never resolves);
+    the per-node sweep beat evicts lapsed entries and collects the used,
+    soon-expiring ones for batched renewal.  Capacity eviction is FIFO
+    in insertion order — deterministic and O(1).
+    """
+
+    __slots__ = ("capacity", "entries", "capacity_evictions")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: Dict[str, list] = {}
+        self.capacity_evictions = 0
+
+    def get(self, name: str, now: float) -> Optional[RemoteRef]:
+        entry = self.entries.get(name)
+        if entry is None or now >= entry[1]:
+            return None
+        entry[2] = True
+        return entry[0]
+
+    def put(self, name: str, ref: RemoteRef, expires_at: float) -> None:
+        entries = self.entries
+        entry = entries.get(name)
+        if entry is not None:
+            entry[0] = ref
+            entry[1] = expires_at
+            return
+        if len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+            self.capacity_evictions += 1
+        entries[name] = [ref, expires_at, False]
+
+    def extend(self, name: str, expires_at: float) -> None:
+        entry = self.entries.get(name)
+        if entry is not None and expires_at > entry[1]:
+            entry[1] = expires_at
+
+    def drop(self, name: str) -> None:
+        self.entries.pop(name, None)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class RegistryShard:
+    """One node's slice of the naming service."""
+
+    __slots__ = ("node_name", "authority", "replica", "cache",
+                 "lease_holders", "sweep_handle")
+
+    def __init__(self, node_name: str, cache_capacity: int) -> None:
+        self.node_name = node_name
+        #: Bindings this node is authoritative for (owns the root pin).
+        self.authority: Dict[str, RemoteRef] = {}
+        #: Full-copy bindings pushed by the primary (``replicated``).
+        self.replica: Dict[str, RemoteRef] = {}
+        #: Client-side lease cache (``home``/``hashed`` placements).
+        self.cache = LeaseCache(cache_capacity)
+        #: Authority-side lease book: name -> {holder node: lease expiry}.
+        self.lease_holders: Dict[str, Dict[str, float]] = {}
+        #: The node's live sweep-beat registration (``None`` while the
+        #: cache is empty — the beat is registered lazily and stops
+        #: itself when the cache drains).
+        self.sweep_handle = None
+
+
+class NamingService:
+    """The world's naming service; ``world.registry`` is an instance.
+
+    Two API surfaces:
+
+    * the **world-level control plane** (:meth:`bind`, :meth:`unbind`,
+      :meth:`lookup`, :meth:`resolve`, :meth:`names`) — synchronous
+      operations by non-active code (drivers, tests, ``main()``),
+      applied directly at the authoritative shard, with coherence
+      traffic (replica pushes, invalidations) still riding the fabric;
+    * the **fabric plane** used by activities through their context
+      (``ctx.lookup`` / ``ctx.bind`` / ``ctx.unbind``), where every
+      operation is registry traffic routed by placement, resolves are
+      served from the closest live copy (local authority, replica, or
+      leased cache entry), and futures resolve at reply/hit time.
+    """
+
+    def __init__(self, world, config: Optional[RegistryConfig] = None) -> None:
         self._world = world
-        self._bindings: Dict[str, RemoteRef] = {}
+        self.config = config if config is not None else RegistryConfig()
+        nodes = world.topology.nodes
+        self._node_names: Tuple[str, ...] = tuple(nodes)
+        self.home_node: str = (
+            self.config.home_node
+            if self.config.home_node is not None
+            else nodes[0]
+        )
+        if self.home_node not in nodes:
+            raise RegistryError(
+                f"home node {self.home_node!r} is not in the topology"
+            )
+        self._replicated = self.config.placement == PLACEMENT_REPLICATED
+        self._hashed = self.config.placement == PLACEMENT_HASHED
+        self._caching = self.config.caching
+        self._shards: Dict[str, RegistryShard] = {}
+        #: World-level root-pin refcounts: an activity stays pinned while
+        #: *any* name anywhere binds it (aliasing across names — and
+        #: across authorities in ``hashed`` placement — is exact).
+        self._pins: Dict[object, int] = {}
+        # Instrumentation (the registry benchmark reads these).  The
+        # ``*_hits`` counters only count resolves that actually found a
+        # binding; a locally-served negative (authority/replica miss)
+        # counts as ``local_misses``.
+        self.resolves = 0
+        self.authority_hits = 0
+        self.replica_hits = 0
+        self.cache_hits = 0
+        self.local_misses = 0
+        self.remote_lookups = 0
+        self.binds_applied = 0
+        self.unbinds_applied = 0
+        self.invalidations_sent = 0
+        self.renew_messages_sent = 0
+        self.renew_names_sent = 0
+        self.lease_grants = 0
+        self.lease_expiries = 0
 
-    def bind(self, name: str, ref: RemoteRef) -> None:
-        """Publish ``ref`` under ``name``; pins the target as a DGC root."""
-        if name in self._bindings:
-            raise RegistryError(f"name {name!r} already bound")
-        activity = self._world.find_activity(ref.activity_id)
-        if activity is None:
-            raise RegistryError(f"cannot bind dead activity {ref.activity_id}")
-        activity.is_root = True
-        self._bindings[name] = ref
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
 
-    def unbind(self, name: str) -> None:
-        """Remove a binding and release the root pin."""
-        try:
-            ref = self._bindings.pop(name)
-        except KeyError:
-            raise RegistryError(f"name {name!r} is not bound") from None
+    def authority_node(self, name: str) -> str:
+        """The node owning the authoritative shard for ``name``."""
+        if self._hashed:
+            index = crc32(name.encode("utf-8")) % len(self._node_names)
+            return self._node_names[index]
+        return self.home_node
+
+    def shard(self, node_name: str) -> RegistryShard:
+        shard = self._shards.get(node_name)
+        if shard is None:
+            shard = RegistryShard(node_name, self.config.cache_size)
+            self._shards[node_name] = shard
+        return shard
+
+    @property
+    def lease_beat_s(self) -> float:
+        """The lease sweep period (and lease-duration unit)."""
+        if self.config.lease_beat_s is not None:
+            return self.config.lease_beat_s
+        dgc = self._world.dgc_config
+        return dgc.ttb if dgc is not None else 30.0
+
+    @property
+    def lease_duration_s(self) -> float:
+        return self.config.lease_ttb * self.lease_beat_s
+
+    # ------------------------------------------------------------------
+    # Root pins
+    # ------------------------------------------------------------------
+
+    def _pin(self, ref: RemoteRef) -> None:
+        pins = self._pins
+        pins[ref.activity_id] = pins.get(ref.activity_id, 0) + 1
         activity = self._world.find_activity(ref.activity_id)
-        if activity is not None and not self._is_still_bound(ref):
+        if activity is not None:
+            activity.is_root = True
+
+    def _unpin(self, ref: RemoteRef) -> None:
+        pins = self._pins
+        count = pins.get(ref.activity_id, 0) - 1
+        if count > 0:
+            pins[ref.activity_id] = count
+            return
+        pins.pop(ref.activity_id, None)
+        activity = self._world.find_activity(ref.activity_id)
+        if activity is not None:
             activity.is_root = False
 
+    def pin_count(self, activity_id) -> int:
+        """How many live bindings pin ``activity_id`` (0 = collectable)."""
+        return self._pins.get(activity_id, 0)
+
+    # ------------------------------------------------------------------
+    # World-level control plane (back-compatible Registry surface)
+    # ------------------------------------------------------------------
+
+    def bind(self, name: str, ref: RemoteRef) -> None:
+        """Publish ``ref`` under ``name``; pins the target as a DGC root.
+
+        Applied synchronously at the authoritative shard (the caller is
+        non-active code standing next to it); replica pushes still ride
+        the fabric in ``replicated`` placement.
+        """
+        authority = self.authority_node(name)
+        ok, error = self._apply_bind(self.shard(authority), name, ref)
+        if not ok:
+            raise RegistryError(error)
+
+    def unbind(self, name: str) -> None:
+        """Remove a binding and release the root pin (the activity stays
+        pinned while other names — under any authority — still bind it)."""
+        authority = self.authority_node(name)
+        ok, error = self._apply_unbind(self.shard(authority), name)
+        if not ok:
+            raise RegistryError(error)
+
     def lookup(self, name: str) -> RemoteRef:
-        """Resolve a name; the caller must ``acquire`` the ref to hold it."""
-        try:
-            return self._bindings[name]
-        except KeyError:
-            raise RegistryError(f"name {name!r} is not bound") from None
+        """Resolve a name from the authoritative table; the caller must
+        ``acquire`` the ref to hold it."""
+        ref = self.resolve(name)
+        if ref is None:
+            raise RegistryError(f"name {name!r} is not bound")
+        return ref
 
     def resolve(self, name: str) -> Optional[RemoteRef]:
-        """Non-raising :meth:`lookup`, used when serving lookups that
-        arrived over the fabric (an unbound name is a normal outcome for
-        a remote caller, not a programming error).
+        """Non-raising :meth:`lookup` against the authoritative shard
+        (an unbound name is a normal outcome, not a programming error).
 
-        To *issue* a lookup over the fabric — a message to wherever the
-        registry lives, whose reply creates the reference-graph edge at
-        delivery — use :meth:`ActivityContext.lookup
+        To *resolve* over the fabric — placement-routed traffic whose
+        reply/hit creates the reference-graph edge — use
+        :meth:`ActivityContext.lookup
         <repro.runtime.activeobject.ActivityContext.lookup>`.
         """
-        return self._bindings.get(name)
+        return self.shard(self.authority_node(name)).authority.get(name)
 
     def names(self) -> List[str]:
-        return sorted(self._bindings)
+        bound: List[str] = []
+        for shard in self._shards.values():
+            bound.extend(shard.authority)
+        return sorted(bound)
 
-    def _is_still_bound(self, ref: RemoteRef) -> bool:
-        return any(
-            bound.activity_id == ref.activity_id
-            for bound in self._bindings.values()
+    # ------------------------------------------------------------------
+    # Authority-side state transitions
+    # ------------------------------------------------------------------
+
+    def _apply_bind(
+        self, shard: RegistryShard, name: str, ref: RemoteRef
+    ) -> Tuple[bool, str]:
+        if name in shard.authority:
+            return False, f"name {name!r} already bound"
+        if self._world.find_activity(ref.activity_id) is None:
+            return False, f"cannot bind dead activity {ref.activity_id}"
+        self._pin(ref)
+        shard.authority[name] = ref
+        self.binds_applied += 1
+        if self._replicated:
+            self._push_replicas(shard.node_name, name, ref)
+        return True, ""
+
+    def _apply_unbind(
+        self, shard: RegistryShard, name: str
+    ) -> Tuple[bool, str]:
+        ref = shard.authority.pop(name, None)
+        if ref is None:
+            return False, f"name {name!r} is not bound"
+        self._unpin(ref)
+        self.unbinds_applied += 1
+        if self._replicated:
+            self._invalidate_replicas(shard.node_name, name)
+        elif self._caching:
+            self._invalidate_holders(shard, name)
+        return True, ""
+
+    def _push_replicas(self, source: str, name: str, ref: RemoteRef) -> None:
+        """Fan the new binding out to every other node's replica
+        (``registry.bind`` traffic with no reply address)."""
+        network = self._world.network
+        size = self._world.wire_sizes.registry_update_size(True)
+        update = RegistryBind(name=name, ref=ref, reply_to=None)
+        for dest in self._node_names:
+            if dest == source:
+                continue
+            network.send_typed(source, dest, KIND_REGISTRY_BIND, size, update)
+
+    def _invalidate_replicas(self, source: str, name: str) -> None:
+        network = self._world.network
+        size = self._world.wire_sizes.registry_batch_size(1)
+        invalidate = RegistryInvalidate(names=(name,))
+        for dest in self._node_names:
+            if dest == source:
+                continue
+            network.send_typed(
+                source, dest, KIND_REGISTRY_INVALIDATE, size, invalidate
+            )
+            self.invalidations_sent += 1
+
+    def _invalidate_holders(self, shard: RegistryShard, name: str) -> None:
+        """Push an explicit invalidation to every recorded lease holder
+        of ``name`` (the unbind makes their entries stale).
+
+        Holders whose lease already lapsed by the *authority's* book
+        are invalidated too: the client's copy expires one propagation
+        delay later than the book entry (the lease starts at reply
+        delivery), so skipping "expired" holders would leave a live
+        stale entry uninvalidated for that window.  An invalidation
+        reaching a holder that already evicted the entry is a no-op.
+        """
+        holders = shard.lease_holders.pop(name, None)
+        if not holders:
+            return
+        network = self._world.network
+        size = self._world.wire_sizes.registry_batch_size(1)
+        invalidate = RegistryInvalidate(names=(name,))
+        for holder in holders:
+            network.send_typed(
+                shard.node_name, holder, KIND_REGISTRY_INVALIDATE, size,
+                invalidate,
+            )
+            self.invalidations_sent += 1
+
+    # ------------------------------------------------------------------
+    # Fabric plane: resolution
+    # ------------------------------------------------------------------
+
+    def lookup_from(self, node, sender, name: str) -> Future:
+        """Resolve ``name`` on behalf of ``sender`` (hosted on ``node``):
+        the engine behind ``ctx.lookup``.
+
+        Serves from the closest live copy — the local authoritative
+        table, the local replica (``replicated``), or a live lease-cache
+        entry — resolving the future immediately and creating the DGC
+        edge at hit time; otherwise sends a ``registry.lookup`` to the
+        authority and resolves at reply delivery.
+        """
+        self.resolves += 1
+        authority = self.authority_node(name)
+        if node.name == authority:
+            ref = self.shard(node.name).authority.get(name)
+            if ref is not None:
+                self.authority_hits += 1
+            else:
+                self.local_misses += 1
+            return self._resolve_local(node, sender, ref)
+        if self._replicated:
+            ref = self.shard(node.name).replica.get(name)
+            if ref is not None:
+                self.replica_hits += 1
+            else:
+                self.local_misses += 1
+            return self._resolve_local(node, sender, ref)
+        if self._caching:
+            ref = self.shard(node.name).cache.get(
+                name, self._world.kernel.now
+            )
+            if ref is not None:
+                self.cache_hits += 1
+                return self._resolve_local(node, sender, ref)
+        self.remote_lookups += 1
+        future, reply_to = node.register_pending_future(sender)
+        lookup = RegistryLookup(name=name, reply_to=reply_to)
+        self._world.network.send_typed(
+            node.name,
+            authority,
+            KIND_REGISTRY_LOOKUP,
+            self._world.wire_sizes.registry_lookup_size(),
+            lookup,
         )
+        return future
+
+    @staticmethod
+    def _resolve_local(node, sender, ref: Optional[RemoteRef]) -> Future:
+        future = Future()
+        if ref is None:
+            future.resolve(None)
+        else:
+            proxy = node.deserialize_ref(sender, ref)
+            future.resolve(proxy, (proxy,))
+        return future
+
+    def serve_lookup(self, node, lookup: RegistryLookup) -> None:
+        """Serve a fabric lookup at the authoritative shard: answer from
+        the authority table at serve time, granting a lease on positive,
+        cacheable replies (and recording the holder for invalidation)."""
+        shard = self.shard(node.name)
+        ref = shard.authority.get(lookup.name)
+        reply_to = lookup.reply_to
+        lease_s = 0.0
+        if ref is not None and self._caching and reply_to.node != node.name:
+            lease_s = self.lease_duration_s
+            holders = shard.lease_holders.get(lookup.name)
+            if holders is None:
+                holders = shard.lease_holders[lookup.name] = {}
+            holders[reply_to.node] = self._world.kernel.now + lease_s
+            self.lease_grants += 1
+        reply = RegistryReply(
+            future_id=reply_to.future_id,
+            target_activity=reply_to.activity,
+            name=lookup.name,
+            ref=ref,
+            lease_s=lease_s,
+        )
+        self._world.network.send_typed(
+            node.name,
+            reply_to.node,
+            KIND_REGISTRY_REPLY,
+            self._world.wire_sizes.registry_reply_size(ref is not None),
+            reply,
+        )
+
+    def note_cacheable_reply(self, node, reply: RegistryReply) -> None:
+        """Client side of a lease grant: cache the binding and make sure
+        the node's sweep beat is running."""
+        shard = self.shard(node.name)
+        shard.cache.put(
+            reply.name, reply.ref, self._world.kernel.now + reply.lease_s
+        )
+        self._ensure_sweep(shard)
+
+    # ------------------------------------------------------------------
+    # Fabric plane: bind/unbind
+    # ------------------------------------------------------------------
+
+    def bind_from(
+        self, node, sender, name: str, ref: Optional[RemoteRef]
+    ) -> Future:
+        """Bind (``ref`` set) or unbind (``ref`` ``None``) over the
+        fabric: the engine behind ``ctx.bind`` / ``ctx.unbind``.
+
+        Returns a future resolving ``True`` when the authoritative shard
+        applied the update, ``False`` when it rejected it (conflict,
+        dead target, unknown name).
+        """
+        authority = self.authority_node(name)
+        if node.name == authority:
+            if ref is None:
+                ok, _error = self._apply_unbind(self.shard(authority), name)
+            else:
+                ok, _error = self._apply_bind(self.shard(authority), name, ref)
+            future = Future()
+            future.resolve(ok)
+            return future
+        future, reply_to = node.register_pending_future(sender)
+        update = RegistryBind(name=name, ref=ref, reply_to=reply_to)
+        self._world.network.send_typed(
+            node.name,
+            authority,
+            KIND_REGISTRY_BIND,
+            self._world.wire_sizes.registry_update_size(ref is not None),
+            update,
+        )
+        return future
+
+    def serve_bind(self, node, update: RegistryBind) -> None:
+        """Apply a fabric bind/unbind at its destination: the authority
+        applies and acknowledges; a non-authority destination is a
+        replica push (no reply address) and just installs the copy."""
+        shard = self.shard(node.name)
+        if update.reply_to is None:
+            # Replica push from the primary (``replicated`` placement).
+            shard.replica[update.name] = update.ref
+            return
+        if update.ref is None:
+            ok, error = self._apply_unbind(shard, update.name)
+        else:
+            ok, error = self._apply_bind(shard, update.name, update.ref)
+        reply_to = update.reply_to
+        ack = RegistryAck(
+            future_id=reply_to.future_id,
+            target_activity=reply_to.activity,
+            name=update.name,
+            ok=ok,
+            error=error,
+        )
+        self._world.network.send_typed(
+            node.name,
+            reply_to.node,
+            KIND_REGISTRY_REPLY,
+            self._world.wire_sizes.registry_ack_size(),
+            ack,
+        )
+
+    # ------------------------------------------------------------------
+    # Leases: invalidation and the renewal sweep
+    # ------------------------------------------------------------------
+
+    def apply_invalidate(self, node, invalidate: RegistryInvalidate) -> None:
+        """Drop local knowledge of the named bindings (cache entries and
+        replica copies alike)."""
+        shard = self.shard(node.name)
+        for name in invalidate.names:
+            shard.cache.drop(name)
+            shard.replica.pop(name, None)
+
+    def serve_renew(self, node, renew: RegistryRenew) -> None:
+        """Authority side of a renewal batch: extend the leases of names
+        still bound, invalidate the ones that vanished."""
+        shard = self.shard(node.name)
+        now = self._world.kernel.now
+        lease_s = self.lease_duration_s
+        granted = []
+        gone = []
+        for name in renew.names:
+            if name in shard.authority:
+                granted.append(name)
+                holders = shard.lease_holders.get(name)
+                if holders is None:
+                    holders = shard.lease_holders[name] = {}
+                holders[renew.node] = now + lease_s
+            else:
+                gone.append(name)
+        network = self._world.network
+        sizes = self._world.wire_sizes
+        if granted:
+            network.send_typed(
+                node.name, renew.node, KIND_REGISTRY_RENEW,
+                sizes.registry_batch_size(len(granted)),
+                RegistryRenewAck(names=tuple(granted), lease_s=lease_s),
+            )
+        if gone:
+            network.send_typed(
+                node.name, renew.node, KIND_REGISTRY_INVALIDATE,
+                sizes.registry_batch_size(len(gone)),
+                RegistryInvalidate(names=tuple(gone)),
+            )
+            self.invalidations_sent += 1
+
+    def apply_renew_ack(self, node, ack: RegistryRenewAck) -> None:
+        """Client side of a granted renewal: extend the cached leases."""
+        cache = self.shard(node.name).cache
+        expires_at = self._world.kernel.now + ack.lease_s
+        for name in ack.names:
+            cache.extend(name, expires_at)
+
+    def _ensure_sweep(self, shard: RegistryShard) -> None:
+        if shard.sweep_handle is not None:
+            return
+        shard.sweep_handle = self._world.kernel.schedule_periodic(
+            self.lease_beat_s,
+            lambda: self._sweep(shard),
+            label=f"registry.sweep:{shard.node_name}",
+        )
+
+    def _sweep(self, shard: RegistryShard) -> None:
+        """One lease beat on one node: evict lapsed entries, then renew
+        — in one batched ``registry.renew`` per authority — every entry
+        that was used since the last sweep and lapses within the next
+        beat.  Stops itself when the cache drains (re-registered lazily
+        by the next lease grant)."""
+        now = self._world.kernel.now
+        horizon = now + self.lease_beat_s
+        cache = shard.cache
+        entries = cache.entries
+        expired = [name for name, entry in entries.items() if entry[1] <= now]
+        for name in expired:
+            del entries[name]
+        self.lease_expiries += len(expired)
+        if not entries:
+            shard.sweep_handle.stop()
+            shard.sweep_handle = None
+            return
+        due: Dict[str, List[str]] = {}
+        for name, entry in entries.items():
+            used = entry[2]
+            entry[2] = False
+            if used and entry[1] <= horizon:
+                due.setdefault(self.authority_node(name), []).append(name)
+        network = self._world.network
+        sizes = self._world.wire_sizes
+        for authority, names in due.items():
+            network.send_typed(
+                shard.node_name, authority, KIND_REGISTRY_RENEW,
+                sizes.registry_batch_size(len(names)),
+                RegistryRenew(node=shard.node_name, names=tuple(names)),
+            )
+            self.renew_messages_sent += 1
+            self.renew_names_sent += len(names)
+
+
+#: Backward-compatible alias: the seed code base (and its tests) called
+#: the world's naming table ``Registry``.
+Registry = NamingService

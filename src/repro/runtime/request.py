@@ -79,9 +79,77 @@ class RegistryLookup:
 
 @dataclass(frozen=True)
 class RegistryReply:
-    """The registry's answer: the bound reference, or ``None``."""
+    """The registry's answer: the bound reference, or ``None``.
+
+    ``lease_s`` is the lease the authoritative shard grants on the
+    binding (0 = not cacheable): the client node may serve resolves for
+    ``name`` locally until the lease expires, renewing it through the
+    batched ``registry.renew`` sweep.
+    """
 
     future_id: int
     target_activity: ActivityId
     name: str
     ref: Optional[RemoteRef] = None
+    lease_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class RegistryBind:
+    """A bind (``ref`` set) or unbind (``ref`` ``None``) sent to the
+    authoritative shard for ``name`` — ``registry.bind`` traffic.
+
+    The shard applies the update against its state at delivery time and
+    acknowledges through a :class:`RegistryAck` riding
+    ``registry.reply``; the root pin moves with the binding (paper
+    Sec. 4.1: a registered activity is a DGC root).  A ``reply_to`` of
+    ``None`` marks a replica push from the primary (``replicated``
+    placement): installed without acknowledgement.
+    """
+
+    name: str
+    ref: Optional[RemoteRef]
+    reply_to: Optional[ReplyAddress]
+
+
+@dataclass(frozen=True)
+class RegistryAck:
+    """The authoritative shard's answer to a bind/unbind: applied or
+    rejected (name conflict, dead target, unknown name)."""
+
+    future_id: int
+    target_activity: ActivityId
+    name: str
+    ok: bool
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class RegistryRenew:
+    """One lease sweep's renewals for one authority: every cached name a
+    client node used since its last sweep, batched like a heartbeat —
+    ``registry.renew`` traffic."""
+
+    node: str
+    names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RegistryRenewAck:
+    """The authority's grant: leases on ``names`` are extended by
+    ``lease_s`` from delivery time (names that vanished come back as a
+    :class:`RegistryInvalidate` instead)."""
+
+    names: Tuple[str, ...]
+    lease_s: float
+
+
+@dataclass(frozen=True)
+class RegistryInvalidate:
+    """Explicit cache invalidation — ``registry.invalidate`` traffic.
+
+    Sent by an authority to every lease holder when a binding is
+    removed, to replicas when a replicated binding is unbound, and as
+    the negative half of a renewal reply."""
+
+    names: Tuple[str, ...]

@@ -6,7 +6,9 @@
   the paper's Figs. 4-7 scenarios,
 * :mod:`repro.workloads.nas` — communication skeletons of the NAS CG/EP/FT
   kernels (paper Sec. 5.2),
-* :mod:`repro.workloads.torture` — the DGC torture test (paper Sec. 5.3).
+* :mod:`repro.workloads.torture` — the DGC torture test (paper Sec. 5.3),
+* :mod:`repro.workloads.naming` — bind/resolve/unbind churn across sites
+  (the naming service's lookup-heavy traffic shape, paper Sec. 4.1).
 """
 
 from repro.workloads.app import Peer, link, links_settled, release_all

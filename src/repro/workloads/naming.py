@@ -1,0 +1,303 @@
+"""The naming workload: bind/resolve/unbind churn across sites.
+
+Paper Sec. 4.1 makes registered active objects DGC roots because "anyone
+can look them up at any time".  This workload exercises exactly that
+traffic shape — the one the naming service's placement and lease knobs
+exist for:
+
+* a **binder** (a root activity with a collector — active code) creates
+  ``service_count`` services spread across the grid, binds each under a
+  well-known name over the fabric (``ctx.bind``), churns a random name
+  every ``churn_period`` (unbind + rebind, driving explicit
+  invalidations through the lease book / replica set), and finally
+  unbinds everything and drops its stubs so the DGC collapses the
+  services;
+* ``client_count`` **clients** — root activities *without* collectors,
+  modelling external lookers that rely on the registry's root pin rather
+  than DGC edges — wake on deterministic sleeps and issue bursts of
+  fire-and-forget ``ctx.lookup`` calls, consuming each resolution in its
+  ``on_resolve`` callback: count hit/miss, record resolve latency, drop
+  the acquired stub.
+
+Because the clients' busy/idle timeline is sleep-driven (they never
+yield a lookup future) and every acquired stub is dropped inside the
+resolving kernel event, the lookup path is *invisible* to the DGC
+timeline: reference graphs at every heartbeat instant, collection
+instants and tracer streams are identical whether a resolve was served
+by a round trip, a replica or a leased cache entry.  That is what makes
+the cached-vs-uncached bit-identical equivalence suite possible — and it
+mirrors how a real RMIRegistry/JNDI client interacts with a leased
+naming service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.config import DgcConfig, RegistryConfig
+from repro.net.topology import Topology, uniform_topology
+from repro.runtime.behaviors import Behavior, SinkBehavior
+from repro.world import World
+
+
+class NamingBinder(Behavior):
+    """Active code owning the services: creates, binds, churns, tears
+    down.  All registry operations ride the fabric through the context
+    API and are awaited (the binder yields each ack future)."""
+
+    def __init__(
+        self,
+        service_count: int,
+        churn_deadline: float,
+        churn_period: float,
+        teardown_at: float,
+    ) -> None:
+        self.service_count = service_count
+        self.churn_deadline = churn_deadline
+        self.churn_period = churn_period
+        self.teardown_at = teardown_at
+        self.services: dict = {}
+        self.binds_acked = 0
+        self.unbinds_acked = 0
+        self.rebinds = 0
+
+    @staticmethod
+    def service_name(index: int) -> str:
+        return f"svc-{index}"
+
+    def on_start(self, ctx):
+        for index in range(self.service_count):
+            name = self.service_name(index)
+            proxy = ctx.create(SinkBehavior(), name=f"named{index}")
+            self.services[name] = proxy
+            future = ctx.bind(name, proxy)
+            yield future
+            if future.value:
+                self.binds_acked += 1
+        rng = ctx.rng
+        while ctx.now < self.churn_deadline:
+            yield ctx.sleep(self.churn_period * (0.5 + rng.random()))
+            name = self.service_name(rng.randrange(self.service_count))
+            future = ctx.unbind(name)
+            yield future
+            if not future.value:
+                continue
+            self.unbinds_acked += 1
+            future = ctx.bind(name, self.services[name])
+            yield future
+            if future.value:
+                self.rebinds += 1
+        if ctx.now < self.teardown_at:
+            yield ctx.sleep(self.teardown_at - ctx.now)
+        for name, proxy in self.services.items():
+            future = ctx.unbind(name)
+            yield future
+            if future.value:
+                self.unbinds_acked += 1
+            ctx.drop(proxy)
+        self.services = {}
+        return None
+
+
+class NamingClient(Behavior):
+    """An external looker: bursts of fire-and-forget resolves on a
+    deterministic sleep schedule; each resolution is consumed (and its
+    stub dropped) inside the resolving kernel event."""
+
+    def __init__(
+        self,
+        names: List[str],
+        deadline: float,
+        period: float,
+        burst: int,
+    ) -> None:
+        self.names = names
+        self.deadline = deadline
+        self.period = period
+        self.burst = burst
+        self.issued = 0
+        self.completed = 0
+        self.hits = 0
+        self.misses = 0
+        self.latency_sum = 0.0
+
+    def on_start(self, ctx):
+        rng = ctx.rng
+        names = self.names
+        count = len(names)
+        while ctx.now < self.deadline:
+            yield ctx.sleep(self.period * (0.5 + rng.random()))
+            for _ in range(self.burst):
+                name = names[rng.randrange(count)]
+                issued_at = ctx.now
+                future = ctx.lookup(name)
+                self.issued += 1
+                future.on_resolve(
+                    lambda f, t=issued_at: self._consume(ctx, f, t)
+                )
+        return None
+
+    def _consume(self, ctx, future, issued_at: float) -> None:
+        self.completed += 1
+        self.latency_sum += ctx.now - issued_at
+        proxy = future.value
+        if proxy is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            ctx.drop(proxy)
+
+
+@dataclass
+class NamingResult:
+    """One naming run's quantities (resolution + coherence traffic)."""
+
+    service_count: int
+    client_count: int
+    resolves_issued: int
+    resolves_completed: int
+    hits: int
+    misses: int
+    #: Mean simulated seconds from ``ctx.lookup`` to resolution.
+    mean_resolve_latency_s: float
+    #: Naming-service internals (where resolves were served; the hit
+    #: counters exclude locally-served negatives).
+    authority_hits: int
+    replica_hits: int
+    cache_hits: int
+    local_misses: int
+    remote_lookups: int
+    invalidations_sent: int
+    renew_messages_sent: int
+    binds_applied: int
+    unbinds_applied: int
+    #: Bandwidth split (MB, decimal as in the paper).
+    registry_bandwidth_mb: float
+    total_bandwidth_mb: float
+    dgc_bandwidth_mb: float
+    collected_acyclic: int
+    collected_cyclic: int
+    dead_letters: int
+    all_collected: bool
+    events_fired: int = 0
+    peak_pending_events: int = 0
+    sim_time_s: float = 0.0
+    world: Optional[object] = None
+    #: The client behaviors, kept for fine-grained assertions.
+    clients: List[NamingClient] = field(default_factory=list)
+
+
+def run_naming(
+    *,
+    dgc: Optional[DgcConfig],
+    registry: Optional[RegistryConfig] = None,
+    client_count: int = 32,
+    service_count: int = 16,
+    duration: float = 300.0,
+    lookup_period: float = 5.0,
+    lookup_burst: int = 4,
+    churn_period: Optional[float] = None,
+    teardown_lag: float = 10.0,
+    topology: Optional[Topology] = None,
+    seed: int = 0,
+    collect_timeout: float = 36_000.0,
+    beat_slots: Optional[Union[int, str]] = None,
+    batched_beats: Optional[bool] = None,
+    aggregate_site_pairs: Optional[bool] = None,
+    trace: bool = False,
+    keep_world: bool = False,
+    safety_checks: bool = False,
+) -> NamingResult:
+    """Run the naming churn and report resolution + coherence numbers.
+
+    ``registry`` picks placement and lease policy (default: the uncached
+    static-home baseline); the delivery-core knobs (``batched_beats``,
+    ``aggregate_site_pairs``, ``beat_slots``) override the DGC config
+    exactly as in :func:`repro.workloads.torture.run_torture`.
+    """
+    if dgc is not None:
+        overrides = {}
+        if beat_slots is not None:
+            overrides["beat_slots"] = beat_slots
+        if batched_beats is not None:
+            overrides["batched_beats"] = batched_beats
+        if aggregate_site_pairs is not None:
+            overrides["aggregate_site_pairs"] = aggregate_site_pairs
+        if overrides:
+            dgc = dgc.with_overrides(**overrides)
+    world = World(
+        topology if topology is not None else uniform_topology(32),
+        dgc=dgc,
+        registry=registry,
+        seed=seed,
+        trace=trace,
+        safety_checks=safety_checks,
+    )
+    nodes = world.topology.nodes
+    if churn_period is None:
+        churn_period = max(duration / 12.0, 1.0)
+    binder = NamingBinder(
+        service_count,
+        churn_deadline=duration,
+        churn_period=churn_period,
+        teardown_at=duration + teardown_lag,
+    )
+    world.create_activity(binder, node=nodes[0], name="binder", root=True)
+    names = [NamingBinder.service_name(i) for i in range(service_count)]
+    clients: List[NamingClient] = []
+    for index in range(client_count):
+        client = NamingClient(
+            names, deadline=duration, period=lookup_period,
+            burst=lookup_burst,
+        )
+        clients.append(client)
+        world.create_activity(
+            client,
+            node=nodes[index % len(nodes)],
+            name=f"client{index}",
+            root=True,
+            dgc_enabled=False,
+        )
+
+    if dgc is None:
+        world.run_for(duration + teardown_lag + 60.0)
+        all_collected = world.all_collected()
+    else:
+        all_collected = world.run_until_collected(collect_timeout)
+
+    naming = world.registry
+    issued = sum(c.issued for c in clients)
+    completed = sum(c.completed for c in clients)
+    latency_sum = sum(c.latency_sum for c in clients)
+    accountant = world.accountant
+    return NamingResult(
+        service_count=service_count,
+        client_count=client_count,
+        resolves_issued=issued,
+        resolves_completed=completed,
+        hits=sum(c.hits for c in clients),
+        misses=sum(c.misses for c in clients),
+        mean_resolve_latency_s=(latency_sum / completed) if completed else 0.0,
+        authority_hits=naming.authority_hits,
+        replica_hits=naming.replica_hits,
+        cache_hits=naming.cache_hits,
+        local_misses=naming.local_misses,
+        remote_lookups=naming.remote_lookups,
+        invalidations_sent=naming.invalidations_sent,
+        renew_messages_sent=naming.renew_messages_sent,
+        binds_applied=naming.binds_applied,
+        unbinds_applied=naming.unbinds_applied,
+        registry_bandwidth_mb=accountant.registry_bytes / 1e6,
+        total_bandwidth_mb=accountant.megabytes(),
+        dgc_bandwidth_mb=accountant.dgc_bytes / 1e6,
+        collected_acyclic=world.stats.collected_acyclic,
+        collected_cyclic=world.stats.collected_cyclic,
+        dead_letters=world.stats.dead_letters,
+        all_collected=all_collected,
+        events_fired=world.kernel.fired_count,
+        peak_pending_events=getattr(world.kernel, "peak_pending_count", 0),
+        sim_time_s=world.kernel.now,
+        world=world if keep_world else None,
+        clients=clients,
+    )

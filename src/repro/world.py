@@ -23,7 +23,7 @@ from typing import Any, Dict, List, Optional, Set
 
 from repro.core import events
 from repro.core.collector import DgcCollector
-from repro.core.config import DgcConfig
+from repro.core.config import DgcConfig, RegistryConfig
 from repro.errors import ConfigurationError, ProtocolError
 from repro.net.accounting import BandwidthAccountant
 from repro.net.faults import FaultPlan
@@ -35,7 +35,7 @@ from repro.runtime.behaviors import SinkBehavior
 from repro.runtime.ids import ActivityId, make_activity_id
 from repro.runtime.node import Node
 from repro.runtime.proxy import Proxy, RemoteRef
-from repro.runtime.registry import Registry
+from repro.runtime.registry import NamingService
 from repro.runtime.request import Reply, Request
 from repro.sim.kernel import SimKernel
 from repro.sim.rng import RngRegistry
@@ -67,6 +67,7 @@ class World:
         topology: Optional[Topology] = None,
         *,
         dgc: Optional[DgcConfig] = None,
+        registry: Optional[RegistryConfig] = None,
         seed: int = 0,
         trace: bool = True,
         wire_sizes: Optional[WireSizeModel] = None,
@@ -107,11 +108,17 @@ class World:
         #: (:mod:`repro.baselines`).
         self.collector_factory = collector_factory
         self.safety_checks = safety_checks
-        self.registry = Registry(self)
-        #: Where registry lookups are served: lookups sent over the
-        #: fabric (``registry.lookup`` traffic) travel to this node and
-        #: their replies travel back, like any other traffic kind.
-        self.registry_node = self.topology.nodes[0]
+        #: The naming service: per-node registry shards, lease caching
+        #: and placement-routed ``registry.*`` fabric traffic (see
+        #: :class:`repro.runtime.registry.NamingService`).  ``registry``
+        #: (a :class:`RegistryConfig`) picks placement and lease policy;
+        #: the default is the uncached static-home baseline.
+        self.registry = NamingService(self, registry)
+        self.registry_config = self.registry.config
+        #: Back-compatible alias: the naming service's home node (the
+        #: static authority in ``home`` placement, the primary in
+        #: ``replicated``).
+        self.registry_node = self.registry.home_node
         self.nodes: Dict[str, Node] = {
             name: Node(self, name, gc_delay=gc_delay)
             for name in self.topology.nodes
@@ -159,6 +166,7 @@ class World:
         root: bool = False,
         creator: Optional[Activity] = None,
         dgc_config: Optional[DgcConfig] = None,
+        dgc_enabled: bool = True,
     ):
         """Create an activity; returns a :class:`Proxy` when a creator is
         given (the creator holds the first stub), else the bare activity.
@@ -169,7 +177,23 @@ class World:
         with a slow one).  Mixed-beat worlds should enable
         ``heterogeneous_params`` so expiry deadlines account for slower
         referencers.
+
+        ``dgc_enabled=False`` attaches no collector at all: the activity
+        models *external* code outside the managed world — paper
+        Sec. 4.1's "anyone can look [registered objects] up at any
+        time" includes clients that do not participate in the DGC and
+        rely on the registry's root pin, not on reference edges, to keep
+        a service alive.  Such activities hold stubs invisibly to the
+        DGC and nothing can ever collect them, so they must be roots
+        (otherwise they would count as live non-roots forever and
+        :meth:`run_until_collected` could never finish).
         """
+        if not dgc_enabled and not root:
+            raise ConfigurationError(
+                "dgc_enabled=False requires root=True: a collector-less "
+                "activity can never be collected, so it must not count "
+                "as a live non-root"
+            )
         node_name = node if node is not None else self._next_node()
         host = self.nodes[node_name]
         activity = Activity(
@@ -180,7 +204,9 @@ class World:
         if not root:
             self._live_non_root_count += 1
         self.stats.created += 1
-        if self.collector_factory is not None:
+        if not dgc_enabled:
+            pass
+        elif self.collector_factory is not None:
             activity.collector = self.collector_factory(activity)
         elif dgc_config is not None or self.dgc_config is not None:
             effective = dgc_config if dgc_config is not None else self.dgc_config

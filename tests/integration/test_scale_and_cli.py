@@ -112,6 +112,46 @@ def test_cli_run_torture_per_event(capsys):
     assert "torture — 8 slaves" in output
 
 
+def test_cli_run_naming_workload(capsys):
+    code = harness_main(
+        [
+            "run",
+            "--workload", "naming",
+            "--nodes", "6",
+            "--clients", "8",
+            "--services", "4",
+            "--duration", "60",
+            "--ttb", "5",
+            "--tta", "15",
+            "--registry-placement", "replicated",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "naming (replicated) — 8 clients" in output
+    assert "registry.bind" in output
+
+
+def test_cli_run_naming_with_leases(capsys):
+    code = harness_main(
+        [
+            "run",
+            "--workload", "naming",
+            "--nodes", "6",
+            "--clients", "8",
+            "--services", "4",
+            "--duration", "60",
+            "--ttb", "5",
+            "--tta", "15",
+            "--lease-ttb", "4",
+            "--lookup-period", "2",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "naming (home + leases) — 8 clients" in output
+
+
 def test_cli_run_rejects_bad_beat_slots():
     with pytest.raises(SystemExit):
         harness_main(

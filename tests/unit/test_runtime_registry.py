@@ -48,6 +48,51 @@ def test_double_binding_same_activity_keeps_pin(world):
     assert not activity.is_root
 
 
+def test_aliased_unbind_order_does_not_matter(world):
+    """The same ref bound under two names: whichever alias is unbound
+    last releases the pin (refcounted, not last-writer-wins)."""
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="svc")
+    activity = world.find_activity(proxy.activity_id)
+    world.registry.bind("one", proxy.ref)
+    world.registry.bind("two", proxy.ref)
+    world.registry.unbind("two")  # reverse order of binding
+    assert activity.is_root
+    world.registry.unbind("one")
+    assert not activity.is_root
+    # Rebinding re-pins from a clean slate.
+    world.registry.bind("again", proxy.ref)
+    assert activity.is_root
+
+
+def test_unbind_dead_activity_does_not_raise_and_frees_name(world):
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="svc")
+    world.registry.bind("service", proxy.ref)
+    world.find_activity(proxy.activity_id).terminate("explicit")
+    world.registry.unbind("service")  # must not raise
+    assert world.registry.resolve("service") is None
+    # The released name is immediately rebindable.
+    fresh = driver.context.create(SinkBehavior(), name="svc2")
+    world.registry.bind("service", fresh.ref)
+    assert world.find_activity(fresh.activity_id).is_root
+
+
+def test_aliased_dead_activity_unbind_keeps_books_consistent(world):
+    """Dead target bound under two aliases: both unbinds succeed and the
+    pin refcount drains to zero without touching the dead activity."""
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="svc")
+    activity_id = proxy.activity_id
+    world.registry.bind("one", proxy.ref)
+    world.registry.bind("two", proxy.ref)
+    world.find_activity(activity_id).terminate("explicit")
+    world.registry.unbind("one")
+    world.registry.unbind("two")
+    assert world.registry.pin_count(activity_id) == 0
+    assert world.registry.names() == []
+
+
 def test_bind_duplicate_name_rejected(world):
     driver = world.create_driver()
     a = driver.context.create(SinkBehavior(), name="a")

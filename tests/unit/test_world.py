@@ -136,3 +136,20 @@ def test_collected_by_id_times_recorded(make_world, fast_dgc):
     world.run_until_collected(30 * fast_dgc.tta)
     assert a.activity_id in world.stats.collected_by_id
     assert world.stats.collected_by_id[a.activity_id] > 0
+
+
+def test_dgc_disabled_activity_has_no_collector_and_must_be_root(make_world):
+    from repro.errors import ConfigurationError
+
+    world = make_world(2)
+    external = world.create_activity(
+        SinkBehavior(), name="external", root=True, dgc_enabled=False
+    )
+    assert external.collector is None
+    assert external.is_root
+    # A collector-less non-root could never be collected, so it would
+    # wedge run_until_collected: rejected at creation.
+    import pytest
+
+    with pytest.raises(ConfigurationError):
+        world.create_activity(SinkBehavior(), name="bad", dgc_enabled=False)
