@@ -28,6 +28,36 @@ from repro.errors import ConfigurationError
 #: live activity count.
 AUTO_BEAT_SLOTS = "auto"
 
+#: :attr:`DgcConfig.aggregation` values — the four delivery cores, from
+#: baseline to most aggressive:
+#:
+#: * ``per-event`` — one kernel event per heartbeat tick and per
+#:   message (the pre-wheel baseline; equals ``batched_beats=False``),
+#: * ``per-entry`` — pulse-batched delivery, one 6-tuple entry and one
+#:   typed dispatch per message (``aggregate_site_pairs=False``),
+#: * ``exact`` — the aggregated columnar core: adjacent same-site-pair
+#:   DGC runs merge into single aggregate entries; delivery order is
+#:   bit-identical to per-event (the default, both booleans on),
+#: * ``relaxed`` — per-(site pair, beat bucket) coalescing: DGC sends
+#:   accumulate per ``(channel, kind)`` stream and flush once per
+#:   :attr:`relaxed_flush_s` via the beat wheel.  Deliveries are
+#:   *deferred* (never reordered within a stream, never earlier), so
+#:   the exact-order tracer equivalence is traded for the relaxed
+#:   tier: identical collection outcomes and bandwidth totals, delivery
+#:   schedules equivalent up to the protocol-safe class of
+#:   :mod:`repro.net.reorder`.
+AGGREGATION_PER_EVENT = "per-event"
+AGGREGATION_PER_ENTRY = "per-entry"
+AGGREGATION_EXACT = "exact"
+AGGREGATION_RELAXED = "relaxed"
+
+AGGREGATION_MODES = (
+    AGGREGATION_PER_EVENT,
+    AGGREGATION_PER_ENTRY,
+    AGGREGATION_EXACT,
+    AGGREGATION_RELAXED,
+)
+
 
 @dataclass(frozen=True)
 class DgcConfig:
@@ -74,6 +104,25 @@ class DgcConfig:
     #: ``batched_beats`` is on; either way fixed-seed outcomes are
     #: bit-identical across all delivery modes.
     aggregate_site_pairs: bool = True
+    #: The delivery core by name (see :data:`AGGREGATION_MODES`) —
+    #: supersedes the ``batched_beats``/``aggregate_site_pairs`` boolean
+    #: pair, which it normalizes on construction so every downstream
+    #: consumer keeps reading one source of truth.  ``None`` (the
+    #: default) derives the mode from the booleans, so existing configs
+    #: and overrides behave exactly as before; ``"relaxed"`` selects the
+    #: per-(site pair, beat bucket) coalescing core, the only mode the
+    #: booleans cannot express.
+    aggregation: Optional[str] = None
+    #: Flush period of the relaxed core's per-(site pair, beat bucket)
+    #: accumulator, in seconds; ``None`` defaults to ``TTB / 4``
+    #: (quarter-beat buckets).  Deferral is bounded by one flush period,
+    #: so the effective safety margin becomes
+    #: ``TTA > 2*TTB + MaxComm + relaxed_flush_s`` (see PERFORMANCE.md's
+    #: relaxed-tier argument) — sub-beat buckets keep the added
+    #: detection latency per expiry-cascade hop small while the
+    #: flush-time site-level merge keeps the coalescing win large.
+    #: Ignored outside ``aggregation="relaxed"``.
+    relaxed_flush_s: Optional[float] = None
     #: Sec. 7.1 extension: honour the ``sender_ttb`` declared in DGC
     #: messages when expiring referencer records, so activities with
     #: heterogeneous (or dynamically adjusted) beat periods interoperate
@@ -118,6 +167,28 @@ class DgcConfig:
             raise ConfigurationError(
                 f"beat_slots must be >= 0, got {self.beat_slots}"
             )
+        if self.relaxed_flush_s is not None and self.relaxed_flush_s <= 0:
+            raise ConfigurationError(
+                f"relaxed_flush_s must be positive, got {self.relaxed_flush_s}"
+            )
+        if self.aggregation is not None:
+            if self.aggregation not in AGGREGATION_MODES:
+                raise ConfigurationError(
+                    f"aggregation must be one of {AGGREGATION_MODES}, got "
+                    f"{self.aggregation!r}"
+                )
+            # Normalize the legacy boolean pair to the named mode so
+            # downstream consumers (world wiring, the collector's
+            # receive diet, equivalence suites) keep reading one source
+            # of truth regardless of which knob selected the core.
+            object.__setattr__(
+                self, "batched_beats",
+                self.aggregation != AGGREGATION_PER_EVENT,
+            )
+            object.__setattr__(
+                self, "aggregate_site_pairs",
+                self.aggregation in (AGGREGATION_EXACT, AGGREGATION_RELAXED),
+            )
 
     def validate_against(self, max_comm: float) -> None:
         """Enforce the paper's safety margin ``TTA > 2*TTB + MaxComm``."""
@@ -132,6 +203,27 @@ class DgcConfig:
     def satisfies_margin(self, max_comm: float) -> bool:
         """Non-raising form of :meth:`validate_against`."""
         return self.tta > 2.0 * self.ttb + max_comm
+
+    @property
+    def aggregation_mode(self) -> str:
+        """The effective delivery core (one of
+        :data:`AGGREGATION_MODES`): the explicit :attr:`aggregation`
+        when set, else derived from the legacy boolean pair."""
+        if self.aggregation is not None:
+            return self.aggregation
+        if not self.batched_beats:
+            return AGGREGATION_PER_EVENT
+        if not self.aggregate_site_pairs:
+            return AGGREGATION_PER_ENTRY
+        return AGGREGATION_EXACT
+
+    @property
+    def relaxed_flush_period(self) -> float:
+        """The relaxed core's flush period: :attr:`relaxed_flush_s`, or
+        ``TTB / 4`` when unset (quarter-beat buckets)."""
+        if self.relaxed_flush_s is not None:
+            return self.relaxed_flush_s
+        return self.ttb / 4.0
 
     def with_overrides(self, **changes) -> "DgcConfig":
         """Functional update (configs are immutable)."""

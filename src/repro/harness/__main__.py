@@ -84,15 +84,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "count)",
     )
     fig10.add_argument(
+        "--aggregation",
+        choices=["per-event", "per-entry", "exact", "relaxed"],
+        default=None,
+        help="delivery core: per-event baseline, per-entry batched "
+        "pulse, exact-order site-pair aggregation (the default), or "
+        "the relaxed per-(site pair, beat bucket) coalescing tier",
+    )
+    fig10.add_argument(
         "--per-event-beats", action="store_true",
-        help="disable the batched beat scheduler (one kernel event per "
-        "tick and per DGC message; the perf baseline)",
+        help="deprecated alias for --aggregation per-event (disable "
+        "the batched beat scheduler: one kernel event per tick and "
+        "per DGC message; the perf baseline)",
     )
     fig10.add_argument(
         "--per-entry-pulse", action="store_true",
-        help="disable the columnar pulse and site-pair DGC aggregation "
-        "(one 6-tuple pulse entry per message; the previous batched "
-        "core, kept as the A/B baseline)",
+        help="deprecated alias for --aggregation per-entry (disable "
+        "the columnar pulse and site-pair DGC aggregation: one "
+        "6-tuple pulse entry per message; the previous batched core, "
+        "kept as the A/B baseline)",
     )
 
     run_cmd = subparsers.add_parser(
@@ -131,14 +141,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="heartbeat phase slots per TTB (int or 'auto')",
     )
     run_cmd.add_argument(
+        "--aggregation",
+        choices=["per-event", "per-entry", "exact", "relaxed"],
+        default=None,
+        help="delivery core: per-event baseline, per-entry batched "
+        "pulse, exact-order site-pair aggregation (the default), or "
+        "the relaxed per-(site pair, beat bucket) coalescing tier",
+    )
+    run_cmd.add_argument(
         "--per-event-beats", action="store_true",
-        help="disable pulse batching: one kernel event per message and "
-        "per heartbeat tick (the perf baseline)",
+        help="deprecated alias for --aggregation per-event (disable "
+        "pulse batching: one kernel event per message and per "
+        "heartbeat tick; the perf baseline)",
     )
     run_cmd.add_argument(
         "--per-entry-pulse", action="store_true",
-        help="disable the columnar pulse and site-pair DGC aggregation "
-        "(the previous batched core, kept as the A/B baseline)",
+        help="deprecated alias for --aggregation per-entry (disable "
+        "the columnar pulse and site-pair DGC aggregation; the "
+        "previous batched core, kept as the A/B baseline)",
+    )
+    run_cmd.add_argument(
+        "--relaxed-flush", type=float, default=None, metavar="SECONDS",
+        help="flush period of the relaxed tier's coalescing buckets "
+        "(default: TTB/4; only meaningful with --aggregation relaxed)",
     )
     # NAS knobs.
     run_cmd.add_argument(
@@ -249,6 +274,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             aggregate_site_pairs=(
                 False if getattr(args, "per_entry_pulse", False) else None
             ),
+            aggregation=getattr(args, "aggregation", None),
         )
         print(fig10_report(results))
 
@@ -263,6 +289,7 @@ def _run_workload(args: argparse.Namespace) -> int:
 
     batched = False if args.per_event_beats else None
     aggregated = False if args.per_entry_pulse else None
+    aggregation = args.aggregation
 
     def config_for(base):
         if args.no_dgc:
@@ -272,6 +299,8 @@ def _run_workload(args: argparse.Namespace) -> int:
             overrides["ttb"] = args.ttb
         if args.tta is not None:
             overrides["tta"] = args.tta
+        if args.relaxed_flush is not None:
+            overrides["relaxed_flush_s"] = args.relaxed_flush
         return base.with_overrides(**overrides) if overrides else base
 
     started = time.perf_counter()
@@ -290,6 +319,7 @@ def _run_workload(args: argparse.Namespace) -> int:
             beat_slots=args.beat_slots,
             batched_beats=batched,
             aggregate_site_pairs=aggregated,
+            aggregation=aggregation,
             keep_world=True,
         )
         rows = [
@@ -336,6 +366,7 @@ def _run_workload(args: argparse.Namespace) -> int:
             beat_slots=args.beat_slots,
             batched_beats=batched,
             aggregate_site_pairs=aggregated,
+            aggregation=aggregation,
             keep_world=True,
         )
         rows = [
@@ -386,6 +417,7 @@ def _run_workload(args: argparse.Namespace) -> int:
             beat_slots=args.beat_slots,
             batched_beats=batched,
             aggregate_site_pairs=aggregated,
+            aggregation=aggregation,
             keep_world=True,
         )
         rows = [

@@ -61,14 +61,17 @@ def run_fig10(
     beat_slots: Optional[Union[int, str]] = None,
     batched_beats: Optional[bool] = None,
     aggregate_site_pairs: Optional[bool] = None,
+    aggregation: Optional[str] = None,
     collect_timeout: float = 36_000.0,
+    keep_world: bool = False,
 ) -> Fig10Results:
     """Run the torture test under both configurations plus no-DGC.
 
-    ``beat_slots``/``batched_beats``/``aggregate_site_pairs`` are
-    forwarded to :func:`repro.workloads.torture.run_torture` (heartbeat
-    and pulse batching knobs); skipped runs reuse the fast result so the
-    report shape is stable.
+    ``beat_slots``/``batched_beats``/``aggregate_site_pairs``/
+    ``aggregation``/``keep_world`` are forwarded to
+    :func:`repro.workloads.torture.run_torture` (heartbeat, pulse
+    batching and delivery-core knobs); skipped runs reuse the fast
+    result so the report shape is stable.
     """
 
     def run(dgc: Optional[DgcConfig], sample: float) -> TortureResult:
@@ -83,6 +86,8 @@ def run_fig10(
             beat_slots=beat_slots,
             batched_beats=batched_beats,
             aggregate_site_pairs=aggregate_site_pairs,
+            aggregation=aggregation,
+            keep_world=keep_world,
         )
 
     fast_result = run(fast, sample=10.0)

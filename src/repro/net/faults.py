@@ -17,15 +17,41 @@ from repro.net.message import Envelope
 @dataclass
 class DelayRule:
     """Adds ``extra_delay_s`` to envelopes matched by ``predicate``
-    within the [start, end) simulated-time window."""
+    within the [start, end) simulated-time window.
+
+    ``source``/``dest``/``kind`` mirror the keyword filters the rule
+    was built from (``None`` = unfiltered) and ``opaque`` records
+    whether a custom predicate is involved; together they let the
+    fabric decide *statically* whether a rule could ever match a given
+    ``(source, dest, kind)`` stream — see :meth:`FaultPlan.may_delay` —
+    so traffic no rule can touch keeps riding the batched pulse."""
 
     predicate: Callable[[Envelope], bool]
     extra_delay_s: float
     start: float = 0.0
     end: float = float("inf")
+    source: Optional[str] = None
+    dest: Optional[str] = None
+    kind: Optional[str] = None
+    #: A user predicate is present: the rule may match anything its
+    #: static filters allow, so matchability checks stay conservative.
+    opaque: bool = True
 
     def applies(self, envelope: Envelope, now: float) -> bool:
         return self.start <= now < self.end and self.predicate(envelope)
+
+    def may_match(self, source: str, dest: str, kind: str) -> bool:
+        """Could this rule ever apply to traffic on the given stream?
+        Time windows are ignored (conservative): a currently-dormant
+        rule still forces per-envelope latency evaluation, which is
+        what honours the window exactly."""
+        if self.source is not None and self.source != source:
+            return False
+        if self.dest is not None and self.dest != dest:
+            return False
+        if self.kind is not None and self.kind != kind:
+            return False
+        return True
 
 
 class FaultPlan:
@@ -69,7 +95,28 @@ class FaultPlan:
                 return False
             return True
 
-        self._delay_rules.append(DelayRule(match, extra_delay_s, start, end))
+        self._delay_rules.append(
+            DelayRule(
+                match, extra_delay_s, start, end,
+                source=source, dest=dest, kind=kind,
+                opaque=predicate is not None,
+            )
+        )
+
+    def may_delay(self, source: str, dest: str, kind: str) -> bool:
+        """Whether *any* registered delay rule could ever apply to
+        ``kind`` traffic from ``source`` to ``dest``.
+
+        The fabric's batched lanes use this to keep pulse semantics for
+        streams no rule can touch: a single ``kind``-filtered rule used
+        to force the envelope-only per-event path for **all** traffic
+        on the channel; now only the matchable streams fall back.
+        Directly-constructed rules (no static filters) stay
+        conservative: they may match anything."""
+        for rule in self._delay_rules:
+            if rule.may_match(source, dest, kind):
+                return True
+        return False
 
     def partition(self, node_a: str, node_b: str) -> None:
         """Silently drop all traffic between the two nodes (both ways)."""

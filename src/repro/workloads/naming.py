@@ -205,6 +205,7 @@ def run_naming(
     beat_slots: Optional[Union[int, str]] = None,
     batched_beats: Optional[bool] = None,
     aggregate_site_pairs: Optional[bool] = None,
+    aggregation: Optional[str] = None,
     trace: bool = False,
     keep_world: bool = False,
     safety_checks: bool = False,
@@ -212,9 +213,10 @@ def run_naming(
     """Run the naming churn and report resolution + coherence numbers.
 
     ``registry`` picks placement and lease policy (default: the uncached
-    static-home baseline); the delivery-core knobs (``batched_beats``,
-    ``aggregate_site_pairs``, ``beat_slots``) override the DGC config
-    exactly as in :func:`repro.workloads.torture.run_torture`.
+    static-home baseline); the delivery-core knobs (``aggregation``,
+    ``batched_beats``, ``aggregate_site_pairs``, ``beat_slots``)
+    override the DGC config exactly as in
+    :func:`repro.workloads.torture.run_torture`.
     """
     if dgc is not None:
         overrides = {}
@@ -224,6 +226,15 @@ def run_naming(
             overrides["batched_beats"] = batched_beats
         if aggregate_site_pairs is not None:
             overrides["aggregate_site_pairs"] = aggregate_site_pairs
+        if aggregation is not None:
+            overrides["aggregation"] = aggregation
+        elif (
+            ("batched_beats" in overrides or "aggregate_site_pairs" in overrides)
+            and dgc.aggregation is not None
+        ):
+            # Boolean overrides must win over a base config's named
+            # mode, or normalization would resurrect it.
+            overrides["aggregation"] = None
         if overrides:
             dgc = dgc.with_overrides(**overrides)
     world = World(

@@ -9,14 +9,17 @@ agree between the two schedulers.  The wheel changes *heap traffic*
 *behaviour* (event times, callback order, message contents).
 """
 
-import dataclasses
-
 import pytest
 
 from repro.core.config import DgcConfig
 from repro.net.topology import uniform_topology
 from repro.runtime.ids import reset_id_counter
 from repro.workloads.torture import run_torture
+from tests.equiv import (
+    outcome_fingerprint,
+    stats_fingerprint,
+    tracer_fingerprint,
+)
 
 SLAVES = 24
 NODES = 6
@@ -24,7 +27,8 @@ ACTIVE = 40.0
 CONFIG = DgcConfig(ttb=2.0, tta=5.0)
 
 
-def run(seed: int, slots: int, batched: bool, aggregated: bool = False):
+def run(seed: int, slots: int, batched: bool = True, aggregated: bool = False,
+        aggregation: str = None):
     reset_id_counter()
     return run_torture(
         dgc=CONFIG,
@@ -35,8 +39,9 @@ def run(seed: int, slots: int, batched: bool, aggregated: bool = False):
         sample_period=10.0,
         collect_timeout=4_000.0,
         beat_slots=slots,
-        batched_beats=batched,
-        aggregate_site_pairs=aggregated,
+        batched_beats=None if aggregation else batched,
+        aggregate_site_pairs=None if aggregation else aggregated,
+        aggregation=aggregation,
         trace=True,
         keep_world=True,
     )
@@ -44,14 +49,13 @@ def run(seed: int, slots: int, batched: bool, aggregated: bool = False):
 
 def world_fingerprint(result):
     """Everything observable about one run: the stats block (with every
-    per-activity collection instant) and the raw tracer stream."""
-    stats = dataclasses.asdict(result.world.stats)
-    events = tuple(
-        (event.time, event.kind, event.subject,
-         tuple(sorted(event.details.items())))
-        for event in result.world.tracer
+    per-activity collection instant), the raw tracer stream and the
+    sampled Fig. 10 series."""
+    return (
+        stats_fingerprint(result),
+        tracer_fingerprint(result),
+        tuple(result.series),
     )
-    return stats, events, tuple(result.series)
 
 
 @pytest.mark.parametrize("seed", [0, 1, 7, 23])
@@ -77,6 +81,34 @@ def test_all_three_cores_are_bit_identical(seed, slots):
     assert a_events == b_events
     # The aggregated core actually merged site-pair runs on this graph.
     assert aggregated.world.network.aggregated_message_count > 0
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 23])
+def test_relaxed_core_matches_per_event_outcomes(seed):
+    """The relaxed coalescing tier defers DGC deliveries (never by more
+    than one flush period, never reordering a stream, never earlier),
+    so instants shift — but every reachability verdict must agree with
+    the per-event baseline: same activities created, the same set
+    collected, zero dead letters, zero safety violations."""
+    relaxed = run(seed, slots=4, aggregation="relaxed")
+    per_event = run(seed, slots=4, aggregation="per-event")
+    assert relaxed.all_collected and per_event.all_collected
+    assert outcome_fingerprint(relaxed) == outcome_fingerprint(per_event)
+    network = relaxed.world.network
+    # The tier actually coalesced across instants on this graph.
+    assert network.relaxed_flush_count > 0
+    assert network.aggregated_message_count > 0
+
+
+def test_relaxed_core_defers_but_stays_bounded():
+    """Deferral inflates DGC traffic only by the extra detection
+    latency (the collapse phase stretches by up to ~2 flush periods per
+    protocol round-trip while heartbeats keep flowing) — not by an
+    unbounded amount."""
+    relaxed = run(3, slots=4, aggregation="relaxed")
+    exact = run(3, slots=4, aggregation="exact")
+    assert relaxed.all_collected and exact.all_collected
+    assert relaxed.dgc_bandwidth_mb < exact.dgc_bandwidth_mb * 1.5
 
 
 def test_quantized_phases_change_schedule_but_not_liveness():

@@ -11,14 +11,17 @@ workload) on the request/reply-heavy NAS patterns — CG's neighbour
 exchanges + reductions, EP's final reduction, FT's all-to-all transpose.
 """
 
-import dataclasses
-
 import pytest
 
 from repro.core.config import DgcConfig
 from repro.net.topology import uniform_topology
 from repro.runtime.ids import reset_id_counter
 from repro.workloads.nas import kernel_spec, run_nas_kernel
+from tests.equiv import (
+    outcome_fingerprint,
+    stats_fingerprint,
+    tracer_fingerprint,
+)
 
 CONFIG = DgcConfig(ttb=2.0, tta=5.0)
 WORKERS = 10
@@ -32,8 +35,9 @@ SPECS = {
 }
 
 
-def run(kernel: str, seed: int, batched: bool, aggregated: bool = False,
-        reply_barrier: bool = False):
+def run(kernel: str, seed: int, batched: bool = True,
+        aggregated: bool = False, reply_barrier: bool = False,
+        aggregation: str = None):
     reset_id_counter()
     return run_nas_kernel(
         kernel_spec(kernel, ao_count=WORKERS, reply_barrier=reply_barrier,
@@ -42,23 +46,17 @@ def run(kernel: str, seed: int, batched: bool, aggregated: bool = False,
         topology=uniform_topology(NODES),
         seed=seed,
         collect_timeout=4_000.0,
-        batched_beats=batched,
-        aggregate_site_pairs=aggregated,
+        batched_beats=None if aggregation else batched,
+        aggregate_site_pairs=None if aggregation else aggregated,
+        aggregation=aggregation,
         trace=True,
         keep_world=True,
     )
 
 
-def world_fingerprint(result):
-    """Everything observable about one run: the stats block (with every
-    per-activity collection instant) and the raw tracer stream."""
-    stats = dataclasses.asdict(result.world.stats)
-    events = tuple(
-        (event.time, event.kind, event.subject,
-         tuple(sorted(event.details.items())))
-        for event in result.world.tracer
-    )
-    outcome = (
+def nas_outcome(result):
+    """The NAS-specific observables stacked onto the stats/tracer pair."""
+    return (
         result.app_time_s,
         result.dgc_time_s,
         round(result.bandwidth_mb, 9),
@@ -66,7 +64,17 @@ def world_fingerprint(result):
         round(result.dgc_bandwidth_mb, 9),
         result.dead_letters,
     )
-    return stats, events, outcome
+
+
+def world_fingerprint(result):
+    """Everything observable about one run: the stats block (with every
+    per-activity collection instant), the raw tracer stream and the
+    NAS run summary."""
+    return (
+        stats_fingerprint(result),
+        tracer_fingerprint(result),
+        nas_outcome(result),
+    )
 
 
 @pytest.mark.parametrize("seed", [0, 5, 17])
@@ -87,6 +95,21 @@ def test_all_three_cores_are_bit_identical_on_app_traffic(kernel, seed):
     assert a_events == b_events
     # NAS workers hold complete graphs: site-pair runs must merge.
     assert aggregated.world.network.aggregated_message_count > 0
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+@pytest.mark.parametrize("kernel", sorted(SPECS))
+def test_relaxed_core_matches_per_event_outcomes(kernel, seed):
+    """On app-dominated NAS traffic the relaxed tier defers only the
+    DGC sideband, so beyond the reachability verdicts even the app
+    phase is untouched: same completion time, same app bandwidth."""
+    relaxed = run(kernel, seed, aggregation="relaxed")
+    per_event = run(kernel, seed, aggregation="per-event")
+    assert outcome_fingerprint(relaxed) == outcome_fingerprint(per_event)
+    assert relaxed.app_time_s == per_event.app_time_s
+    assert relaxed.app_bandwidth_mb == per_event.app_bandwidth_mb
+    assert relaxed.dead_letters == per_event.dead_letters == 0
+    assert relaxed.world.network.relaxed_flush_count > 0
 
 
 @pytest.mark.parametrize("seed", [2, 11])

@@ -51,6 +51,75 @@ def test_custom_predicate():
     assert plan.extra_delay(envelope(), now=0.0) == 3.0
 
 
+def test_may_delay_matches_only_the_filtered_stream():
+    plan = FaultPlan()
+    plan.add_delay(1.0, source="a", dest="b", kind="dgc.message")
+    assert plan.may_delay("a", "b", "dgc.message")
+    assert not plan.may_delay("a", "b", "app.request")
+    assert not plan.may_delay("a", "b", "dgc.response")
+    assert not plan.may_delay("x", "b", "dgc.message")
+    assert not plan.may_delay("a", "x", "dgc.message")
+
+
+def test_may_delay_ignores_time_windows():
+    # A currently-dormant rule still forces per-envelope evaluation —
+    # that is what honours the window exactly once it opens.
+    plan = FaultPlan()
+    plan.add_delay(1.0, kind="dgc.message", start=100.0, end=200.0)
+    assert plan.may_delay("a", "b", "dgc.message")
+    assert not plan.may_delay("a", "b", "app.request")
+
+
+def test_may_delay_is_conservative_for_opaque_predicates():
+    plan = FaultPlan()
+    plan.add_delay(1.0, predicate=lambda env: env.size_bytes > 10)
+    assert plan.may_delay("a", "b", "dgc.message")
+    assert plan.may_delay("x", "y", "app.reply")
+    # Static filters still prune even with a predicate attached.
+    plan2 = FaultPlan()
+    plan2.add_delay(1.0, kind="dgc.message",
+                    predicate=lambda env: env.size_bytes > 10)
+    assert plan2.may_delay("a", "b", "dgc.message")
+    assert not plan2.may_delay("a", "b", "app.request")
+
+
+def test_kind_filtered_rule_keeps_other_kinds_on_the_batched_path():
+    """A single kind-filtered delay rule used to force the envelope-only
+    per-event path for *all* traffic on the channel; unmatched kinds
+    must keep riding the pulse."""
+    from repro.net.network import Network
+    from repro.net.topology import uniform_topology
+    from repro.sim.kernel import SimKernel
+
+    def build():
+        plan = FaultPlan()
+        kernel = SimKernel()
+        network = Network(
+            kernel, uniform_topology(2, rtt_s=0.01), fault_plan=plan
+        )
+        network.pulse_batching = True
+        delivered = []
+        network.register_node("site-0", lambda env: None,
+                              lambda kind, item, payload: None)
+        network.register_node(
+            "site-1", lambda env: delivered.append(("env", env.kind)),
+            lambda kind, item, payload: delivered.append(("pulse", kind)),
+        )
+        return plan, kernel, network, delivered
+
+    # Baseline: everything pulses.
+    plan, kernel, network, delivered = build()
+    plan.add_delay(0.5, kind="dgc.message")
+    network.send_typed("site-0", "site-1", "app.request", 10, "r1", None)
+    network.send_typed("site-0", "site-1", "dgc.message", 10, "m1", None)
+    kernel.run()
+    assert ("pulse", "app.request") in delivered
+    assert ("env", "dgc.message") in delivered
+    # The matched kind went per-envelope and took the extra delay with
+    # it; the unmatched kind was not slowed down.
+    assert network.pulse_event_count > 0
+
+
 def test_partition_is_bidirectional_and_healable():
     plan = FaultPlan()
     plan.partition("a", "b")
