@@ -121,6 +121,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_cmd.add_argument("--nodes", type=int, default=32)
     run_cmd.add_argument("--seed", type=int, default=1)
     run_cmd.add_argument(
+        "--live", action="store_true",
+        help="sharded multi-process execution: partition the nodes over "
+        "worker processes (per-shard LiveKernels, struct-packed wire "
+        "frames between them) instead of the single-process simulator",
+    )
+    run_cmd.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="worker-process count for --live (default 2; implies "
+        "--live when given)",
+    )
+    run_cmd.add_argument(
         "--ttb", type=float, default=None, help="heartbeat period override"
     )
     run_cmd.add_argument(
@@ -291,6 +302,9 @@ def _run_workload(args: argparse.Namespace) -> int:
     aggregated = False if args.per_entry_pulse else None
     aggregation = args.aggregation
 
+    if args.live or args.shards is not None:
+        return _run_sharded(args)
+
     def config_for(base):
         if args.no_dgc:
             return None
@@ -447,6 +461,126 @@ def _run_workload(args: argparse.Namespace) -> int:
         if breakdown:
             print("\nper-kind traffic:")
             print(breakdown)
+    return 0
+
+
+def _run_sharded(args: argparse.Namespace) -> int:
+    """The ``run --live [--shards N]`` path: the multi-process world."""
+    from repro.core.config import NAS_CONFIG, TORTURE_FAST_CONFIG
+    from repro.errors import ConfigurationError
+    from repro.harness.report import render_table
+    from repro.net.topology import clustered_topology
+    from repro.shard import ShardedWorld
+
+    def reject(reason: str) -> int:
+        print(f"error: {reason}", file=sys.stderr)
+        return 2
+
+    shards = 2 if args.shards is None else args.shards
+    if shards < 1:
+        return reject(f"--shards must be positive, got {shards}")
+    if args.no_dgc:
+        return reject(
+            "--live is incompatible with --no-dgc: collection drives the "
+            "sharded run protocol's stop condition"
+        )
+    if args.per_event_beats or args.aggregation == "per-event":
+        return reject(
+            "--live requires the batched pulse core: drop "
+            "--per-event-beats / --aggregation per-event (the per-event "
+            "envelope path cannot cross a shard boundary)"
+        )
+    if args.nas_barrier:
+        return reject(
+            "--live is incompatible with --nas-barrier: the reply-barrier "
+            "variant's per-iteration future barrier is a single-process "
+            "protocol (see repro.shard.workloads.build_nas)"
+        )
+
+    if args.workload == "torture":
+        base = TORTURE_FAST_CONFIG
+        params = dict(
+            slave_count=args.slaves, active_duration=args.duration,
+        )
+        workload = "torture"
+    elif args.workload == "naming":
+        base = NAS_CONFIG
+        params = dict(
+            client_count=args.clients,
+            service_count=args.services,
+            duration=args.duration,
+            lookup_period=args.lookup_period,
+            lookup_burst=args.lookup_burst,
+            churn_period=args.churn_period,
+        )
+        workload = "naming"
+    else:
+        base = NAS_CONFIG
+        params = dict(
+            kernel=args.workload.split(":", 1)[1],
+            ao_count=args.ao_count,
+            iterations=args.iterations,
+            iter_time_s=args.iter_time,
+            payload_bytes=args.payload_bytes,
+        )
+        workload = "nas"
+
+    overrides = {}
+    if args.ttb is not None:
+        overrides["ttb"] = args.ttb
+    if args.tta is not None:
+        overrides["tta"] = args.tta
+    if args.relaxed_flush is not None:
+        overrides["relaxed_flush_s"] = args.relaxed_flush
+    if args.beat_slots is not None:
+        overrides["beat_slots"] = args.beat_slots
+    if args.aggregation is not None:
+        overrides["aggregation"] = args.aggregation
+    elif args.per_entry_pulse:
+        overrides["aggregate_site_pairs"] = False
+    dgc = base.with_overrides(**overrides) if overrides else base
+
+    registry = None
+    if workload == "naming":
+        from repro.core.config import RegistryConfig
+
+        registry = RegistryConfig(
+            placement=args.registry_placement,
+            lease_ttb=args.lease_ttb,
+            cache_size=args.registry_cache,
+        )
+
+    topology = clustered_topology(args.nodes, site_count=shards)
+    try:
+        sharded = ShardedWorld(
+            topology, shards, workload=workload, params=params,
+            dgc=dgc, registry=registry, seed=args.seed,
+        )
+        result = sharded.run()
+    except ConfigurationError as exc:
+        return reject(str(exc))
+
+    rows = [
+        ["shards x nodes", f"{shards} x {args.nodes}"],
+        ["plan lookahead (ms)",
+         "-" if sharded.plan.lookahead == float("inf")
+         else f"{sharded.plan.lookahead * 1e3:.1f}"],
+        ["activities created", result.created],
+        ["collected (acyclic/cyclic)",
+         f"{result.collected_acyclic}/{result.collected_cyclic}"],
+        ["dead letters", result.dead_letters],
+        ["barrier rounds", result.rounds],
+        ["cross-shard frames", result.frame_count],
+        ["frame KB", f"{result.frame_bytes / 1e3:.1f}"],
+        ["frame digest", result.frame_digest[:16]],
+        ["total MB", f"{result.total_bytes / 1e6:.2f}"],
+        ["kernel events fired", result.events_fired],
+        ["sim time (s)", f"{result.sim_time_s:.1f}"],
+        ["wall time (s)", f"{result.wall_s:.2f}"],
+        ["events/s", f"{result.events_fired / max(result.wall_s, 1e-9):,.0f}"],
+    ]
+    title = f"{args.workload} — sharded live world ({shards} processes)"
+    print(render_table(["metric", "value"], rows, title=title))
     return 0
 
 

@@ -4,6 +4,15 @@ All callbacks run on one dedicated scheduler thread, preserving the
 single-threaded execution model every component was written for; other
 threads only *schedule* work (thread-safe) and *poll* state (reads of
 counters/collections under the GIL).
+
+``LiveKernel(virtual_time=True)`` selects the kernel's second mode: no
+scheduler thread is started and the caller drives execution directly
+through :meth:`advance`, which fires every event strictly before a
+horizon inline on the calling thread.  This is the mode the sharded
+world (:mod:`repro.shard`) runs each shard worker in — the coordinator
+grants conservative horizons round by round, and determinism requires
+exactly this single-threaded, caller-paced execution.  Everything else
+(heap layout, beat wheel, counters) is shared between the modes.
 """
 
 from __future__ import annotations
@@ -28,10 +37,13 @@ class LiveKernel:
     :meth:`schedule_fire_at` honours its event-less contract and never
     allocates a cancellable :class:`Event` for deliveries), and
     :meth:`schedule_periodic` batches aligned heartbeats through a
-    :class:`repro.sim.beats.BeatWheel` driven by the scheduler thread.
+    :class:`repro.sim.beats.BeatWheel` driven by the scheduler thread —
+    and its load counters (``pending_count`` / ``peak_pending_count`` /
+    ``fired_count`` / ``scheduled_count``), so :class:`PerfReport` and
+    the benchmarks read both kernels uniformly.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, virtual_time: bool = False) -> None:
         self._origin = time.monotonic()
         self._heap: List[
             Tuple[float, int, Optional[Event], Callable[..., None], tuple]
@@ -42,6 +54,9 @@ class LiveKernel:
         self._shutdown = False
         self._fired = 0
         self._scheduled = 0
+        self._pending = 0
+        self._peak_pending = 0
+        self._virtual = virtual_time
         #: The run/stop handshake: ``run`` blocks the calling thread on
         #: this condition; ``request_stop`` (typically fired from the
         #: scheduler thread by the world's termination hook) wakes it.
@@ -51,10 +66,17 @@ class LiveKernel:
         #: lock is reentrant because bucket callbacks (running on the
         #: scheduler thread, under the lock) may register/stop members.
         self._beats = BeatWheel(self, lock=threading.RLock())
-        self._thread = threading.Thread(
-            target=self._loop, name="repro-live-kernel", daemon=True
-        )
-        self._thread.start()
+        self._thread: Optional[threading.Thread] = None
+        if virtual_time:
+            # Caller-driven mode: no scheduler thread; ``_now`` is the
+            # virtual clock (the attribute doubles as the network
+            # fabric's fast-clock handshake, exactly like SimKernel's).
+            self._now = 0.0
+        else:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-live-kernel", daemon=True
+            )
+            self._thread.start()
 
     # ------------------------------------------------------------------
     # Kernel interface (mirrors repro.sim.kernel.SimKernel)
@@ -62,8 +84,15 @@ class LiveKernel:
 
     @property
     def now(self) -> float:
-        """Seconds since kernel start (monotonic)."""
+        """Seconds since kernel start (monotonic wall clock), or the
+        virtual clock in ``virtual_time`` mode."""
+        if self._virtual:
+            return self._now
         return time.monotonic() - self._origin
+
+    @property
+    def virtual_time(self) -> bool:
+        return self._virtual
 
     @property
     def fired_count(self) -> int:
@@ -72,6 +101,17 @@ class LiveKernel:
     @property
     def scheduled_count(self) -> int:
         return self._scheduled
+
+    @property
+    def pending_count(self) -> int:
+        """Live (non-cancelled) entries in the heap — same accounting as
+        :attr:`SimKernel.pending_count`: cancelled events leave the
+        count at cancel time, fired events when popped."""
+        return self._pending
+
+    @property
+    def peak_pending_count(self) -> int:
+        return self._peak_pending
 
     @property
     def beat_wheel(self) -> BeatWheel:
@@ -103,8 +143,12 @@ class LiveKernel:
                 raise SimulationError("kernel is shut down")
             seq = next(self._seq)
             event = Event(when, seq, callback, args, label)
+            event.owner = self
             heapq.heappush(self._heap, (when, seq, event, callback, args))
             self._scheduled += 1
+            self._pending += 1
+            if self._pending > self._peak_pending:
+                self._peak_pending = self._pending
             self._wakeup.notify()
         return event
 
@@ -125,7 +169,16 @@ class LiveKernel:
                 self._heap, (when, next(self._seq), None, callback, args)
             )
             self._scheduled += 1
+            self._pending += 1
+            if self._pending > self._peak_pending:
+                self._peak_pending = self._pending
             self._wakeup.notify()
+
+    def _on_event_cancelled(self) -> None:
+        """Event-owner hook (see :meth:`Event.cancel`): a cancelled
+        event leaves ``pending_count`` immediately, its heap tuple is
+        skipped when popped."""
+        self._pending -= 1
 
     def schedule_periodic(
         self,
@@ -165,6 +218,11 @@ class LiveKernel:
         provides the ``world.run_for`` / ``run_until_collected``
         blocking semantics.
         """
+        if self._virtual:
+            raise SimulationError(
+                "a virtual-time LiveKernel is driven by advance(); run() "
+                "has no scheduler thread to wait on"
+            )
         if until is None:
             raise SimulationError(
                 "LiveKernel.run requires 'until' (it cannot drain an "
@@ -189,6 +247,11 @@ class LiveKernel:
         timeout: float,
     ) -> bool:
         """Poll ``predicate`` every ``check_interval`` real seconds."""
+        if self._virtual:
+            raise SimulationError(
+                "a virtual-time LiveKernel is driven by advance(); "
+                "quiescence is the shard coordinator's call"
+            )
         deadline = self.now + timeout
         while True:
             if predicate():
@@ -198,16 +261,86 @@ class LiveKernel:
             time.sleep(min(check_interval, max(deadline - self.now, 0.001)))
 
     # ------------------------------------------------------------------
+    # Virtual-time mode (the shard worker's drive shaft)
+    # ------------------------------------------------------------------
+
+    def next_event_time(self) -> Optional[float]:
+        """The earliest live event's time, or ``None`` when the heap is
+        empty — the per-round bid a shard worker reports so the
+        coordinator can compute the global horizon."""
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            event = head[2]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                continue
+            return head[0]
+        return None
+
+    def advance(self, horizon: float) -> int:
+        """Fire every event strictly before ``horizon`` inline, in heap
+        order, then move the clock to ``horizon``.  Returns the number
+        of events fired.
+
+        The horizon is *exclusive*: an event at exactly ``horizon``
+        stays pending, because the granting coordinator only guarantees
+        that no cross-shard frame can arrive strictly before it.  During
+        each callback ``now`` reads the event's own time (as under
+        SimKernel), and callbacks may schedule freely, including before
+        the horizon — new events inside the window fire in this same
+        call.
+        """
+        if not self._virtual:
+            raise SimulationError(
+                "advance() requires LiveKernel(virtual_time=True)"
+            )
+        if horizon < self._now:
+            raise SchedulingInPastError(
+                f"cannot advance backwards to {horizon} (now={self._now})"
+            )
+        heap = self._heap
+        fired = 0
+        while heap:
+            head = heap[0]
+            if head[0] >= horizon:
+                break
+            event = head[2]
+            if event is not None and event.cancelled:
+                heapq.heappop(heap)
+                continue
+            heapq.heappop(heap)
+            self._pending -= 1
+            if event is not None:
+                event.owner = None
+            self._now = head[0]
+            self._fired += 1
+            fired += 1
+            head[3](*head[4])
+        self._now = horizon
+        return fired
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def shutdown(self, join_timeout: float = 2.0) -> None:
-        """Stop the scheduler thread; pending events are dropped."""
+        """Stop the scheduler thread and tear down periodic work.
+
+        Pending one-shot events are dropped; the beat wheel is *drained*
+        — every registered periodic member is stopped and every bucket
+        dropped — so nothing can fire a callback into a torn-down world
+        afterwards: the scheduler thread is joined first, and any bucket
+        event still in the heap finds its bucket gone (the wheel's
+        ``_fire`` tolerates drained keys).
+        """
         with self._wakeup:
             self._shutdown = True
             self._wakeup.notify()
         self.request_stop()
-        self._thread.join(timeout=join_timeout)
+        if self._thread is not None:
+            self._thread.join(timeout=join_timeout)
+        self._beats.drain()
 
     # ------------------------------------------------------------------
     # Scheduler loop
@@ -232,6 +365,9 @@ class LiveKernel:
                         self._wakeup.wait(timeout=delay)
                         continue
                     heapq.heappop(self._heap)
+                    self._pending -= 1
+                    if event is not None:
+                        event.owner = None
                     break
             # Fire outside the lock so callbacks can schedule freely.
             self._fired += 1

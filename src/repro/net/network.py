@@ -81,7 +81,7 @@ from __future__ import annotations
 from math import floor
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import UnknownDestinationError
+from repro.errors import NetworkError, UnknownDestinationError
 from repro.net.accounting import BandwidthAccountant
 from repro.net.channel import FifoChannel
 from repro.net.faults import FaultPlan
@@ -109,6 +109,21 @@ _PULSE_POOL_CAP = 64
 def _drop_payload(payload: Any) -> None:
     """Shared no-op :attr:`Envelope.deliver` for fallback typed envelopes
     (dispatch happens through node sinks)."""
+
+
+class _IngressChannel:
+    """Stand-in channel for cross-shard entries injected into the local
+    pulse: the columnar fire loop bumps ``delivered_count`` and branches
+    on ``channel is not None``, and injected traffic needs both — but
+    the real :class:`FifoChannel` lives wholly on the *sender's* shard
+    (it computed the delivery time and did the accounting before the
+    entry crossed the wire), so the receive side only needs this
+    counter."""
+
+    __slots__ = ("delivered_count",)
+
+    def __init__(self) -> None:
+        self.delivered_count = 0
 
 
 class Network:
@@ -237,6 +252,15 @@ class Network:
         #: Site-pair aggregation effectiveness: constituent DGC messages
         #: that merged into an already-staged aggregate entry.
         self.aggregated_message_count = 0
+        #: Shard-boundary egress (:meth:`configure_shard_egress`): the
+        #: set of topology nodes owned by *other* shards, the staging
+        #: buffer the coordinator round drains into wire frames, and the
+        #: ingress stand-in channel for injected remote entries.
+        self._egress_nodes: Optional[frozenset] = None
+        self.egress_buffer: List[tuple] = []
+        self.egress_message_count = 0
+        self._ingress = _IngressChannel()
+        self.injected_entry_count = 0
         #: Hot-path cache: source -> dest -> (sink, channel-or-None).
         #: ``None`` channel means intra-node delivery.  Two nested
         #: string-keyed dicts avoid building a key tuple per message.
@@ -304,6 +328,54 @@ class Network:
         self.relaxed_aggregation = True
         self._relaxed_flush_s = flush_period
 
+    def configure_shard_egress(self, local_nodes) -> None:
+        """Mark every topology node outside ``local_nodes`` as living on
+        a remote shard: traffic for those destinations is *staged at
+        send time* exactly as local traffic (the directed
+        :class:`FifoChannel` lives wholly on the sender's shard, so the
+        FIFO clamp and the accountant see the send here and only here),
+        but instead of entering the local pulse the
+        ``(delivery_time, dest, kind, item, payload)`` columns land in
+        :attr:`egress_buffer` — the literal content of the next wire
+        frame (:mod:`repro.net.wire`).  Requires the batched pulse core;
+        the per-event envelope path raises on shard-remote destinations
+        (see :meth:`send`)."""
+        self._egress_nodes = frozenset(self._topology.nodes) - frozenset(
+            local_nodes
+        )
+        self._routes.clear()
+
+    def drain_egress(self) -> List[tuple]:
+        """Detach and return the staged cross-shard entries (the frame
+        body for this round), oldest first."""
+        drained = self.egress_buffer
+        self.egress_buffer = []
+        return drained
+
+    def inject_remote_entries(self, entries) -> None:
+        """Stage decoded cross-shard entries into the local pulse.
+
+        Called between kernel advances (single-threaded), with every
+        entry's delivery time at or after the granted horizon — the
+        coordinator's lookahead guarantee; an earlier delivery would
+        mean the conservative-horizon proof was violated, so it raises
+        rather than silently reordering.  No accounting happens here:
+        the sending shard already charged the traffic (the merged
+        accountant is the sum over shards).
+        """
+        kernel = self._kernel
+        now = kernel._now if self._fast_clock else kernel.now
+        ingress = self._ingress
+        stage = self._stage
+        for delivery, dest, kind, item, payload in entries:
+            if delivery < now:
+                raise NetworkError(
+                    f"late cross-shard entry: delivery {delivery} is "
+                    f"before local time {now} (lookahead violated)"
+                )
+            stage(delivery, (ingress, None, dest, kind, item, payload))
+            self.injected_entry_count += 1
+
     # ------------------------------------------------------------------
     # Send paths
     # ------------------------------------------------------------------
@@ -349,6 +421,18 @@ class Network:
             fault_plan.dropped_count += 1
             return
         channel = route[1]
+        if route[0] is None:
+            # Shard-remote destination: the sender-side channel reserves
+            # the FIFO slot and the accountant charges the send exactly
+            # as for a local staging; the entry columns then ride the
+            # next wire frame instead of the local pulse.
+            delivery_time = channel.stage_send()
+            self.accountant.observe_sized(kind, size_bytes, channel.pair)
+            self.egress_buffer.append(
+                (delivery_time, dest, kind, item, payload)
+            )
+            self.egress_message_count += 1
+            return
         if channel is None:
             # Intra-node: delivered at the current instant, unaccounted.
             typed_sink = self._typed_sinks.get(dest)
@@ -589,6 +673,19 @@ class Network:
         agg_kind = (
             _AGG_DGC_MESSAGE if kind == KIND_DGC_MESSAGE else _AGG_DGC_RESPONSE
         )
+        if route[0] is None:
+            # Shard-remote run: one FIFO reservation, one accounting
+            # call, one *aggregate* frame entry — the receiving shard's
+            # batch sink unwraps the flat columns, so the columnar win
+            # survives the process boundary.
+            delivery_time = channel.stage_send_n(count)
+            self.accountant.observe_run(kind, size_bytes, channel.pair, count)
+            self.egress_buffer.append(
+                (delivery_time, dest, agg_kind, targets, messages)
+            )
+            self.egress_message_count += count
+            self.aggregated_message_count += count - 1
+            return
         relaxed = self.relaxed_aggregation
         if (
             relaxed
@@ -713,6 +810,17 @@ class Network:
             return
         sink = route[0]
         channel = route[1]
+        if sink is None:
+            # A shard-remote destination on the per-envelope path: the
+            # wire frame carries staged pulse columns, not envelopes, so
+            # sharded runs require the batched core end to end (the
+            # harness rejects the per-event core and fault-plan delay
+            # rules under --shards for exactly this reason).
+            raise NetworkError(
+                f"envelope for {dest!r} would cross a shard boundary: "
+                "cross-shard traffic requires pulse batching "
+                "(batched_beats on, no fault-plan delay rules)"
+            )
         if channel is None:
             # Intra-node: delivered immediately (same tick), not accounted.
             if self.pulse_batching:
@@ -1060,6 +1168,16 @@ class Network:
         """
         sink = self._sinks.get(dest)
         if sink is None:
+            egress_nodes = self._egress_nodes
+            if egress_nodes is not None and dest in egress_nodes:
+                # Shard-remote destination: no sink (the node lives in
+                # another process), a real sender-side channel (FIFO
+                # clamp + accounting happen here), never dgc_fast (the
+                # fused lane's tail-merge targets the local pulse; runs
+                # take the dedicated egress branch instead).
+                route = (None, self._channel(source, dest), False)
+                self._routes.setdefault(source, {})[dest] = route
+                return route
             raise UnknownDestinationError(f"node {dest!r} is not registered")
         channel = None if source == dest else self._channel(source, dest)
         dgc_fast = (

@@ -113,3 +113,40 @@ def grid5000_topology(scale: float = 1.0) -> Topology:
 def uniform_topology(node_count: int, rtt_s: float = 0.001) -> Topology:
     """A single-site topology: ``node_count`` nodes, uniform RTT."""
     return Topology([Site("site", node_count, intra_rtt_s=rtt_s)], {})
+
+
+def clustered_topology(
+    node_count: int,
+    site_count: int = 4,
+    intra_rtt_s: float = 0.001,
+    inter_rtt_s: float = 0.040,
+) -> Topology:
+    """``site_count`` balanced sites with a uniform inter-site RTT.
+
+    The natural shape for sharded execution: with one shard per site
+    (:func:`repro.shard.make_plan` assigns contiguous blocks, and node
+    order groups by site), the plan's lookahead is the inter-site
+    one-way latency — the widest safe advance window the topology
+    offers.
+    """
+    if site_count < 1:
+        raise ConfigurationError(
+            f"site_count must be positive, got {site_count}"
+        )
+    if node_count < site_count:
+        raise ConfigurationError(
+            f"need at least one node per site: {node_count} nodes "
+            f"across {site_count} sites"
+        )
+    base, extra = divmod(node_count, site_count)
+    sites = [
+        Site(f"c{index}", base + (1 if index < extra else 0),
+             intra_rtt_s=intra_rtt_s)
+        for index in range(site_count)
+    ]
+    inter = {
+        (sites[a].name, sites[b].name): inter_rtt_s
+        for a in range(site_count)
+        for b in range(a + 1, site_count)
+    }
+    return Topology(sites, inter)

@@ -1,0 +1,561 @@
+"""Struct-packed cross-shard wire frames.
+
+The sharded world (:mod:`repro.shard`) reuses the columnar pulse from
+the batched delivery cores as the *literal* wire frame between shard
+processes: a staged pulse entry — delivery instant, destination node,
+traffic kind, item/payload columns — is exactly what a remote shard
+needs to stage the delivery into its own pulse, so the egress packs
+those fields and nothing else.
+
+Frames are pickle-free: every value crossing the boundary is encoded by
+a small tagged ``struct`` codec that knows the closed set of fabric
+message types (:mod:`repro.runtime.request` dataclasses,
+:class:`repro.core.wire.DgcMessage`/:class:`~repro.core.wire.DgcResponse`,
+:class:`repro.runtime.proxy.RemoteRef`,
+:class:`repro.core.clock.ActivityClock`) plus the plain containers
+their fields are built from.  Two properties the shard protocol relies
+on:
+
+* **round-trip is bit-identical** — ``unpack(pack(entries))`` yields
+  entries whose every field compares equal, and whose *kind* is the
+  canonical interned constant from :mod:`repro.net.kinds` (the columnar
+  fire loop dispatches on kind identity, so returning an equal-but-
+  distinct string would silently fall off the fast path);
+* **frames are self-delimiting and validated** — a truncated or
+  corrupted buffer raises :class:`WireFormatError` instead of returning
+  garbage.
+
+Naming note (ROADMAP): the DGC *protocol* message types stay in
+:mod:`repro.core.wire` — they are protocol state, not transport.  This
+module owns only the transport encoding that moves staged pulse entries
+between shard processes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.clock import ActivityClock
+from repro.core.wire import DgcMessage, DgcResponse
+from repro.errors import NetworkError
+from repro.net import kinds as _kinds
+from repro.runtime.proxy import RemoteRef
+from repro.runtime.request import (
+    RegistryAck,
+    RegistryBind,
+    RegistryInvalidate,
+    RegistryLookup,
+    RegistryRenew,
+    RegistryRenewAck,
+    RegistryReply,
+    Reply,
+    ReplyAddress,
+    Request,
+)
+
+
+class WireFormatError(NetworkError):
+    """A wire frame failed to encode or decode."""
+
+
+#: Frame magic: rejects frames from a foreign protocol (or a desynced
+#: stream) before any lengths are trusted.
+FRAME_MAGIC = 0x5D57
+
+_HEADER = struct.Struct("!HHIId")  # magic, src_shard, seq, count, min_delivery
+_ENTRY_HEAD = struct.Struct("!dHB")  # delivery, dest node index, kind index
+_F64 = struct.Struct("!d")
+_I64 = struct.Struct("!q")
+_U32 = struct.Struct("!I")
+_U8 = struct.Struct("!B")
+
+# Tagged-value encoding: one tag byte, then a fixed field layout per
+# tag.  Compound fabric types encode their fields recursively with the
+# same codec, so e.g. a Request's refs tuple of RemoteRefs needs no
+# special casing.
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03
+_T_BIGINT = 0x04
+_T_FLOAT = 0x05
+_T_STR = 0x06
+_T_BYTES = 0x07
+_T_TUPLE = 0x08
+_T_LIST = 0x09
+_T_DICT = 0x0A
+_T_CLOCK = 0x10
+_T_REMOTE_REF = 0x11
+_T_REPLY_ADDRESS = 0x12
+_T_REQUEST = 0x13
+_T_REPLY = 0x14
+_T_DGC_MESSAGE = 0x15
+_T_DGC_RESPONSE = 0x16
+_T_REG_LOOKUP = 0x17
+_T_REG_REPLY = 0x18
+_T_REG_BIND = 0x19
+_T_REG_ACK = 0x1A
+_T_REG_RENEW = 0x1B
+_T_REG_RENEW_ACK = 0x1C
+_T_REG_INVALIDATE = 0x1D
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def kind_table() -> Tuple[str, ...]:
+    """The shared kind-index table: every registered kind in canonical
+    order, followed by the site-pair aggregate markers.  Both sides of a
+    pipe derive the same table because workers fork from the coordinator
+    after all ``register_kind`` calls — the table is re-derived per call
+    (the registry rebinds its tuples on registration), memoized on the
+    identity of the registry's current ``ALL_KINDS`` tuple."""
+    global _KIND_CACHE
+    base = _kinds.ALL_KINDS
+    cached = _KIND_CACHE
+    if cached is not None and cached[0] is base:
+        return cached[1]
+    table = list(base)
+    for kind in base:
+        aggregate = _kinds.AGGREGATE_KINDS.get(kind)
+        if aggregate is not None:
+            table.append(aggregate)
+    result = tuple(table)
+    _KIND_CACHE = (base, result)
+    return result
+
+
+_KIND_CACHE: Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]] = None
+
+
+def kind_index() -> Dict[str, int]:
+    """Kind -> table index, memoized alongside :func:`kind_table`."""
+    global _KIND_INDEX_CACHE
+    table = kind_table()
+    cached = _KIND_INDEX_CACHE
+    if cached is not None and cached[0] is table:
+        return cached[1]
+    index = {kind: position for position, kind in enumerate(table)}
+    _KIND_INDEX_CACHE = (table, index)
+    return index
+
+
+_KIND_INDEX_CACHE: Optional[Tuple[Tuple[str, ...], Dict[str, int]]] = None
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    out += _U32.pack(len(raw))
+    out += raw
+
+
+def _encode_value(out: bytearray, value) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif type(value) is str:
+        out.append(_T_STR)
+        _encode_str(out, value)
+    elif type(value) is int:
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(_T_INT)
+            out += _I64.pack(value)
+        else:
+            raw = value.to_bytes(
+                (value.bit_length() + 8) // 8, "big", signed=True
+            )
+            out.append(_T_BIGINT)
+            out += _U32.pack(len(raw))
+            out += raw
+    elif type(value) is float:
+        out.append(_T_FLOAT)
+        out += _F64.pack(value)
+    elif type(value) is bytes:
+        out.append(_T_BYTES)
+        out += _U32.pack(len(value))
+        out += value
+    elif type(value) is tuple:
+        out.append(_T_TUPLE)
+        out += _U32.pack(len(value))
+        for element in value:
+            _encode_value(out, element)
+    elif type(value) is list:
+        out.append(_T_LIST)
+        out += _U32.pack(len(value))
+        for element in value:
+            _encode_value(out, element)
+    elif type(value) is dict:
+        out.append(_T_DICT)
+        out += _U32.pack(len(value))
+        for key, entry in value.items():
+            _encode_value(out, key)
+            _encode_value(out, entry)
+    elif type(value) is ActivityClock:
+        out.append(_T_CLOCK)
+        out += _I64.pack(value.value)
+        _encode_str(out, value.owner)
+    elif type(value) is RemoteRef:
+        out.append(_T_REMOTE_REF)
+        _encode_str(out, value.activity_id)
+        _encode_str(out, value.node)
+    elif type(value) is ReplyAddress:
+        out.append(_T_REPLY_ADDRESS)
+        _encode_str(out, value.node)
+        _encode_str(out, value.activity)
+        out += _I64.pack(value.future_id)
+    elif type(value) is Request:
+        out.append(_T_REQUEST)
+        _encode_str(out, value.method)
+        _encode_str(out, value.sender)
+        _encode_str(out, value.target)
+        out += _I64.pack(value.payload_bytes)
+        out += _I64.pack(value.request_id)
+        _encode_value(out, tuple(value.refs))
+        _encode_value(out, value.data)
+        _encode_value(out, value.reply_to)
+    elif type(value) is Reply:
+        out.append(_T_REPLY)
+        out += _I64.pack(value.future_id)
+        _encode_str(out, value.target_activity)
+        out += _I64.pack(value.payload_bytes)
+        _encode_value(out, tuple(value.refs))
+        _encode_value(out, value.data)
+    elif type(value) is DgcMessage:
+        out.append(_T_DGC_MESSAGE)
+        _encode_str(out, value.sender)
+        out += _I64.pack(value.clock.value)
+        _encode_str(out, value.clock.owner)
+        out.append(1 if value.consensus else 0)
+        _encode_str(out, value.sender_ref.activity_id)
+        _encode_str(out, value.sender_ref.node)
+        out += _F64.pack(value.sender_ttb)
+    elif type(value) is DgcResponse:
+        out.append(_T_DGC_RESPONSE)
+        _encode_str(out, value.responder)
+        out += _I64.pack(value.clock.value)
+        _encode_str(out, value.clock.owner)
+        out.append(1 if value.has_parent else 0)
+        out.append(1 if value.consensus_reached else 0)
+        _encode_value(out, value.depth)
+    elif type(value) is RegistryLookup:
+        out.append(_T_REG_LOOKUP)
+        _encode_str(out, value.name)
+        _encode_value(out, value.reply_to)
+    elif type(value) is RegistryReply:
+        out.append(_T_REG_REPLY)
+        out += _I64.pack(value.future_id)
+        _encode_str(out, value.target_activity)
+        _encode_str(out, value.name)
+        _encode_value(out, value.ref)
+        out += _F64.pack(value.lease_s)
+    elif type(value) is RegistryBind:
+        out.append(_T_REG_BIND)
+        _encode_str(out, value.name)
+        _encode_value(out, value.ref)
+        _encode_value(out, value.reply_to)
+    elif type(value) is RegistryAck:
+        out.append(_T_REG_ACK)
+        out += _I64.pack(value.future_id)
+        _encode_str(out, value.target_activity)
+        _encode_str(out, value.name)
+        out.append(1 if value.ok else 0)
+        _encode_str(out, value.error)
+    elif type(value) is RegistryRenew:
+        out.append(_T_REG_RENEW)
+        _encode_str(out, value.node)
+        _encode_value(out, value.names)
+    elif type(value) is RegistryRenewAck:
+        out.append(_T_REG_RENEW_ACK)
+        _encode_value(out, value.names)
+        out += _F64.pack(value.lease_s)
+    elif type(value) is RegistryInvalidate:
+        out.append(_T_REG_INVALIDATE)
+        _encode_value(out, value.names)
+    else:
+        raise WireFormatError(
+            f"cannot encode {type(value).__name__!r} on the shard wire"
+        )
+
+
+# ----------------------------------------------------------------------
+# Value decoding
+# ----------------------------------------------------------------------
+
+
+class _Reader:
+    """Bounds-checked cursor over one frame buffer."""
+
+    __slots__ = ("buf", "pos", "end")
+
+    def __init__(self, buf, pos: int, end: int) -> None:
+        self.buf = buf
+        self.pos = pos
+        self.end = end
+
+    def take(self, count: int):
+        pos = self.pos
+        stop = pos + count
+        if stop > self.end:
+            raise WireFormatError(
+                f"truncated frame: wanted {count} bytes at offset {pos}, "
+                f"{self.end - pos} available"
+            )
+        self.pos = stop
+        return self.buf[pos:stop]
+
+    def u8(self) -> int:
+        return _U8.unpack(self.take(1))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def i64(self) -> int:
+        return _I64.unpack(self.take(8))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+    def text(self) -> str:
+        length = self.u32()
+        try:
+            return bytes(self.take(length)).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"corrupt string field: {exc}") from None
+
+
+def _decode_value(reader: _Reader):
+    tag = reader.u8()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return reader.i64()
+    if tag == _T_BIGINT:
+        raw = bytes(reader.take(reader.u32()))
+        return int.from_bytes(raw, "big", signed=True)
+    if tag == _T_FLOAT:
+        return reader.f64()
+    if tag == _T_STR:
+        return reader.text()
+    if tag == _T_BYTES:
+        return bytes(reader.take(reader.u32()))
+    if tag == _T_TUPLE:
+        count = reader.u32()
+        return tuple(_decode_value(reader) for _ in range(count))
+    if tag == _T_LIST:
+        count = reader.u32()
+        return [_decode_value(reader) for _ in range(count)]
+    if tag == _T_DICT:
+        count = reader.u32()
+        return {
+            _decode_value(reader): _decode_value(reader)
+            for _ in range(count)
+        }
+    if tag == _T_CLOCK:
+        return ActivityClock(reader.i64(), reader.text())
+    if tag == _T_REMOTE_REF:
+        return RemoteRef(reader.text(), reader.text())
+    if tag == _T_REPLY_ADDRESS:
+        return ReplyAddress(reader.text(), reader.text(), reader.i64())
+    if tag == _T_REQUEST:
+        method = reader.text()
+        sender = reader.text()
+        target = reader.text()
+        payload_bytes = reader.i64()
+        request_id = reader.i64()
+        refs = _decode_value(reader)
+        data = _decode_value(reader)
+        reply_to = _decode_value(reader)
+        return Request(
+            method,
+            sender,
+            target,
+            payload_bytes=payload_bytes,
+            refs=refs,
+            data=data,
+            reply_to=reply_to,
+            request_id=request_id,
+        )
+    if tag == _T_REPLY:
+        future_id = reader.i64()
+        target_activity = reader.text()
+        payload_bytes = reader.i64()
+        refs = _decode_value(reader)
+        data = _decode_value(reader)
+        return Reply(
+            future_id,
+            target_activity,
+            payload_bytes=payload_bytes,
+            refs=refs,
+            data=data,
+        )
+    if tag == _T_DGC_MESSAGE:
+        sender = reader.text()
+        clock = ActivityClock(reader.i64(), reader.text())
+        consensus = reader.u8() != 0
+        sender_ref = RemoteRef(reader.text(), reader.text())
+        sender_ttb = reader.f64()
+        return DgcMessage(sender, clock, consensus, sender_ref, sender_ttb)
+    if tag == _T_DGC_RESPONSE:
+        responder = reader.text()
+        clock = ActivityClock(reader.i64(), reader.text())
+        has_parent = reader.u8() != 0
+        consensus_reached = reader.u8() != 0
+        depth = _decode_value(reader)
+        return DgcResponse(
+            responder, clock, has_parent, consensus_reached, depth
+        )
+    if tag == _T_REG_LOOKUP:
+        return RegistryLookup(reader.text(), _decode_value(reader))
+    if tag == _T_REG_REPLY:
+        future_id = reader.i64()
+        target_activity = reader.text()
+        name = reader.text()
+        ref = _decode_value(reader)
+        lease_s = reader.f64()
+        return RegistryReply(future_id, target_activity, name, ref, lease_s)
+    if tag == _T_REG_BIND:
+        name = reader.text()
+        ref = _decode_value(reader)
+        reply_to = _decode_value(reader)
+        return RegistryBind(name, ref, reply_to)
+    if tag == _T_REG_ACK:
+        future_id = reader.i64()
+        target_activity = reader.text()
+        name = reader.text()
+        ok = reader.u8() != 0
+        error = reader.text()
+        return RegistryAck(future_id, target_activity, name, ok, error)
+    if tag == _T_REG_RENEW:
+        return RegistryRenew(reader.text(), _decode_value(reader))
+    if tag == _T_REG_RENEW_ACK:
+        return RegistryRenewAck(_decode_value(reader), reader.f64())
+    if tag == _T_REG_INVALIDATE:
+        return RegistryInvalidate(_decode_value(reader))
+    raise WireFormatError(f"unknown value tag 0x{tag:02X}")
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+
+#: One decoded cross-shard frame: the (shard, seq) stamp that orders it
+#: in the merged log, and the staged entries it carries.
+class Frame:
+    __slots__ = ("src_shard", "seq", "entries")
+
+    def __init__(
+        self,
+        src_shard: int,
+        seq: int,
+        entries: List[Tuple[float, str, str, object, object]],
+    ) -> None:
+        self.src_shard = src_shard
+        self.seq = seq
+        self.entries = entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Frame(shard={self.src_shard}, seq={self.seq}, "
+            f"entries={len(self.entries)})"
+        )
+
+
+def pack_frame(
+    src_shard: int,
+    seq: int,
+    entries: Sequence[Tuple[float, str, str, object, object]],
+    node_index: Dict[str, int],
+) -> bytes:
+    """Pack staged pulse entries into one wire frame.
+
+    Each entry is ``(delivery_time, dest_node, kind, item, payload)`` —
+    exactly the columns a staged pulse entry carries minus the channel
+    (the receiving shard re-binds its own ingress channel).  ``kind``
+    may be any registered kind or a site-pair aggregate marker, in which
+    case item/payload are the flat target/message columns.
+    """
+    index = kind_index()
+    out = bytearray(
+        _HEADER.pack(
+            FRAME_MAGIC,
+            src_shard,
+            seq,
+            len(entries),
+            min((entry[0] for entry in entries), default=0.0),
+        )
+    )
+    for delivery, dest, kind, item, payload in entries:
+        try:
+            dest_position = node_index[dest]
+        except KeyError:
+            raise WireFormatError(
+                f"destination node {dest!r} is not in the shared topology"
+            ) from None
+        try:
+            kind_position = index[kind]
+        except KeyError:
+            raise WireFormatError(
+                f"kind {kind!r} is not registered with the fabric"
+            ) from None
+        out += _ENTRY_HEAD.pack(delivery, dest_position, kind_position)
+        _encode_value(out, item)
+        _encode_value(out, payload)
+    return bytes(out)
+
+
+def unpack_frame(buf: bytes, node_names: Sequence[str]) -> Frame:
+    """Decode one frame; inverse of :func:`pack_frame`.
+
+    ``node_names`` is the shared topology's node tuple (both sides
+    derive it from the same :class:`~repro.net.topology.Topology`).
+    Kinds come back as the canonical interned constants, so identity
+    dispatch in the columnar fire loop works on injected entries.
+    """
+    if len(buf) < _HEADER.size:
+        raise WireFormatError(
+            f"truncated frame: {len(buf)} bytes, header needs {_HEADER.size}"
+        )
+    magic, src_shard, seq, count, _min_delivery = _HEADER.unpack_from(buf, 0)
+    if magic != FRAME_MAGIC:
+        raise WireFormatError(f"bad frame magic 0x{magic:04X}")
+    table = kind_table()
+    reader = _Reader(memoryview(buf), _HEADER.size, len(buf))
+    entries: List[Tuple[float, str, str, object, object]] = []
+    for _ in range(count):
+        delivery, dest_position, kind_position = _ENTRY_HEAD.unpack(
+            reader.take(_ENTRY_HEAD.size)
+        )
+        if dest_position >= len(node_names):
+            raise WireFormatError(
+                f"destination index {dest_position} out of range "
+                f"({len(node_names)} nodes)"
+            )
+        if kind_position >= len(table):
+            raise WireFormatError(
+                f"kind index {kind_position} out of range "
+                f"({len(table)} kinds)"
+            )
+        item = _decode_value(reader)
+        payload = _decode_value(reader)
+        entries.append(
+            (delivery, node_names[dest_position], table[kind_position],
+             item, payload)
+        )
+    if reader.pos != reader.end:
+        raise WireFormatError(
+            f"frame has {reader.end - reader.pos} trailing bytes"
+        )
+    return Frame(src_shard, seq, entries)

@@ -18,6 +18,14 @@ from repro.errors import RuntimeModelError
 _future_ids = itertools.count(1)
 
 
+def reset_future_ids() -> None:
+    """Restart the process-global future-id stream (see
+    :func:`repro.runtime.request.reset_request_ids`; future ids ride
+    reply addresses across shard frames)."""
+    global _future_ids
+    _future_ids = itertools.count(1)
+
+
 class Future:
     """Placeholder for the result of an asynchronous call."""
 

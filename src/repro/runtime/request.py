@@ -23,6 +23,18 @@ from repro.runtime.proxy import RemoteRef
 _request_ids = itertools.count(1)
 
 
+def reset_request_ids() -> None:
+    """Restart the process-global request-id stream.
+
+    Request ids cross process boundaries inside shard wire frames, so
+    the shard workers (and the single-process replay arm) reset the
+    stream at world construction to keep independent runs — and the
+    frames they emit — bit-identical.
+    """
+    global _request_ids
+    _request_ids = itertools.count(1)
+
+
 @dataclass
 class Request:
     """An asynchronous method invocation on an activity."""

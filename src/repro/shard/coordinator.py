@@ -1,0 +1,529 @@
+"""The shard coordinator: conservative barrier rounds over worker pipes.
+
+:class:`ShardedWorld` partitions a topology with a
+:class:`~repro.shard.plan.ShardPlan`, forks one
+:func:`~repro.shard.worker.worker_main` process per shard, and drives
+them in *barrier rounds*:
+
+1. every worker reports its next local event time and the wire frames
+   its last window produced;
+2. the coordinator routes each frame to its destination shard and
+   computes the global minimum ``M`` over all reported next-event times
+   and all undelivered frames' earliest delivery instants;
+3. it grants every worker the horizon ``H = M + L`` (``L`` the plan's
+   lookahead — the minimum cross-shard one-way latency), injecting the
+   frames destined to each shard first.
+
+Safety is the classic conservative-synchronization induction: every
+event fired inside a round happens at ``t >= M``, so every cross-shard
+delivery it generates is at ``t + L >= M + L = H`` — at or after the
+*next* round's injection point, never in its past.  Workers enforce the
+invariant (:meth:`~repro.net.network.Network.inject_remote_entries`
+raises on a late entry) rather than trusting it.
+
+**Determinism.**  Frames are stamped ``(src_shard, seq)`` by their
+producer and merged by the coordinator in shard order, frames in
+sequence order — a total order independent of OS scheduling, pipe
+timing or process count.  The coordinator folds every routed frame, in
+that order, into a SHA-256 running digest: two runs of the same
+configuration produce byte-identical frame streams and therefore equal
+digests (the whole cross-shard conversation is replayable from the
+log; pass ``record_frames=True`` to keep the raw frames).  Workers
+re-sort injected frames by the same stamp before staging, so delivery
+order inside a shard is equally schedule-independent.
+
+**Outcome equivalence.**  A sharded run and a single-process run of the
+same SPMD builder (:func:`replay_single_process`) produce the same
+outcome signature — activities created, explicit terminations, the
+exact set of collected activity ids, dead letters, safety violations.
+Event *interleaving* at equal timestamps differs across process
+topologies (each shard has its own event sequence counter), so
+time-sensitive classifications (acyclic vs. cyclic collection split,
+per-kind message counts) are not part of the signature; the DGC's
+convergence guarantees make the outcome identical anyway.
+
+The workload's run protocol is a list of
+:class:`~repro.shard.workloads.Phase` records; the coordinator
+evaluates each phase's completion predicate over merged worker reports
+(``"collected"`` / ``"balance"`` / ``"ready"``) and broadcasts phase
+entries, whose driver-side actions run at the shared current horizon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import DgcConfig, RegistryConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.topology import Topology
+from repro.shard.plan import ShardPlan, make_plan
+from repro.shard.worker import (
+    REGISTRY_COUNTERS,
+    WorkerSpec,
+    build_shard_world,
+    worker_main,
+)
+from repro.shard.workloads import Phase, workload_phases
+
+
+@dataclass
+class _Report:
+    """One worker's state at a barrier point."""
+
+    next_time: Optional[float]
+    live_non_root: int
+    counters: Tuple[int, int, int, int]
+    all_idle: bool
+    flags: Dict[str, bool]
+    #: (dest_shard, has_app, min_delivery, frame_bytes) rows.
+    frames: List[Tuple[int, bool, float, bytes]]
+
+
+@dataclass
+class ShardedRunResult:
+    """Merged outcome of one sharded run."""
+
+    shard_count: int
+    workload: str
+    created: int
+    collected_acyclic: int
+    collected_cyclic: int
+    terminated_explicit: int
+    dead_letters: int
+    safety_violations: int
+    collected_ids: List[str]
+    live_non_root: int
+    rounds: int
+    sim_time_s: float
+    wall_s: float
+    #: Simulated time at which each phase completed, in phase order.
+    phase_times: List[float]
+    frame_count: int
+    frame_bytes: int
+    frame_digest: str
+    events_fired: int
+    egress_messages: int
+    injected_entries: int
+    total_bytes: int
+    traffic: Dict[str, Tuple[int, int]]
+    registry: Dict[str, int]
+    workload_results: List[Dict[str, Any]]
+    per_shard: List[Dict[str, Any]] = field(repr=False)
+    #: ``(src_shard, dest_shard, frame_bytes)`` log; only with
+    #: ``record_frames=True``.
+    frames: Optional[List[Tuple[int, int, bytes]]] = field(
+        default=None, repr=False
+    )
+    #: Merged ``(time, kind, subject, details)`` trace stream; only with
+    #: ``trace=True``.
+    trace: Optional[List[tuple]] = field(default=None, repr=False)
+
+    @property
+    def collected_total(self) -> int:
+        return self.collected_acyclic + self.collected_cyclic
+
+    def outcome_signature(self) -> tuple:
+        """The cross-arm equivalence tier (see module docstring)."""
+        return (
+            self.created,
+            self.terminated_explicit,
+            self.dead_letters,
+            self.safety_violations,
+            tuple(self.collected_ids),
+        )
+
+
+class ShardedWorld:
+    """A world partitioned over ``shard_count`` worker processes."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        shard_count: int,
+        *,
+        workload: str,
+        params: Optional[Dict[str, Any]] = None,
+        dgc: Optional[DgcConfig] = None,
+        registry: Optional[RegistryConfig] = None,
+        seed: int = 0,
+        trace: bool = False,
+        record_frames: bool = False,
+        max_sim_time: float = 72_000.0,
+        io_timeout_s: float = 300.0,
+    ) -> None:
+        if dgc is None:
+            raise ConfigurationError(
+                "the sharded world needs a DgcConfig: collection drives "
+                "the run protocol's stop condition"
+            )
+        if not dgc.batched_beats:
+            raise ConfigurationError(
+                "sharded execution requires the batched pulse core "
+                "(DgcConfig.batched_beats): the per-event envelope path "
+                "cannot cross a shard boundary"
+            )
+        self.topology = topology
+        self.plan = make_plan(topology, shard_count)
+        self.workload = workload
+        self.params = dict(params or {})
+        self.phases: Tuple[Phase, ...] = workload_phases(workload)
+        self.dgc = dgc
+        self.registry = registry
+        self.seed = seed
+        self.trace = trace
+        self.record_frames = record_frames
+        self.max_sim_time = max_sim_time
+        self.io_timeout_s = io_timeout_s
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def run(self) -> ShardedRunResult:
+        import multiprocessing
+
+        mp = multiprocessing.get_context("fork")
+        start = time.monotonic()
+        conns = []
+        procs = []
+        try:
+            for shard in range(self.plan.shard_count):
+                parent_conn, child_conn = mp.Pipe()
+                spec = WorkerSpec(
+                    shard=shard,
+                    plan=self.plan,
+                    topology=self.topology,
+                    workload=self.workload,
+                    params=self.params,
+                    dgc=self.dgc,
+                    registry=self.registry,
+                    seed=self.seed,
+                    trace=self.trace,
+                )
+                proc = mp.Process(
+                    target=worker_main, args=(child_conn, spec), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                procs.append(proc)
+            return self._drive(conns, start)
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=10.0)
+                if proc.is_alive():  # pragma: no cover - hang backstop
+                    proc.terminate()
+
+    # ------------------------------------------------------------------
+    # The barrier-round loop
+    # ------------------------------------------------------------------
+
+    def _drive(self, conns, start: float) -> ShardedRunResult:
+        shard_count = self.plan.shard_count
+        lookahead = self.plan.lookahead
+        if lookahead == float("inf"):
+            # One shard: no boundary constrains the window, but rounds
+            # must stay finite so the phase predicate is re-evaluated —
+            # one DGC beat per round is the natural granularity.
+            lookahead = self.dgc.ttb
+        phases = self.phases
+        digest = hashlib.sha256()
+        frame_log: Optional[List[Tuple[int, int, bytes]]] = (
+            [] if self.record_frames else None
+        )
+        #: per-dest-shard undelivered frames: (has_app, min_delivery, bytes)
+        pending: List[List[Tuple[bool, float, bytes]]] = [
+            [] for _ in range(shard_count)
+        ]
+        state = {
+            "frame_count": 0,
+            "frame_bytes": 0,
+            "pending_app": 0,
+        }
+
+        def route(reports: List[_Report]) -> None:
+            for src, report in enumerate(reports):
+                for dest, has_app, min_delivery, buf in report.frames:
+                    digest.update(buf)
+                    state["frame_count"] += 1
+                    state["frame_bytes"] += len(buf)
+                    state["pending_app"] += has_app
+                    pending[dest].append((has_app, min_delivery, buf))
+                    if frame_log is not None:
+                        frame_log.append((src, dest, buf))
+
+        reports = [self._recv_report(conn) for conn in conns]
+        route(reports)
+        phase = 0
+        rounds = 0
+        sim_time = 0.0
+        phase_times: List[float] = []
+
+        while True:
+            if self._satisfied(phases[phase], reports, state["pending_app"]):
+                phase_times.append(sim_time)
+                if phase == len(phases) - 1:
+                    break
+                phase += 1
+                for conn in conns:
+                    conn.send(("phase", phase))
+                reports = [self._recv_report(conn) for conn in conns]
+                route(reports)
+                continue
+            minimum = None
+            for report in reports:
+                if report.next_time is not None and (
+                    minimum is None or report.next_time < minimum
+                ):
+                    minimum = report.next_time
+            for frames in pending:
+                for _, min_delivery, _ in frames:
+                    if minimum is None or min_delivery < minimum:
+                        minimum = min_delivery
+            if minimum is None:
+                raise SimulationError(
+                    f"sharded {self.workload!r} deadlocked in phase "
+                    f"{phases[phase].name!r} at t={sim_time}: no shard "
+                    f"has pending events and no frames are in flight, "
+                    f"but the phase predicate is unsatisfied"
+                )
+            if minimum > self.max_sim_time:
+                raise SimulationError(
+                    f"sharded {self.workload!r} exceeded max_sim_time="
+                    f"{self.max_sim_time} in phase {phases[phase].name!r}"
+                )
+            horizon = minimum + lookahead
+            for shard, conn in enumerate(conns):
+                frames = pending[shard]
+                pending[shard] = []
+                conn.send(("advance", horizon, len(frames)))
+                for has_app, _, buf in frames:
+                    conn.send_bytes(buf)
+                    state["pending_app"] -= has_app
+            reports = [self._recv_report(conn) for conn in conns]
+            route(reports)
+            sim_time = horizon
+            rounds += 1
+
+        # Final phase satisfied: stop the workers and merge.  Any frames
+        # still pending carry post-outcome DGC chatter to activities that
+        # are already collected; the nodes ignore such deliveries, so
+        # discarding them does not change the outcome.
+        results = []
+        for conn in conns:
+            conn.send(("stop",))
+            results.append(self._recv_result(conn))
+        wall = time.monotonic() - start
+        return self._merge(
+            results, rounds, sim_time, wall, phase_times, digest,
+            state, frame_log,
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates and plumbing
+    # ------------------------------------------------------------------
+
+    def _satisfied(
+        self, phase: Phase, reports: List[_Report], pending_app: int
+    ) -> bool:
+        kind = phase.predicate
+        if kind == "collected":
+            return sum(r.live_non_root for r in reports) == 0
+        sent = delivered = rsent = rdelivered = 0
+        for report in reports:
+            c = report.counters
+            sent += c[0]
+            delivered += c[1]
+            rsent += c[2]
+            rdelivered += c[3]
+        balanced = (
+            sent == delivered and rsent == rdelivered and pending_app == 0
+        )
+        if kind == "balance":
+            return balanced
+        if kind == "ready":
+            return (
+                balanced
+                and all(r.all_idle for r in reports)
+                and all(v for r in reports for v in r.flags.values())
+            )
+        raise SimulationError(f"unknown phase predicate {kind!r}")
+
+    def _recv_report(self, conn) -> _Report:
+        message = self._recv(conn)
+        if message[0] != "report":  # pragma: no cover - protocol guard
+            raise SimulationError(
+                f"expected a report, got {message[0]!r}"
+            )
+        frames = []
+        for dest, has_app, min_delivery in message[6]:
+            frames.append((dest, has_app, min_delivery, conn.recv_bytes()))
+        return _Report(
+            next_time=message[1],
+            live_non_root=message[2],
+            counters=message[3],
+            all_idle=message[4],
+            flags=message[5],
+            frames=frames,
+        )
+
+    def _recv_result(self, conn) -> Dict[str, Any]:
+        message = self._recv(conn)
+        if message[0] != "result":  # pragma: no cover - protocol guard
+            raise SimulationError(
+                f"expected a result, got {message[0]!r}"
+            )
+        return message[1]
+
+    def _recv(self, conn):
+        if not conn.poll(self.io_timeout_s):
+            raise SimulationError(
+                f"shard worker unresponsive for {self.io_timeout_s}s"
+            )
+        message = conn.recv()
+        if message[0] == "error":
+            raise SimulationError(
+                "shard worker failed:\n" + message[1]
+            )
+        return message
+
+    def _merge(
+        self, results, rounds, sim_time, wall, phase_times, digest,
+        state, frame_log,
+    ) -> ShardedRunResult:
+        traffic: Dict[str, Tuple[int, int]] = {}
+        for result in results:
+            for kind, (size, messages) in result["traffic"].items():
+                base = traffic.get(kind, (0, 0))
+                traffic[kind] = (base[0] + size, base[1] + messages)
+        registry = {name: 0 for name in REGISTRY_COUNTERS}
+        for result in results:
+            for name, value in result["registry"].items():
+                registry[name] += value
+        collected_ids: List[str] = []
+        for result in results:
+            collected_ids.extend(result["collected_ids"])
+        collected_ids.sort()
+        trace = None
+        if self.trace:
+            merged: List[tuple] = []
+            for result in results:
+                merged.extend(result["trace"] or [])
+            merged.sort(key=lambda event: event[0])  # stable: shard order ties
+            trace = merged
+        return ShardedRunResult(
+            shard_count=self.plan.shard_count,
+            workload=self.workload,
+            created=sum(r["created"] for r in results),
+            collected_acyclic=sum(r["collected_acyclic"] for r in results),
+            collected_cyclic=sum(r["collected_cyclic"] for r in results),
+            terminated_explicit=sum(
+                r["terminated_explicit"] for r in results
+            ),
+            dead_letters=sum(r["dead_letters"] for r in results),
+            safety_violations=sum(r["safety_violations"] for r in results),
+            collected_ids=collected_ids,
+            live_non_root=sum(r["live_non_root"] for r in results),
+            rounds=rounds,
+            sim_time_s=sim_time,
+            wall_s=wall,
+            phase_times=phase_times,
+            frame_count=state["frame_count"],
+            frame_bytes=state["frame_bytes"],
+            frame_digest=digest.hexdigest(),
+            events_fired=sum(r["events_fired"] for r in results),
+            egress_messages=sum(r["egress_messages"] for r in results),
+            injected_entries=sum(r["injected_entries"] for r in results),
+            total_bytes=sum(r["total_bytes"] for r in results),
+            traffic=traffic,
+            registry=registry,
+            workload_results=[r["workload"] for r in results],
+            per_shard=results,
+            frames=frame_log,
+            trace=trace,
+        )
+
+
+# ----------------------------------------------------------------------
+# The single-process replay arm
+# ----------------------------------------------------------------------
+
+
+def replay_single_process(
+    topology: Topology,
+    *,
+    workload: str,
+    params: Optional[Dict[str, Any]] = None,
+    dgc: Optional[DgcConfig] = None,
+    registry: Optional[RegistryConfig] = None,
+    seed: int = 0,
+    trace: bool = False,
+    timeout: float = 72_000.0,
+):
+    """Re-execute a sharded run's configuration in one process.
+
+    Runs the *same* SPMD builder under a one-shard plan (every node
+    local, the ordinary :class:`~repro.sim.kernel.SimKernel`), driving
+    the same phase protocol inline.  Because setup placement, activity
+    ids and RNG streams are identical by construction, the replay's
+    outcome signature must equal the sharded run's — the verification
+    that the multi-process execution changed the schedule but not the
+    semantics.  Returns ``(world, env, signature)``.
+    """
+    spec = WorkerSpec(
+        shard=0,
+        plan=make_plan(topology, 1),
+        topology=topology,
+        workload=workload,
+        params=dict(params or {}),
+        dgc=dgc,
+        registry=registry,
+        seed=seed,
+        trace=trace,
+    )
+    from repro.sim.kernel import SimKernel
+
+    world, env = build_shard_world(spec, kernel=SimKernel())
+    kernel = world.kernel
+
+    def balanced() -> bool:
+        return (
+            world.requests_sent == world.requests_delivered
+            and world.replies_sent == world.replies_delivered
+        )
+
+    def ready() -> bool:
+        if not balanced():
+            return False
+        if not all(v for v in env.flags().values()):
+            return False
+        return all(a.is_idle() for a in world.live_non_roots())
+
+    for index, phase in enumerate(env.phases):
+        if index:
+            env.enter_phase(index)
+        if phase.predicate == "collected":
+            done = world.run_until_collected(timeout)
+        elif phase.predicate == "balance":
+            done = kernel.run_until_quiescent(balanced, 0.5, timeout)
+        else:
+            done = kernel.run_until_quiescent(ready, 1.0, timeout)
+        if not done:
+            raise SimulationError(
+                f"single-process replay of {workload!r} timed out in "
+                f"phase {phase.name!r} after {timeout}s"
+            )
+
+    signature = (
+        world.stats.created,
+        world.stats.terminated_explicit,
+        world.stats.dead_letters,
+        world.stats.safety_violations,
+        tuple(sorted(world.stats.collected_by_id)),
+    )
+    return world, env, signature

@@ -1,0 +1,113 @@
+"""Node-to-shard assignment and the conservative lookahead bound.
+
+The plan slices the topology's node list (which is grouped by site)
+into contiguous, balanced blocks — one per shard — so co-located nodes
+stay on the same shard whenever the shard count divides the site
+structure.  That matters because the protocol's *lookahead* is the
+minimum one-way latency across any shard boundary: events a worker
+executes in the window ``[M, M + lookahead)`` can only generate
+cross-shard deliveries at ``>= M + lookahead``, which is exactly what
+lets every shard advance through the window without waiting for the
+others (the classic conservative-synchronization argument; see
+:mod:`repro.shard.coordinator`).  Splitting a low-latency site across
+shards is legal but collapses the lookahead to the intra-site latency
+and with it the useful window per barrier round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.topology import Topology
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One partitioning of a topology's nodes over shard processes."""
+
+    shard_count: int
+    #: All node names, in topology order (shared by every shard).
+    node_names: Tuple[str, ...]
+    #: ``node_names[i]`` lives on shard ``assignment[i]``.
+    assignment: Tuple[int, ...]
+    #: Minimum one-way latency across any shard boundary (seconds);
+    #: ``inf`` for a single shard (there is no boundary).
+    lookahead: float
+    _shard_of: Dict[str, int] = field(repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_shard_of",
+            dict(zip(self.node_names, self.assignment)),
+        )
+
+    def shard_of(self, node: str) -> int:
+        try:
+            return self._shard_of[node]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {node!r}") from None
+
+    def nodes_of(self, shard: int) -> List[str]:
+        return [
+            name
+            for name, owner in zip(self.node_names, self.assignment)
+            if owner == shard
+        ]
+
+
+def make_plan(topology: Topology, shard_count: int) -> ShardPlan:
+    """Partition ``topology`` into ``shard_count`` contiguous node blocks.
+
+    Raises :class:`ConfigurationError` when the partition is impossible
+    (more shards than nodes) or useless (a zero lookahead: two nodes
+    with zero latency between them on different shards would leave no
+    safe window to advance through, so the protocol could never make
+    progress).
+    """
+    nodes = tuple(topology.nodes)
+    if shard_count < 1:
+        raise ConfigurationError(
+            f"shard count must be >= 1, got {shard_count}"
+        )
+    if shard_count > len(nodes):
+        raise ConfigurationError(
+            f"cannot split {len(nodes)} nodes over {shard_count} shards"
+        )
+    total = len(nodes)
+    base, extra = divmod(total, shard_count)
+    assignment: List[int] = []
+    for shard in range(shard_count):
+        assignment.extend([shard] * (base + (1 if shard < extra else 0)))
+
+    lookahead = math.inf
+    if shard_count > 1:
+        # Site-pair latencies are uniform, so it suffices to probe one
+        # representative node pair per (site, site) combination that
+        # actually crosses a shard boundary.
+        seen = set()
+        for i, a in enumerate(nodes):
+            for j in range(i + 1, total):
+                if assignment[i] == assignment[j]:
+                    continue
+                b = nodes[j]
+                key = (topology.site_of(a).name, topology.site_of(b).name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                lookahead = min(lookahead, topology.one_way_latency(a, b))
+        if lookahead <= 0.0:
+            raise ConfigurationError(
+                "shard plan has zero lookahead: some cross-shard node "
+                "pair has zero one-way latency, so no safe advance "
+                "window exists — keep zero-latency nodes on one shard"
+            )
+    return ShardPlan(
+        shard_count=shard_count,
+        node_names=nodes,
+        assignment=tuple(assignment),
+        lookahead=lookahead,
+    )

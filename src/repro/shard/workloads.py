@@ -1,0 +1,371 @@
+"""SPMD workload builders for the sharded world.
+
+Every shard worker runs the *same* builder over the *same* full
+topology (single-program, multiple-data): the builder walks the
+complete setup — every create, every RNG draw — in the identical
+deterministic order on every shard, but only **materializes** the
+activities whose home node the shard owns.  A create whose node lives
+elsewhere still mints the activity id (:func:`make_activity_id` is a
+process-global counter, so skipping a mint would shift every later id
+on that shard) and yields at most a *ghost*: a stub the driver holds,
+whose heartbeats and requests travel as cross-shard frames to the shard
+that owns the real activity.
+
+Driver-originated traffic (hold/run calls, ``release_all``) is issued
+only on the shard that owns the driver's node; every other shard sees
+the driver itself as a ghost.  Because the single-process replay arm
+(:func:`repro.shard.coordinator.replay_single_process`) runs this same
+builder with a one-shard plan, setup placement, activity ids and RNG
+streams are identical across all arms by construction.
+
+The run protocol is expressed as :class:`Phase` records: each phase has
+an optional entry action (run on the driver's shard at the moment the
+phase starts) and a coordinator-evaluated predicate naming when it
+completes — ``"collected"`` (no live non-roots anywhere),
+``"balance"`` (application requests and replies globally sent ==
+delivered, no application frames in flight) or ``"ready"`` (balance,
+plus every shard idle and every shard's flags true — the NAS
+"benchmark has its result" instant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.ids import make_activity_id
+from repro.runtime.proxy import RemoteRef
+from repro.shard.plan import ShardPlan
+from repro.workloads.app import release_all
+from repro.workloads.naming import NamingBinder, NamingClient
+from repro.workloads.nas.common import NasWorker, kernel_spec
+from repro.workloads.torture import TortureMaster, TortureSlave
+from repro.world import World, host_acquire
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One step of a workload's run protocol (see module docstring)."""
+
+    name: str
+    predicate: str  # "collected" | "balance" | "ready"
+
+
+class SpmdContext:
+    """Deterministic replicated creates over a shard plan."""
+
+    def __init__(self, world: World, plan: ShardPlan, shard: int) -> None:
+        self.world = world
+        self.plan = plan
+        self.shard = shard
+        self.node_names = tuple(plan.node_names)
+        self.driver = None  # the local driver Activity, if this shard owns it
+
+    def is_local(self, node: str) -> bool:
+        return self.plan.shard_of(node) == self.shard
+
+    def create_driver(self, *, node: str, name: str = "driver"):
+        """The driver root; returns the Activity locally, ``None`` on
+        shards where the driver is a ghost (its id is still minted)."""
+        if self.is_local(node):
+            self.driver = self.world.create_driver(node=node, name=name)
+            return self.driver
+        make_activity_id(name)
+        return None
+
+    def create(
+        self,
+        behavior: Any,
+        *,
+        node: str,
+        name: str = "",
+        root: bool = False,
+        dgc_enabled: bool = True,
+    ):
+        """Create (or ghost) one activity at an explicit node.
+
+        Returns the driver's stub when this shard owns the driver —
+        for a remote activity the stub is acquired through the regular
+        deserialization hook, so the driver->activity DGC edge and its
+        cross-shard heartbeats appear exactly as for a received
+        reference.  Without a local driver, returns the local Activity
+        or ``None`` for a ghost.
+        """
+        if self.is_local(node):
+            if self.driver is not None:
+                return self.world.create_activity(
+                    behavior, node=node, name=name, root=root,
+                    dgc_enabled=dgc_enabled, creator=self.driver,
+                )
+            return self.world.create_activity(
+                behavior, node=node, name=name, root=root,
+                dgc_enabled=dgc_enabled,
+            )
+        ghost_id = make_activity_id(name)
+        if self.driver is not None:
+            return host_acquire(self.driver, RemoteRef(ghost_id, node))
+        return None
+
+
+class ShardEnv:
+    """What a built workload hands back to the worker loop."""
+
+    def __init__(self, ctx: SpmdContext, phases: Tuple[Phase, ...]) -> None:
+        self.ctx = ctx
+        self.phases = phases
+        #: phase index -> entry action; populated only on the shard that
+        #: owns the driver (actions are driver-originated traffic).
+        self.actions: Dict[int, Callable[[], None]] = {}
+
+    def enter_phase(self, index: int) -> None:
+        action = self.actions.get(index)
+        if action is not None:
+            action()
+
+    def flags(self) -> Dict[str, bool]:
+        """Shard-local readiness flags, ANDed across shards by the
+        coordinator for ``"ready"`` predicates."""
+        return {}
+
+    def results(self) -> Dict[str, Any]:
+        """Workload-specific counters for the merged run result."""
+        return {}
+
+
+# ----------------------------------------------------------------------
+# Torture (paper Sec. 5.3 / Fig. 10)
+# ----------------------------------------------------------------------
+
+
+def build_torture(
+    world: World, plan: ShardPlan, shard: int, params: Dict[str, Any]
+) -> ShardEnv:
+    """The DGC torture test, SPMD form of
+    :func:`repro.workloads.torture.run_torture` (minus the figure
+    sampler, which is an observation device, not workload behavior)."""
+    slave_count = int(params.get("slave_count", 320))
+    active_duration = float(params.get("active_duration", 600.0))
+    initial_pool = int(params.get("initial_pool", 4))
+
+    ctx = SpmdContext(world, plan, shard)
+    nodes = ctx.node_names
+    driver = ctx.create_driver(node=nodes[0], name="torture-driver")
+    rng = world.rng_registry.stream("torture.setup")
+    deadline = active_duration
+
+    master = ctx.create(
+        TortureMaster(deadline), node=nodes[1 % len(nodes)], name="master"
+    )
+    slaves = [
+        ctx.create(
+            TortureSlave(deadline + rng.uniform(0.0, 0.15 * active_duration)),
+            node=nodes[(2 + index) % len(nodes)],
+            name=f"slave{index}",
+        )
+        for index in range(slave_count)
+    ]
+    if driver is not None:
+        dctx = driver.context
+        dctx.call(master, "hold", refs=[master], data=["self"])
+        dctx.call(
+            master,
+            "hold",
+            refs=slaves,
+            data=[f"slave{index}" for index in range(slave_count)],
+        )
+    for index in range(slave_count):
+        # The pool draw happens on every shard (stream alignment); the
+        # call itself is driver traffic.
+        peers = rng.sample(range(slave_count), k=min(initial_pool, slave_count))
+        if driver is not None:
+            slave = slaves[index]
+            refs = [slave, master] + [slaves[p] for p in peers]
+            keys = ["self", "master"] + [f"pool{j}" for j in range(len(peers))]
+            dctx.call(slave, "hold", refs=refs, data=keys)
+    if driver is not None:
+        dctx.call(master, "run")
+        for slave in slaves:
+            dctx.call(slave, "run")
+        release_all(driver, [master] + slaves)
+    return ShardEnv(ctx, workload_phases("torture"))
+
+
+# ----------------------------------------------------------------------
+# Naming churn (registry traffic)
+# ----------------------------------------------------------------------
+
+
+class _NamingEnv(ShardEnv):
+    def __init__(self, ctx, phases, clients: List[NamingClient]) -> None:
+        super().__init__(ctx, phases)
+        self.clients = clients
+
+    def results(self) -> Dict[str, Any]:
+        return {
+            "resolves_issued": sum(c.issued for c in self.clients),
+            "resolves_completed": sum(c.completed for c in self.clients),
+            "hits": sum(c.hits for c in self.clients),
+            "misses": sum(c.misses for c in self.clients),
+            "latency_sum": sum(c.latency_sum for c in self.clients),
+        }
+
+
+def build_naming(
+    world: World, plan: ShardPlan, shard: int, params: Dict[str, Any]
+) -> ShardEnv:
+    """Bind/resolve/unbind churn, SPMD form of
+    :func:`repro.workloads.naming.run_naming`.
+
+    The binder's *runtime* creates round-robin over its own shard's
+    nodes (a shard world only materializes local nodes), so service
+    placement differs from the single-process arm; outcome equivalence
+    still holds because the collected set is identified by activity ids,
+    which are minted in the same order in both arms.
+    """
+    client_count = int(params.get("client_count", 32))
+    service_count = int(params.get("service_count", 16))
+    duration = float(params.get("duration", 300.0))
+    lookup_period = float(params.get("lookup_period", 5.0))
+    lookup_burst = int(params.get("lookup_burst", 4))
+    churn_period = params.get("churn_period")
+    if churn_period is None:
+        churn_period = max(duration / 12.0, 1.0)
+    teardown_lag = float(params.get("teardown_lag", 10.0))
+
+    ctx = SpmdContext(world, plan, shard)
+    nodes = ctx.node_names
+    binder = NamingBinder(
+        service_count,
+        churn_deadline=duration,
+        churn_period=float(churn_period),
+        teardown_at=duration + teardown_lag,
+    )
+    ctx.create(binder, node=nodes[0], name="binder", root=True)
+    names = [NamingBinder.service_name(i) for i in range(service_count)]
+    clients: List[NamingClient] = []
+    for index in range(client_count):
+        client = NamingClient(
+            names, deadline=duration, period=lookup_period, burst=lookup_burst
+        )
+        created = ctx.create(
+            client,
+            node=nodes[index % len(nodes)],
+            name=f"client{index}",
+            root=True,
+            dgc_enabled=False,
+        )
+        if created is not None:
+            clients.append(client)
+    return _NamingEnv(ctx, workload_phases("naming"), clients)
+
+
+# ----------------------------------------------------------------------
+# NAS kernel skeletons (paper Sec. 5.2)
+# ----------------------------------------------------------------------
+
+
+class _NasEnv(ShardEnv):
+    def __init__(self, ctx, phases, spec, workers) -> None:
+        super().__init__(ctx, phases)
+        self.spec = spec
+        self.workers = workers  # driver-shard proxies, [] elsewhere
+        self.futures: List[Any] = []
+        if ctx.driver is not None:
+            self.actions[1] = self._start_run
+            self.actions[2] = self._release
+
+    def _start_run(self) -> None:
+        dctx = self.ctx.driver.context
+        self.futures = [
+            dctx.call(
+                worker, "run",
+                data=(self.spec.iterations, self.spec.iter_time_s),
+                expect_reply=True,
+            )
+            for worker in self.workers
+        ]
+
+    def _release(self) -> None:
+        release_all(self.ctx.driver, self.workers)
+
+    def flags(self) -> Dict[str, bool]:
+        if self.ctx.driver is None:
+            return {}
+        return {
+            "nas_result": bool(self.futures)
+            and all(future.resolved for future in self.futures)
+        }
+
+    def results(self) -> Dict[str, Any]:
+        return {"kernel": self.spec.name, "ao_count": self.spec.ao_count}
+
+
+def build_nas(
+    world: World, plan: ShardPlan, shard: int, params: Dict[str, Any]
+) -> ShardEnv:
+    """One NAS kernel skeleton, SPMD form of
+    :func:`repro.workloads.nas.common.run_nas_kernel` (asynchronous
+    variant only)."""
+    spec = kernel_spec(
+        params["kernel"],
+        ao_count=params.get("ao_count"),
+        iterations=params.get("iterations"),
+        iter_time_s=params.get("iter_time_s"),
+        payload_bytes=params.get("payload_bytes"),
+        reply_barrier=params.get("reply_barrier"),
+    )
+    if spec.reply_barrier:
+        raise ConfigurationError(
+            "the NAS reply-barrier variant cannot run sharded: its "
+            "driver barriers on every iteration's reply futures, a "
+            "single-process protocol the barrier-round coordinator does "
+            "not mediate — drop --nas-barrier or --shards"
+        )
+    ctx = SpmdContext(world, plan, shard)
+    nodes = ctx.node_names
+    driver = ctx.create_driver(node=nodes[0], name=f"nas-{spec.name}-driver")
+    pattern = spec.pattern_factory()
+    workers = [
+        ctx.create(
+            NasWorker(index, spec.ao_count, pattern),
+            node=nodes[(1 + index) % len(nodes)],
+            name=f"{spec.name.lower()}{index}",
+        )
+        for index in range(spec.ao_count)
+    ]
+    if driver is not None:
+        dctx = driver.context
+        for index, worker in enumerate(workers):
+            others = [w for j, w in enumerate(workers) if j != index]
+            keys = [f"peer{j}" for j in range(spec.ao_count) if j != index]
+            dctx.call(
+                worker, "hold", refs=others, data=keys,
+                payload_bytes=spec.deployment_bytes,
+            )
+    env = _NasEnv(ctx, workload_phases("nas"), spec,
+                  workers if driver is not None else [])
+    return env
+
+
+def workload_phases(name: str) -> Tuple[Phase, ...]:
+    """The run protocol for one workload; the coordinator and every
+    worker call this, so both sides agree on phase indices."""
+    if name in ("torture", "naming"):
+        return (Phase("collect", "collected"),)
+    if name == "nas":
+        return (
+            Phase("settle", "balance"),
+            Phase("run", "ready"),
+            Phase("drain", "collected"),
+        )
+    raise ConfigurationError(
+        f"unknown shard workload {name!r} (have: torture, naming, nas)"
+    )
+
+
+SHARD_WORKLOADS: Dict[str, Callable[..., ShardEnv]] = {
+    "torture": build_torture,
+    "naming": build_naming,
+    "nas": build_nas,
+}

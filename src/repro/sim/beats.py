@@ -280,10 +280,34 @@ class BeatWheel:
     # Firing
     # ------------------------------------------------------------------
 
+    def drain(self) -> int:
+        """Stop every member and drop every bucket; returns the number
+        of members stopped.
+
+        Teardown hook (the live kernel's ``shutdown`` calls this): a
+        bucket event still sitting in a kernel heap after a drain finds
+        its key gone and does nothing — no callback can fire into a
+        torn-down world.  New registrations remain possible afterwards;
+        draining empties the wheel, it does not poison it.
+        """
+        with self._lock:
+            stopped = 0
+            for bucket in self._buckets.values():
+                for handle in bucket.members.values():
+                    handle._stopped = True
+                    handle._bucket = None
+                    stopped += 1
+                bucket.members.clear()
+            self._buckets.clear()
+            return stopped
+
     def _fire(self, key: Tuple[float, float]) -> None:
         with self._lock:
-            bucket = self._buckets.pop(key)
-            if not bucket.members:
+            # ``pop`` with a default: the wheel may have been drained
+            # (kernel teardown) between this event's scheduling and its
+            # firing — a missing key means every member is stopped.
+            bucket = self._buckets.pop(key, None)
+            if bucket is None or not bucket.members:
                 return
             fire_at = bucket.fire_at
             # Snapshot: a member's callback may stop (or re-period) any

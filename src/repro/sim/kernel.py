@@ -31,8 +31,9 @@ class Event:
 
     ``owner`` is the kernel that keeps a maintained pending-event count;
     cancellation notifies it so :attr:`SimKernel.pending_count` stays
-    exact without scanning the heap.  Kernels without the counter (the
-    live kernel) leave it ``None``.
+    exact without scanning the heap.  Both kernels maintain the counter
+    (the live kernel mirrors it for stats parity); detached events leave
+    it ``None``.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "label", "owner")

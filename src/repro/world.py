@@ -77,6 +77,7 @@ class World:
         validate_dgc_config: bool = True,
         collector_factory: Optional[Any] = None,
         kernel: Optional[Any] = None,
+        local_nodes: Optional[List[str]] = None,
     ) -> None:
         self.topology = topology if topology is not None else uniform_topology(4)
         #: The event kernel; pass a :class:`repro.live.LiveKernel` to run
@@ -125,11 +126,24 @@ class World:
         #: static authority in ``home`` placement, the primary in
         #: ``replicated``).
         self.registry_node = self.registry.home_node
+        #: A sharded world materializes only its own node group
+        #: (``local_nodes``); the full topology stays shared so routing,
+        #: latency and registry placement agree across shards.  Default:
+        #: every node is local (the single-process world).
+        if local_nodes is None:
+            node_names = list(self.topology.nodes)
+        else:
+            node_names = list(local_nodes)
+            unknown = [n for n in node_names if n not in self.topology.nodes]
+            if unknown:
+                raise ConfigurationError(
+                    f"local nodes {unknown} are not in the topology"
+                )
         self.nodes: Dict[str, Node] = {
             name: Node(self, name, gc_delay=gc_delay)
-            for name in self.topology.nodes
+            for name in node_names
         }
-        self._node_order = list(self.topology.nodes)
+        self._node_order = node_names
         self._placement_cursor = 0
         self._activities: Dict[ActivityId, Activity] = {}
         self._inflight_wakeups: Dict[ActivityId, int] = {}
@@ -142,6 +156,17 @@ class World:
         #: counter hits zero (event-driven :meth:`run_until_collected`).
         self._stop_when_collected = False
         self.stats = WorldStats()
+        #: Plain monotonic app-traffic counters.  Unlike the in-flight
+        #: pin *dicts* below — which assume send and delivery are
+        #: observed by the same world and therefore go stale across a
+        #: shard boundary (the sender's increment is never matched by
+        #: the remote receiver's decrement) — these counters are
+        #: meaningful per shard and *summable*: the shard coordinator's
+        #: settle predicate is Σsent == Σdelivered across all shards.
+        self.requests_sent = 0
+        self.requests_delivered = 0
+        self.replies_sent = 0
+        self.replies_delivered = 0
 
     # ------------------------------------------------------------------
     # Topology / placement
@@ -311,6 +336,7 @@ class World:
             self._check_termination_safety(activity, reason)
 
     def note_request_sent(self, request: Request) -> None:
+        self.requests_sent += 1
         self._inflight_wakeups[request.target] = (
             self._inflight_wakeups.get(request.target, 0) + 1
         )
@@ -320,17 +346,20 @@ class World:
             )
 
     def note_request_delivered(self, request: Request) -> None:
+        self.requests_delivered += 1
         self._dec(self._inflight_wakeups, request.target)
         for ref in request.refs:
             self._dec(self._inflight_ref_pins, ref.activity_id)
 
     def note_reply_sent(self, reply: Reply) -> None:
+        self.replies_sent += 1
         for ref in reply.refs:
             self._inflight_ref_pins[ref.activity_id] = (
                 self._inflight_ref_pins.get(ref.activity_id, 0) + 1
             )
 
     def note_reply_delivered(self, reply: Reply) -> None:
+        self.replies_delivered += 1
         for ref in reply.refs:
             self._dec(self._inflight_ref_pins, ref.activity_id)
 
