@@ -237,6 +237,12 @@ PLACEMENT_HASHED = "hashed"
 
 PLACEMENTS = (PLACEMENT_HOME, PLACEMENT_REPLICATED, PLACEMENT_HASHED)
 
+#: :attr:`RegistryConfig.coherence` values.
+COHERENCE_EAGER = "eager"
+COHERENCE_BEAT = "beat"
+
+COHERENCES = (COHERENCE_EAGER, COHERENCE_BEAT)
+
 
 @dataclass(frozen=True)
 class RegistryConfig:
@@ -279,12 +285,30 @@ class RegistryConfig:
     #: The home node (placement ``home``/``replicated``'s primary);
     #: ``None`` picks the topology's first node.
     home_node: Optional[str] = None
+    #: How authority-side coherence traffic (lease invalidations,
+    #: replica pushes, renewal denials) reaches the nodes that hold
+    #: copies:
+    #:
+    #: * ``eager`` — one message per (update, destination) the instant
+    #:   the authority applies the update (the PR-5 behaviour, kept as
+    #:   the A/B baseline);
+    #: * ``beat`` — updates accumulate in per-destination egress queues
+    #:   (last writer wins per name) and flush once per lease beat as
+    #:   multi-name ``registry.invalidate`` / ``registry.push``
+    #:   batches, bounding a cached holder's staleness after an unbind
+    #:   by one lease beat plus propagation.
+    coherence: str = COHERENCE_EAGER
 
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENTS:
             raise ConfigurationError(
                 f"placement must be one of {PLACEMENTS}, got "
                 f"{self.placement!r}"
+            )
+        if self.coherence not in COHERENCES:
+            raise ConfigurationError(
+                f"coherence must be one of {COHERENCES}, got "
+                f"{self.coherence!r}"
             )
         if self.lease_ttb < 0:
             raise ConfigurationError(

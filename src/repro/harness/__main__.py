@@ -235,6 +235,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--churn-period", type=float, default=None,
         help="naming workload: mean seconds between unbind/rebind churn",
     )
+    run_cmd.add_argument(
+        "--coherence", choices=["eager", "beat"], default="eager",
+        help="registry coherence: eager per-update fan-out (default) or "
+        "beat-quantized batches flushed once per lease beat",
+    )
+    run_cmd.add_argument(
+        "--names", type=int, default=None,
+        help="naming workload: total bound names, aliased round-robin "
+        "over the services (default: one per service)",
+    )
+    run_cmd.add_argument(
+        "--zipf-s", type=float, default=0.0,
+        help="naming workload: Zipf skew for lookup/churn name draws "
+        "(0 = uniform)",
+    )
+    run_cmd.add_argument(
+        "--churn-burst", type=int, default=1,
+        help="naming workload: names unbound+rebound per binder wake",
+    )
 
     everything = subparsers.add_parser("all", help="all artifacts, scaled")
     _add_nas_args(everything)
@@ -302,6 +321,11 @@ def _run_workload(args: argparse.Namespace) -> int:
     aggregated = False if args.per_entry_pulse else None
     aggregation = args.aggregation
 
+    problem = _check_naming_knobs(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+
     if args.live or args.shards is not None:
         return _run_sharded(args)
 
@@ -358,6 +382,7 @@ def _run_workload(args: argparse.Namespace) -> int:
             placement=args.registry_placement,
             lease_ttb=args.lease_ttb,
             cache_size=args.registry_cache,
+            coherence=args.coherence,
         )
         if args.registry_placement == "replicated" and args.lease_ttb > 0:
             print(
@@ -366,11 +391,25 @@ def _run_workload(args: argparse.Namespace) -> int:
                 "copies; leases apply to home/hashed placement)",
                 file=sys.stderr,
             )
+        if (
+            args.coherence == "beat"
+            and args.registry_placement != "replicated"
+            and args.lease_ttb == 0
+        ):
+            print(
+                "note: --coherence beat has nothing to batch without "
+                "replicas (--registry-placement replicated) or leases "
+                "(--lease-ttb > 0): no coherence traffic exists",
+                file=sys.stderr,
+            )
         result = run_naming(
             dgc=config_for(NAS_CONFIG),
             registry=registry,
             client_count=args.clients,
             service_count=args.services,
+            name_count=args.names,
+            zipf_s=args.zipf_s,
+            churn_burst=args.churn_burst,
             duration=args.duration,
             lookup_period=args.lookup_period,
             lookup_burst=args.lookup_burst,
@@ -395,6 +434,9 @@ def _run_workload(args: argparse.Namespace) -> int:
              f"{result.mean_resolve_latency_s * 1e3:.3f}"],
             ["invalidations / renews",
              f"{result.invalidations_sent}/{result.renew_messages_sent}"],
+            ["coherence staged/coalesced/messages",
+             f"{result.coherence_staged}/{result.coherence_coalesced}/"
+             f"{result.coherence_messages_sent}"],
             ["registry MB", f"{result.registry_bandwidth_mb:.3f}"],
             ["total MB", f"{result.total_bandwidth_mb:.2f}"],
             ["DGC MB", f"{result.dgc_bandwidth_mb:.2f}"],
@@ -464,6 +506,34 @@ def _run_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_naming_knobs(args: argparse.Namespace) -> "str | None":
+    """Validate the naming-only knobs; returns a rejection reason or
+    ``None``.  Shared by the single-process and sharded run paths."""
+    if args.workload != "naming":
+        for flag, is_set in (
+            ("--names", args.names is not None),
+            ("--zipf-s", args.zipf_s != 0.0),
+            ("--churn-burst", args.churn_burst != 1),
+            ("--coherence beat", args.coherence == "beat"),
+        ):
+            if is_set:
+                return (
+                    f"{flag} only applies to --workload naming "
+                    f"(got {args.workload!r})"
+                )
+        return None
+    if args.names is not None and args.names < args.services:
+        return (
+            f"--names ({args.names}) must be >= --services "
+            f"({args.services}): every service needs a first name"
+        )
+    if args.zipf_s < 0.0:
+        return f"--zipf-s must be >= 0, got {args.zipf_s}"
+    if args.churn_burst < 1:
+        return f"--churn-burst must be >= 1, got {args.churn_burst}"
+    return None
+
+
 def _run_sharded(args: argparse.Namespace) -> int:
     """The ``run --live [--shards N]`` path: the multi-process world."""
     from repro.core.config import NAS_CONFIG, TORTURE_FAST_CONFIG
@@ -508,6 +578,9 @@ def _run_sharded(args: argparse.Namespace) -> int:
         params = dict(
             client_count=args.clients,
             service_count=args.services,
+            name_count=args.names,
+            zipf_s=args.zipf_s,
+            churn_burst=args.churn_burst,
             duration=args.duration,
             lookup_period=args.lookup_period,
             lookup_burst=args.lookup_burst,
@@ -548,6 +621,7 @@ def _run_sharded(args: argparse.Namespace) -> int:
             placement=args.registry_placement,
             lease_ttb=args.lease_ttb,
             cache_size=args.registry_cache,
+            coherence=args.coherence,
         )
 
     topology = clustered_topology(args.nodes, site_count=shards)

@@ -37,6 +37,11 @@ KIND_REGISTRY_REPLY = "registry.reply"
 KIND_REGISTRY_BIND = "registry.bind"
 KIND_REGISTRY_INVALIDATE = "registry.invalidate"
 KIND_REGISTRY_RENEW = "registry.renew"
+#: Batched replica pushes from the beat-quantized coherence channel
+#: (one multi-binding message per destination per lease beat); the
+#: eager baseline's per-binding pushes ride ``registry.bind`` instead,
+#: so the A/B byte split is visible per kind in the accountant.
+KIND_REGISTRY_PUSH = "registry.push"
 
 #: Every kind the unified fabric routes, in dispatch-priority order
 #: (DGC first: it outnumbers the rest by an order of magnitude at scale).
@@ -121,3 +126,4 @@ register_kind(KIND_REGISTRY_REPLY)
 register_kind(KIND_REGISTRY_BIND)
 register_kind(KIND_REGISTRY_INVALIDATE)
 register_kind(KIND_REGISTRY_RENEW)
+register_kind(KIND_REGISTRY_PUSH)

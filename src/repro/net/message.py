@@ -31,6 +31,7 @@ from repro.net.kinds import (  # noqa: F401  (re-exports)
     KIND_REGISTRY_BIND,
     KIND_REGISTRY_INVALIDATE,
     KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_PUSH,
     KIND_REGISTRY_RENEW,
     KIND_REGISTRY_REPLY,
     PAIRED_PAYLOAD_KINDS,
@@ -138,8 +139,24 @@ class WireSizeModel:
 
     def registry_batch_size(self, name_count: int) -> int:
         """Wire size of a batched invalidation / lease-renewal message
-        (one header, one serialized name per entry)."""
+        (one header, one serialized name per entry).
+
+        Priced per constituent: a batch of N names costs exactly the
+        same name bytes as N single-name messages, so the eager-vs-beat
+        byte comparison isolates the real win — N-1 amortized headers
+        plus every update the last-writer-wins coalescing dropped."""
         return (
             self.registry_batch_header_bytes
             + name_count * self.registry_name_bytes
+        )
+
+    def registry_push_size(self, binding_count: int) -> int:
+        """Wire size of a batched replica push (``registry.push``): one
+        header, then one serialized name plus one stub per binding.
+        Like :meth:`registry_batch_size`, priced per constituent — a
+        batch of N bindings carries exactly N (name, stub) bodies — so
+        the eager-vs-beat comparison measures header amortization and
+        coalescing, not a change of byte model."""
+        return self.registry_batch_header_bytes + binding_count * (
+            self.registry_name_bytes + self.reference_bytes
         )

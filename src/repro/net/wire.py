@@ -45,6 +45,7 @@ from repro.runtime.request import (
     RegistryAck,
     RegistryBind,
     RegistryInvalidate,
+    RegistryPush,
     RegistryLookup,
     RegistryRenew,
     RegistryRenewAck,
@@ -99,6 +100,7 @@ _T_REG_ACK = 0x1A
 _T_REG_RENEW = 0x1B
 _T_REG_RENEW_ACK = 0x1C
 _T_REG_INVALIDATE = 0x1D
+_T_REG_PUSH = 0x1E
 
 _INT64_MIN = -(1 << 63)
 _INT64_MAX = (1 << 63) - 1
@@ -280,6 +282,9 @@ def _encode_value(out: bytearray, value) -> None:
     elif type(value) is RegistryInvalidate:
         out.append(_T_REG_INVALIDATE)
         _encode_value(out, value.names)
+    elif type(value) is RegistryPush:
+        out.append(_T_REG_PUSH)
+        _encode_value(out, value.bindings)
     else:
         raise WireFormatError(
             f"cannot encode {type(value).__name__!r} on the shard wire"
@@ -444,6 +449,8 @@ def _decode_value(reader: _Reader):
         return RegistryRenewAck(_decode_value(reader), reader.f64())
     if tag == _T_REG_INVALIDATE:
         return RegistryInvalidate(_decode_value(reader))
+    if tag == _T_REG_PUSH:
+        return RegistryPush(_decode_value(reader))
     raise WireFormatError(f"unknown value tag 0x{tag:02X}")
 
 

@@ -22,7 +22,9 @@ def current_git_sha(repo_root: Optional[Path] = None) -> str:
     Benchmark artifacts carry this in their ``meta`` block so a
     ``BENCH_*.json`` file is attributable to the exact code state that
     produced it — the perf trajectory across PRs needs provenance, not
-    just timestamps.
+    just timestamps.  A working tree with uncommitted changes (tracked
+    files modified, staged or not) yields ``"<sha>-dirty"``: numbers
+    measured on code that HEAD does not describe must say so.
     """
     root = repo_root if repo_root is not None else Path(__file__).resolve().parents[3]
     try:
@@ -36,7 +38,21 @@ def current_git_sha(repo_root: Optional[Path] = None) -> str:
     except (OSError, subprocess.TimeoutExpired):
         return "unknown"
     sha = out.stdout.strip()
-    return sha if out.returncode == 0 and sha else "unknown"
+    if out.returncode != 0 or not sha:
+        return "unknown"
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return sha
+    if status.returncode == 0 and status.stdout.strip():
+        return sha + "-dirty"
+    return sha
 
 
 class Stopwatch:

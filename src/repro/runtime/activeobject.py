@@ -394,30 +394,42 @@ class Activity:
             self._finish(run, result)
 
     def _step(self, run: _HandlerRun, send_value: Any) -> None:
-        if self._run is not run:  # stale resume after termination
-            return
-        generator = run.generator
-        assert generator is not None
-        try:
-            yielded = generator.send(send_value)
-        except StopIteration as stop:
-            self._finish(run, stop.value)
-            self._pump()
-            return
-        if isinstance(yielded, Sleep):
-            self.node.kernel.schedule(
-                yielded.duration,
-                self._step,
-                run,
-                None,
-                label=f"resume:{self.id}",
-            )
-        elif isinstance(yielded, Future):
-            yielded.on_resolve(lambda future: self._step(run, future))
-        else:
-            raise RuntimeModelError(
-                f"handler of {self.id} yielded unsupported {yielded!r}"
-            )
+        # Iterative, not recursive: a yielded future that is *already*
+        # resolved (a local bind ack, a cache hit) resumes the generator
+        # in this same frame.  Recursing through Future.on_resolve would
+        # put one stack frame per synchronously-resolved await on the
+        # call stack — a handler awaiting 10^5 local registry acks in a
+        # row (the bind-heavy naming workload) overflows it.
+        while True:
+            if self._run is not run:  # stale resume after termination
+                return
+            generator = run.generator
+            assert generator is not None
+            try:
+                yielded = generator.send(send_value)
+            except StopIteration as stop:
+                self._finish(run, stop.value)
+                self._pump()
+                return
+            if isinstance(yielded, Sleep):
+                self.node.kernel.schedule(
+                    yielded.duration,
+                    self._step,
+                    run,
+                    None,
+                    label=f"resume:{self.id}",
+                )
+                return
+            elif isinstance(yielded, Future):
+                if yielded.resolved:
+                    send_value = yielded
+                    continue
+                yielded.on_resolve(lambda future: self._step(run, future))
+                return
+            else:
+                raise RuntimeModelError(
+                    f"handler of {self.id} yielded unsupported {yielded!r}"
+                )
 
     def _finish(self, run: _HandlerRun, result: Any) -> None:
         if self._run is not run:

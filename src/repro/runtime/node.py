@@ -21,6 +21,7 @@ from repro.net.kinds import (
     KIND_REGISTRY_BIND,
     KIND_REGISTRY_INVALIDATE,
     KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_PUSH,
     KIND_REGISTRY_RENEW,
     KIND_REGISTRY_REPLY,
     PAIRED_PAYLOAD_KINDS,
@@ -94,6 +95,7 @@ class Node:
             KIND_REGISTRY_BIND: self._on_registry_bind,
             KIND_REGISTRY_INVALIDATE: self._on_registry_invalidate,
             KIND_REGISTRY_RENEW: self._on_registry_renew,
+            KIND_REGISTRY_PUSH: self._on_registry_push,
         }
         self.network.register_node(
             name,
@@ -464,6 +466,10 @@ class Node:
     def _on_registry_invalidate(self, invalidate: Any, payload: Any) -> None:
         """Drop stale local knowledge of the named bindings."""
         self.world.registry.apply_invalidate(self, invalidate)
+
+    def _on_registry_push(self, push: Any, payload: Any) -> None:
+        """Install a beat-flushed batch of replica bindings."""
+        self.world.registry.apply_push(self, push)
 
     def _on_registry_renew(self, message: Any, payload: Any) -> None:
         """Lease renewals: a client's batch at the authority, or the

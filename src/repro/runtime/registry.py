@@ -40,6 +40,38 @@ is served resolves; a name bound after serving yields a negative reply
 and the caller retries.  Cached and replicated resolves may be stale for
 at most one propagation delay after an unbind (the invalidation is in
 flight) plus, for leases, the TTL bound if the holder misses renewals.
+
+**The beat-quantized coherence channel**
+(:attr:`~repro.core.config.RegistryConfig.coherence` = ``"beat"``):
+lease renewals always batched one message per (node, authority) per
+beat, but the *authority-side* coherence fan-out — one
+``registry.invalidate`` per lease holder, one ``registry.bind`` replica
+push per node, one denial per missed renewal — was the remaining
+O(holders) wire cost under bind/unbind churn.  With beat coherence
+every such update is staged into a per-destination egress queue on the
+authority's :class:`CoherenceChannel` (last writer wins per name: an
+unbind+rebind inside one beat collapses to a single push, a
+bind+unbind to a single invalidation) and flushed once per lease beat
+by a lazily-registered beat-wheel sweep — the exact machinery
+``registry.renew`` uses; the sweep stops itself when the queues drain —
+as one multi-name ``registry.invalidate`` and one multi-binding
+``registry.push`` per destination.  The flush is a protocol-safe
+reordering in the :mod:`repro.net.reorder` sense over the registry's
+natural FIFO streams — one per (destination, *name*), because a
+receiving shard folds every coherence message into per-name state
+(``replica[name]``, cache drop) exactly as the DGC folds messages into
+per-referencer state: last-writer-wins leaves one survivor per (name,
+beat), survivors of one name never reorder across beats, and every
+delivery is *deferred* (never moved earlier) relative to its eager
+instant.  (Per-(destination, kind) order is deliberately **not**
+preserved — a re-staged name keeps its queue position while taking the
+newer value — which is harmless for the same reason cross-stream DGC
+order is free.)  A cached holder's staleness after an unbind is
+bounded by one lease beat plus one propagation delay instead of the
+eager one-propagation-delay — the price of turning O(holders x churn)
+messages into O(destinations) per beat.  Eager coherence stays the
+default and the A/B baseline; outcome equivalence eager-vs-beat is
+gated in ``tests/integration/test_naming_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -48,6 +80,7 @@ from typing import Dict, List, Optional, Tuple
 from zlib import crc32
 
 from repro.core.config import (
+    COHERENCE_BEAT,
     PLACEMENT_HASHED,
     PLACEMENT_REPLICATED,
     RegistryConfig,
@@ -57,6 +90,7 @@ from repro.net.kinds import (
     KIND_REGISTRY_BIND,
     KIND_REGISTRY_INVALIDATE,
     KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_PUSH,
     KIND_REGISTRY_RENEW,
     KIND_REGISTRY_REPLY,
 )
@@ -67,6 +101,7 @@ from repro.runtime.request import (
     RegistryBind,
     RegistryInvalidate,
     RegistryLookup,
+    RegistryPush,
     RegistryRenew,
     RegistryRenewAck,
     RegistryReply,
@@ -122,11 +157,76 @@ class LeaseCache:
         return len(self.entries)
 
 
+class CoherenceChannel:
+    """One authority node's beat-quantized coherence egress.
+
+    Updates stage into per-destination queues as ``name -> ref``
+    (``None`` = invalidate); a re-staged name keeps its queue position
+    but takes the newer value — **last writer wins**, so only the
+    update that still matters at flush time crosses the wire.  A flush
+    empties every queue in destination-staging order, splitting each
+    into its invalidation names and push bindings (disjoint name sets,
+    so the two batches commute).  The result is a deferral-only,
+    per-(destination, name)-FIFO reordering of the eager schedule's
+    surviving updates (property-tested against
+    :mod:`repro.net.reorder`).
+
+    The channel is pure queue mechanics — no clock, no wire — so the
+    safe-reordering property test can drive it directly.
+    """
+
+    __slots__ = ("queues", "staged", "coalesced")
+
+    def __init__(self) -> None:
+        #: dest node -> {name: Optional[ref]}, both insertion-ordered.
+        self.queues: Dict[str, Dict[str, Optional[RemoteRef]]] = {}
+        #: Updates ever staged (constituents, not messages).
+        self.staged = 0
+        #: Updates superseded by a later same-name staging before flush.
+        self.coalesced = 0
+
+    def stage(self, dest: str, name: str, ref: Optional[RemoteRef]) -> None:
+        queue = self.queues.get(dest)
+        if queue is None:
+            queue = self.queues[dest] = {}
+        if name in queue:
+            self.coalesced += 1
+        queue[name] = ref
+        self.staged += 1
+
+    @property
+    def empty(self) -> bool:
+        return not self.queues
+
+    def pending(self) -> int:
+        """Updates currently queued (post-coalescing)."""
+        return sum(len(queue) for queue in self.queues.values())
+
+    def flush(
+        self,
+    ) -> List[Tuple[str, Tuple[str, ...], Tuple[Tuple[str, RemoteRef], ...]]]:
+        """Drain every queue: ``[(dest, invalidate_names, push_bindings)]``
+        in destination-staging order, each sequence in name-staging
+        order."""
+        batches = []
+        for dest, queue in self.queues.items():
+            invalidates = tuple(
+                name for name, ref in queue.items() if ref is None
+            )
+            pushes = tuple(
+                (name, ref) for name, ref in queue.items() if ref is not None
+            )
+            batches.append((dest, invalidates, pushes))
+        self.queues = {}
+        return batches
+
+
 class RegistryShard:
     """One node's slice of the naming service."""
 
     __slots__ = ("node_name", "authority", "replica", "cache",
-                 "lease_holders", "sweep_handle")
+                 "lease_holders", "sweep_handle", "channel",
+                 "egress_handle")
 
     def __init__(self, node_name: str, cache_capacity: int) -> None:
         self.node_name = node_name
@@ -142,6 +242,12 @@ class RegistryShard:
         #: cache is empty — the beat is registered lazily and stops
         #: itself when the cache drains).
         self.sweep_handle = None
+        #: Authority-side coherence egress (``coherence="beat"``).
+        self.channel = CoherenceChannel()
+        #: The live coherence-sweep registration (``None`` while the
+        #: egress queues are empty — registered lazily at first staging,
+        #: stops itself when the queues drain, mirroring ``sweep_handle``).
+        self.egress_handle = None
 
 
 class NamingService:
@@ -178,6 +284,7 @@ class NamingService:
         self._replicated = self.config.placement == PLACEMENT_REPLICATED
         self._hashed = self.config.placement == PLACEMENT_HASHED
         self._caching = self.config.caching
+        self._beat_coherence = self.config.coherence == COHERENCE_BEAT
         self._shards: Dict[str, RegistryShard] = {}
         #: World-level root-pin refcounts: an activity stays pinned while
         #: *any* name anywhere binds it (aliasing across names — and
@@ -200,6 +307,17 @@ class NamingService:
         self.renew_names_sent = 0
         self.lease_grants = 0
         self.lease_expiries = 0
+        # Coherence-channel instrumentation (``coherence="beat"`` only).
+        #: Updates staged into egress queues (constituents).
+        self.coherence_staged = 0
+        #: Updates dropped by last-writer-wins coalescing before flush.
+        self.coherence_coalesced = 0
+        #: Batched coherence messages flushed (invalidates + pushes).
+        self.coherence_messages_sent = 0
+        #: Names carried by flushed coherence messages (constituents).
+        self.coherence_names_sent = 0
+        #: Batched ``registry.push`` messages sent.
+        self.pushes_sent = 0
 
     # ------------------------------------------------------------------
     # Placement
@@ -340,7 +458,15 @@ class NamingService:
 
     def _push_replicas(self, source: str, name: str, ref: RemoteRef) -> None:
         """Fan the new binding out to every other node's replica
-        (``registry.bind`` traffic with no reply address)."""
+        (``registry.bind`` traffic with no reply address) — or, under
+        beat coherence, stage it into the egress queues for the next
+        flush."""
+        if self._beat_coherence:
+            shard = self.shard(source)
+            for dest in self._node_names:
+                if dest != source:
+                    self._stage_coherence(shard, dest, name, ref)
+            return
         network = self._world.network
         size = self._world.wire_sizes.registry_update_size(True)
         update = RegistryBind(name=name, ref=ref, reply_to=None)
@@ -350,6 +476,12 @@ class NamingService:
             network.send_typed(source, dest, KIND_REGISTRY_BIND, size, update)
 
     def _invalidate_replicas(self, source: str, name: str) -> None:
+        if self._beat_coherence:
+            shard = self.shard(source)
+            for dest in self._node_names:
+                if dest != source:
+                    self._stage_coherence(shard, dest, name, None)
+            return
         network = self._world.network
         size = self._world.wire_sizes.registry_batch_size(1)
         invalidate = RegistryInvalidate(names=(name,))
@@ -374,6 +506,10 @@ class NamingService:
         """
         holders = shard.lease_holders.pop(name, None)
         if not holders:
+            return
+        if self._beat_coherence:
+            for holder in holders:
+                self._stage_coherence(shard, holder, name, None)
             return
         network = self._world.network
         size = self._world.wire_sizes.registry_batch_size(1)
@@ -584,12 +720,85 @@ class NamingService:
                 RegistryRenewAck(names=tuple(granted), lease_s=lease_s),
             )
         if gone:
-            network.send_typed(
-                node.name, renew.node, KIND_REGISTRY_INVALIDATE,
-                sizes.registry_batch_size(len(gone)),
-                RegistryInvalidate(names=tuple(gone)),
-            )
-            self.invalidations_sent += 1
+            if self._beat_coherence:
+                for name in gone:
+                    self._stage_coherence(shard, renew.node, name, None)
+            else:
+                network.send_typed(
+                    node.name, renew.node, KIND_REGISTRY_INVALIDATE,
+                    sizes.registry_batch_size(len(gone)),
+                    RegistryInvalidate(names=tuple(gone)),
+                )
+                self.invalidations_sent += 1
+
+    # ------------------------------------------------------------------
+    # The beat-quantized coherence channel (``coherence="beat"``)
+    # ------------------------------------------------------------------
+
+    def _stage_coherence(
+        self, shard: RegistryShard, dest: str, name: str,
+        ref: Optional[RemoteRef],
+    ) -> None:
+        """Stage one coherence update (``ref`` = push, ``None`` =
+        invalidate) into the authority's egress queue for ``dest`` and
+        make sure the flush beat is running."""
+        channel = shard.channel
+        before = channel.coalesced
+        channel.stage(dest, name, ref)
+        self.coherence_staged += 1
+        self.coherence_coalesced += channel.coalesced - before
+        self._ensure_egress(shard)
+
+    def _ensure_egress(self, shard: RegistryShard) -> None:
+        if shard.egress_handle is not None:
+            return
+        shard.egress_handle = self._world.kernel.schedule_periodic(
+            self.lease_beat_s,
+            lambda: self._flush_coherence(shard),
+            label=f"registry.coherence:{shard.node_name}",
+        )
+
+    def _flush_coherence(self, shard: RegistryShard) -> None:
+        """One coherence beat on one authority node: drain the egress
+        queues into one multi-name ``registry.invalidate`` and one
+        multi-binding ``registry.push`` per destination.  Stops itself
+        when the queues are already empty (re-registered lazily by the
+        next staging), mirroring the lease-cache renew sweep."""
+        channel = shard.channel
+        if channel.empty:
+            shard.egress_handle.stop()
+            shard.egress_handle = None
+            return
+        network = self._world.network
+        sizes = self._world.wire_sizes
+        source = shard.node_name
+        for dest, invalidates, pushes in channel.flush():
+            if invalidates:
+                network.send_typed(
+                    source, dest, KIND_REGISTRY_INVALIDATE,
+                    sizes.registry_batch_size(len(invalidates)),
+                    RegistryInvalidate(names=invalidates),
+                )
+                self.invalidations_sent += 1
+                self.coherence_messages_sent += 1
+                self.coherence_names_sent += len(invalidates)
+            if pushes:
+                network.send_typed(
+                    source, dest, KIND_REGISTRY_PUSH,
+                    sizes.registry_push_size(len(pushes)),
+                    RegistryPush(bindings=pushes),
+                )
+                self.pushes_sent += 1
+                self.coherence_messages_sent += 1
+                self.coherence_names_sent += len(pushes)
+
+    def apply_push(self, node, push: RegistryPush) -> None:
+        """Install a flushed batch of replica bindings (no ack) — the
+        beat-coherence counterpart of the eager no-reply
+        :meth:`serve_bind` replica path."""
+        replica = self.shard(node.name).replica
+        for name, ref in push.bindings:
+            replica[name] = ref
 
     def apply_renew_ack(self, node, ack: RegistryRenewAck) -> None:
         """Client side of a granted renewal: extend the cached leases."""

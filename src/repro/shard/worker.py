@@ -53,7 +53,9 @@ REGISTRY_COUNTERS: Tuple[str, ...] = (
     "resolves", "authority_hits", "replica_hits", "cache_hits",
     "local_misses", "remote_lookups", "binds_applied", "unbinds_applied",
     "invalidations_sent", "renew_messages_sent", "renew_names_sent",
-    "lease_grants", "lease_expiries",
+    "lease_grants", "lease_expiries", "coherence_staged",
+    "coherence_coalesced", "coherence_messages_sent",
+    "coherence_names_sent", "pushes_sent",
 )
 
 

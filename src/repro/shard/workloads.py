@@ -38,6 +38,7 @@ from repro.runtime.ids import make_activity_id
 from repro.runtime.proxy import RemoteRef
 from repro.shard.plan import ShardPlan
 from repro.workloads.app import release_all
+from repro.sim.rng import ZipfSampler
 from repro.workloads.naming import NamingBinder, NamingClient
 from repro.workloads.nas.common import NasWorker, kernel_spec
 from repro.workloads.torture import TortureMaster, TortureSlave
@@ -222,9 +223,25 @@ def build_naming(
     placement differs from the single-process arm; outcome equivalence
     still holds because the collected set is identified by activity ids,
     which are minted in the same order in both arms.
+
+    Build order matters: the **clients are created before the binder**.
+    ``World.create_activity`` starts a behavior inline, and the binder's
+    ``on_start`` creates the service activities — synchronously, when
+    its bind acks resolve locally — minting ids a ghost-binder shard
+    would never mint.  Creating the binder last keeps every id that
+    crosses shards (the clients', whose per-activity RNG streams are
+    keyed by id) aligned across all arms at build time; the service ids
+    are minted afterwards, only on the binder's shard and in the replay
+    arm, identically in both.
     """
     client_count = int(params.get("client_count", 32))
     service_count = int(params.get("service_count", 16))
+    name_count = params.get("name_count")
+    name_count = (
+        service_count if name_count is None else int(name_count)
+    )
+    zipf_s = float(params.get("zipf_s", 0.0))
+    churn_burst = int(params.get("churn_burst", 1))
     duration = float(params.get("duration", 300.0))
     lookup_period = float(params.get("lookup_period", 5.0))
     lookup_burst = int(params.get("lookup_burst", 4))
@@ -235,18 +252,22 @@ def build_naming(
 
     ctx = SpmdContext(world, plan, shard)
     nodes = ctx.node_names
+    sampler = ZipfSampler(name_count, zipf_s) if zipf_s > 0.0 else None
     binder = NamingBinder(
         service_count,
         churn_deadline=duration,
         churn_period=float(churn_period),
         teardown_at=duration + teardown_lag,
+        name_count=name_count,
+        churn_burst=churn_burst,
+        sampler=sampler,
     )
-    ctx.create(binder, node=nodes[0], name="binder", root=True)
-    names = [NamingBinder.service_name(i) for i in range(service_count)]
+    names = [NamingBinder.service_name(i) for i in range(name_count)]
     clients: List[NamingClient] = []
     for index in range(client_count):
         client = NamingClient(
-            names, deadline=duration, period=lookup_period, burst=lookup_burst
+            names, deadline=duration, period=lookup_period,
+            burst=lookup_burst, sampler=sampler,
         )
         created = ctx.create(
             client,
@@ -257,6 +278,8 @@ def build_naming(
         )
         if created is not None:
             clients.append(client)
+    # Last: its inline on_start mints service ids (see docstring).
+    ctx.create(binder, node=nodes[0], name="binder", root=True)
     return _NamingEnv(ctx, workload_phases("naming"), clients)
 
 

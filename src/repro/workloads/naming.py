@@ -38,13 +38,26 @@ from typing import List, Optional, Union
 from repro.core.config import DgcConfig, RegistryConfig
 from repro.net.topology import Topology, uniform_topology
 from repro.runtime.behaviors import Behavior, SinkBehavior
+from repro.sim.rng import ZipfSampler
 from repro.world import World
 
 
 class NamingBinder(Behavior):
     """Active code owning the services: creates, binds, churns, tears
     down.  All registry operations ride the fabric through the context
-    API and are awaited (the binder yields each ack future)."""
+    API and are awaited (the binder yields each ack future).
+
+    ``name_count`` (default: one name per service) scales the *name
+    space* past the service population: names alias round-robin onto
+    the services, exercising the registry's world-level root-pin
+    refcounts at bind-heavy scale without minting one activity per
+    name.  ``churn_burst`` unbind+rebinds that many names per churn
+    wake, and ``sampler`` (a :class:`~repro.sim.rng.ZipfSampler`) skews
+    which names churn — hot names collect the most lease holders, so
+    skewed churn maximizes the coherence fan-out the beat channel
+    batches.  The defaults reproduce the original draw sequence
+    bit-for-bit.
+    """
 
     def __init__(
         self,
@@ -52,12 +65,28 @@ class NamingBinder(Behavior):
         churn_deadline: float,
         churn_period: float,
         teardown_at: float,
+        name_count: Optional[int] = None,
+        churn_burst: int = 1,
+        sampler: Optional[ZipfSampler] = None,
     ) -> None:
         self.service_count = service_count
         self.churn_deadline = churn_deadline
         self.churn_period = churn_period
         self.teardown_at = teardown_at
+        self.name_count = (
+            name_count if name_count is not None else service_count
+        )
+        if self.name_count < service_count:
+            raise ValueError(
+                f"name_count ({self.name_count}) must be >= service_count "
+                f"({service_count}): every service needs a first name"
+            )
+        if churn_burst < 1:
+            raise ValueError(f"churn_burst must be >= 1, got {churn_burst}")
+        self.churn_burst = churn_burst
+        self.sampler = sampler
         self.services: dict = {}
+        self.proxies: list = []
         self.binds_acked = 0
         self.unbinds_acked = 0
         self.rebinds = 0
@@ -67,43 +96,61 @@ class NamingBinder(Behavior):
         return f"svc-{index}"
 
     def on_start(self, ctx):
-        for index in range(self.service_count):
+        for index in range(self.name_count):
             name = self.service_name(index)
-            proxy = ctx.create(SinkBehavior(), name=f"named{index}")
+            if index < self.service_count:
+                proxy = ctx.create(SinkBehavior(), name=f"named{index}")
+                self.proxies.append(proxy)
+            else:
+                proxy = self.proxies[index % self.service_count]
             self.services[name] = proxy
             future = ctx.bind(name, proxy)
             yield future
             if future.value:
                 self.binds_acked += 1
         rng = ctx.rng
+        sampler = self.sampler
         while ctx.now < self.churn_deadline:
             yield ctx.sleep(self.churn_period * (0.5 + rng.random()))
-            name = self.service_name(rng.randrange(self.service_count))
-            future = ctx.unbind(name)
-            yield future
-            if not future.value:
-                continue
-            self.unbinds_acked += 1
-            future = ctx.bind(name, self.services[name])
-            yield future
-            if future.value:
-                self.rebinds += 1
+            for _ in range(self.churn_burst):
+                if sampler is not None:
+                    index = sampler.sample(rng)
+                else:
+                    index = rng.randrange(self.name_count)
+                name = self.service_name(index)
+                future = ctx.unbind(name)
+                yield future
+                if not future.value:
+                    continue
+                self.unbinds_acked += 1
+                future = ctx.bind(name, self.services[name])
+                yield future
+                if future.value:
+                    self.rebinds += 1
         if ctx.now < self.teardown_at:
             yield ctx.sleep(self.teardown_at - ctx.now)
+        dropped = set()
         for name, proxy in self.services.items():
             future = ctx.unbind(name)
             yield future
             if future.value:
                 self.unbinds_acked += 1
-            ctx.drop(proxy)
+            if id(proxy) not in dropped:
+                dropped.add(id(proxy))
+                ctx.drop(proxy)
         self.services = {}
+        self.proxies = []
         return None
 
 
 class NamingClient(Behavior):
     """An external looker: bursts of fire-and-forget resolves on a
     deterministic sleep schedule; each resolution is consumed (and its
-    stub dropped) inside the resolving kernel event."""
+    stub dropped) inside the resolving kernel event.
+
+    A ``sampler`` skews which names get looked up (rank 0 = hottest);
+    without one the draw is uniform via ``rng.randrange``, preserving
+    the original sequence bit-for-bit."""
 
     def __init__(
         self,
@@ -111,11 +158,13 @@ class NamingClient(Behavior):
         deadline: float,
         period: float,
         burst: int,
+        sampler: Optional[ZipfSampler] = None,
     ) -> None:
         self.names = names
         self.deadline = deadline
         self.period = period
         self.burst = burst
+        self.sampler = sampler
         self.issued = 0
         self.completed = 0
         self.hits = 0
@@ -126,10 +175,14 @@ class NamingClient(Behavior):
         rng = ctx.rng
         names = self.names
         count = len(names)
+        sampler = self.sampler
         while ctx.now < self.deadline:
             yield ctx.sleep(self.period * (0.5 + rng.random()))
             for _ in range(self.burst):
-                name = names[rng.randrange(count)]
+                if sampler is not None:
+                    name = names[sampler.sample(rng)]
+                else:
+                    name = names[rng.randrange(count)]
                 issued_at = ctx.now
                 future = ctx.lookup(name)
                 self.issued += 1
@@ -180,6 +233,13 @@ class NamingResult:
     collected_cyclic: int
     dead_letters: int
     all_collected: bool
+    #: Beat-coherence channel internals (zero under eager coherence).
+    coherence_staged: int = 0
+    coherence_coalesced: int = 0
+    coherence_messages_sent: int = 0
+    pushes_sent: int = 0
+    #: Names bound (aliases over the services; defaults to services).
+    name_count: int = 0
     events_fired: int = 0
     peak_pending_events: int = 0
     sim_time_s: float = 0.0
@@ -194,6 +254,9 @@ def run_naming(
     registry: Optional[RegistryConfig] = None,
     client_count: int = 32,
     service_count: int = 16,
+    name_count: Optional[int] = None,
+    zipf_s: float = 0.0,
+    churn_burst: int = 1,
     duration: float = 300.0,
     lookup_period: float = 5.0,
     lookup_burst: int = 4,
@@ -217,6 +280,12 @@ def run_naming(
     ``batched_beats``, ``aggregate_site_pairs``, ``beat_slots``)
     override the DGC config exactly as in
     :func:`repro.workloads.torture.run_torture`.
+
+    The bind-heavy knobs — ``name_count`` (names aliasing round-robin
+    over the services, default one per service), ``zipf_s`` (Zipf skew
+    for lookup *and* churn name draws; 0 = uniform via the original
+    ``randrange`` path) and ``churn_burst`` (names churned per binder
+    wake) — default to the original behavior bit-for-bit.
     """
     if dgc is not None:
         overrides = {}
@@ -248,19 +317,25 @@ def run_naming(
     nodes = world.topology.nodes
     if churn_period is None:
         churn_period = max(duration / 12.0, 1.0)
+    if name_count is None:
+        name_count = service_count
+    sampler = ZipfSampler(name_count, zipf_s) if zipf_s > 0.0 else None
     binder = NamingBinder(
         service_count,
         churn_deadline=duration,
         churn_period=churn_period,
         teardown_at=duration + teardown_lag,
+        name_count=name_count,
+        churn_burst=churn_burst,
+        sampler=sampler,
     )
     world.create_activity(binder, node=nodes[0], name="binder", root=True)
-    names = [NamingBinder.service_name(i) for i in range(service_count)]
+    names = [NamingBinder.service_name(i) for i in range(name_count)]
     clients: List[NamingClient] = []
     for index in range(client_count):
         client = NamingClient(
             names, deadline=duration, period=lookup_period,
-            burst=lookup_burst,
+            burst=lookup_burst, sampler=sampler,
         )
         clients.append(client)
         world.create_activity(
@@ -299,6 +374,11 @@ def run_naming(
         renew_messages_sent=naming.renew_messages_sent,
         binds_applied=naming.binds_applied,
         unbinds_applied=naming.unbinds_applied,
+        coherence_staged=naming.coherence_staged,
+        coherence_coalesced=naming.coherence_coalesced,
+        coherence_messages_sent=naming.coherence_messages_sent,
+        pushes_sent=naming.pushes_sent,
+        name_count=name_count,
         registry_bandwidth_mb=accountant.registry_bytes / 1e6,
         total_bandwidth_mb=accountant.megabytes(),
         dgc_bandwidth_mb=accountant.dgc_bytes / 1e6,

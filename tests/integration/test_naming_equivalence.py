@@ -145,6 +145,45 @@ def test_cached_vs_uncached_bit_identical_when_leases_outlive_run(seed):
     )
 
 
+@pytest.mark.parametrize("seed", [1, 7, 23])
+@pytest.mark.parametrize("placement", sorted(PLACEMENTS))
+def test_eager_vs_beat_coherence_world_identical(placement, seed):
+    """The beat-quantized coherence channel changes only the registry's
+    wire story.  Because resolution is DGC-silent on this workload and
+    bind/unbind acks ride the same path in both modes, the equivalence
+    is the *strongest* tier — full ``WorldStats`` (every collection
+    instant) plus the raw tracer stream — not just outcomes, across
+    every placement mode.  Client-visible hit/miss splits may differ
+    inside the documented staleness window (replicated lookups can miss
+    while a push is queued), so resolution counters are compared as
+    issued/completed totals only."""
+    eager = run(PLACEMENTS[placement], seed, batched=True)
+    beat = run(
+        PLACEMENTS[placement].with_overrides(coherence="beat"), seed,
+        batched=True,
+    )
+    assert eager.all_collected and beat.all_collected
+    assert world_fingerprint(beat) == world_fingerprint(eager)
+    assert outcome_fingerprint(beat) == outcome_fingerprint(eager)
+    assert beat.world.stats.safety_violations == 0
+    assert beat.resolves_issued == eager.resolves_issued
+    assert beat.resolves_completed == eager.resolves_completed
+    assert beat.binds_applied == eager.binds_applied
+    assert beat.unbinds_applied == eager.unbinds_applied
+    # The channel actually carried the coherence fan-out...
+    assert beat.coherence_staged > 0
+    assert beat.coherence_messages_sent > 0
+    assert eager.coherence_staged == 0
+    # ...in strictly fewer messages than the eager fan-out (batching +
+    # coalescing): eager sends one invalidate per (name, holder) and,
+    # in replicated placement, one replica push per (bind, node).
+    eager_messages = eager.invalidations_sent
+    if placement == "replicated":
+        eager_messages += eager.binds_applied * (NODES - 1)
+    assert beat.coherence_messages_sent < eager_messages
+    assert beat.registry_bandwidth_mb <= eager.registry_bandwidth_mb
+
+
 @pytest.mark.parametrize("seed", [5])
 def test_replicated_vs_uncached_same_world_outcomes(seed):
     """Replication changes the wire story, not the world's: same

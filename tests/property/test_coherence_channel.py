@@ -1,0 +1,231 @@
+"""The beat-quantized coherence channel stays inside the protocol-safe
+reordering class, and its staleness bound holds in live worlds.
+
+Two layers:
+
+1. **Queue mechanics** (pure, no world): for random update sequences,
+   the flush schedule is a protocol-safe reordering — in the
+   :mod:`repro.net.reorder` sense — of the *surviving* eager schedule
+   (the last-writer-wins filter applied per beat window), over the
+   registry's natural FIFO streams: one per (destination, name).  A
+   receiving shard folds every coherence message into per-name state
+   (``replica[name]``, a cache drop), so per-name order is the whole
+   ordering contract, exactly as per-referencer order is the DGC's.
+   Deliveries only ever *defer* (flush instant >= staging instant) and
+   the flush clock is monotone.  A schedule that hands batches out
+   earlier than their staging instants is rejected by the same
+   predicate — the test has teeth.
+
+2. **Live staleness bound**: in a real world under ``coherence="beat"``
+   a cached holder keeps serving an unbound name for at most one lease
+   beat plus one propagation delay — the invalidation is staged at
+   unbind time and flushed by the next egress beat.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import RegistryConfig
+from repro.net.reorder import find_violation
+from repro.runtime.behaviors import Behavior, SinkBehavior
+from repro.runtime.registry import CoherenceChannel
+
+
+# ----------------------------------------------------------------------
+# 1. Queue mechanics: flush order is protocol-safe per (dest, name)
+# ----------------------------------------------------------------------
+
+AUTHORITY = "auth"
+DESTS = ("n1", "n2", "n3")
+NAMES = tuple(f"svc-{i}" for i in range(5))
+BEAT = 1.0
+
+
+def _random_ops(rng: random.Random, count: int):
+    """A time-ordered random update sequence ``(t, dest, name, ref)``
+    (``ref=None`` = invalidate) with frequent same-(dest, name)
+    re-stagings so coalescing actually triggers."""
+    ops = []
+    clock = 0.0
+    for seq in range(count):
+        clock += rng.random() * 0.3
+        ref = None if rng.random() < 0.5 else f"ref#{seq}"
+        ops.append((clock, rng.choice(DESTS), rng.choice(NAMES), ref))
+    return ops
+
+
+def _replay(ops, *, flush_at_window_start=False):
+    """Drive a :class:`CoherenceChannel` through ``ops`` with a flush
+    every ``BEAT``; return ``(survivors, flushed)`` delivery records
+    ``(time, dest, name, ref)``.
+
+    ``survivors`` is the last-writer-wins filter of the eager schedule:
+    per beat window, only the final update per (dest, name), at its own
+    staging instant.  ``flushed`` is what the channel hands to the wire,
+    stamped with the flush instant — or, with ``flush_at_window_start``,
+    with the *window-opening* instant (an unsafe, hasty schedule used as
+    the negative control)."""
+    channel = CoherenceChannel()
+    survivors = []
+    flushed = []
+    window = {}  # (dest, name) -> (t, dest, name, ref)
+    boundary = BEAT
+
+    def flush(at):
+        survivors.extend(
+            sorted(window.values(), key=lambda record: record[0])
+        )
+        window.clear()
+        stamp = at - BEAT if flush_at_window_start else at
+        for dest, invalidates, pushes in channel.flush():
+            for name in invalidates:
+                flushed.append((stamp, dest, name, None))
+            for name, ref in pushes:
+                flushed.append((stamp, dest, name, ref))
+
+    for t, dest, name, ref in ops:
+        while t >= boundary:
+            flush(boundary)
+            boundary += BEAT
+        channel.stage(dest, name, ref)
+        window[(dest, name)] = (t, dest, name, ref)
+    flush(boundary)
+    return survivors, flushed
+
+
+def _check(survivors, flushed):
+    return find_violation(
+        survivors,
+        flushed,
+        key=lambda record: (AUTHORITY, record[1], record[2]),
+        time=lambda record: record[0],
+        ident=lambda record: (record[2], record[3]),
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+def test_flush_schedule_is_protocol_safe_per_dest_name_stream(seed):
+    rng = random.Random(seed)
+    for _ in range(20):
+        ops = _random_ops(rng, rng.randrange(1, 60))
+        survivors, flushed = _replay(ops)
+        violation = _check(survivors, flushed)
+        assert violation is None, violation
+
+
+@pytest.mark.parametrize("seed", [0, 3, 5])
+def test_hasty_flush_is_rejected_by_the_same_predicate(seed):
+    """Stamping batches with the window-opening instant moves survivors
+    *earlier* than their staging time — the predicate must catch it
+    whenever a window contains a strictly-later staging."""
+    rng = random.Random(seed)
+    caught = 0
+    for _ in range(20):
+        ops = _random_ops(rng, 40)
+        survivors, hasty = _replay(ops, flush_at_window_start=True)
+        if _check(survivors, hasty) is not None:
+            caught += 1
+    assert caught > 0
+
+
+def test_flush_batches_have_disjoint_invalidate_and_push_names():
+    channel = CoherenceChannel()
+    channel.stage("n1", "a", "ref-1")
+    channel.stage("n1", "b", None)
+    channel.stage("n1", "a", None)      # bind then unbind: invalidate wins
+    channel.stage("n1", "b", "ref-2")   # unbind then rebind: push wins
+    ((dest, invalidates, pushes),) = channel.flush()
+    assert dest == "n1"
+    assert set(invalidates) == {"a"}
+    assert pushes == (("b", "ref-2"),)
+    assert channel.coalesced == 2
+    assert channel.staged == 4
+    assert channel.empty
+
+
+def test_last_writer_wins_within_one_beat():
+    """A whole churn burst on one name collapses to its final state."""
+    channel = CoherenceChannel()
+    for round_ in range(10):
+        channel.stage("n1", "hot", None)
+        channel.stage("n1", "hot", f"ref#{round_}")
+    ((_, invalidates, pushes),) = channel.flush()
+    assert invalidates == ()
+    assert pushes == (("hot", "ref#9"),)
+    assert channel.coalesced == 19
+
+
+# ----------------------------------------------------------------------
+# 2. Live staleness bound: at most one beat + one propagation delay
+# ----------------------------------------------------------------------
+
+
+class _Prober(Behavior):
+    """Polls one name on a tight period, recording each hit instant."""
+
+    def __init__(self, name: str, deadline: float) -> None:
+        self.name = name
+        self.deadline = deadline
+        self.hit_times = []
+
+    def on_start(self, ctx):
+        while ctx.now < self.deadline:
+            yield ctx.sleep(0.1)
+            future = ctx.lookup(self.name)
+            future.on_resolve(lambda f: self._consume(ctx, f))
+        return None
+
+    def _consume(self, ctx, future) -> None:
+        proxy = future.value
+        if proxy is not None:
+            self.hit_times.append(ctx.now)
+            ctx.drop(proxy)
+
+
+LEASE_BEAT = 2.0
+
+
+@pytest.mark.parametrize("unbind_at", [7.3, 9.0, 11.6])
+def test_cached_holder_staleness_bounded_by_one_lease_beat(
+    make_world, unbind_at
+):
+    """After the authority unbinds, a lease-cache holder under beat
+    coherence serves the stale entry for at most one lease beat plus
+    one propagation delay (the invalidation stages at unbind time and
+    flushes by the next egress beat)."""
+    world = make_world(
+        4,
+        dgc=None,
+        registry=RegistryConfig(
+            lease_ttb=10**6, lease_beat_s=LEASE_BEAT, coherence="beat"
+        ),
+    )
+    nodes = world.topology.nodes
+    driver = world.create_driver()
+    proxy = driver.context.create(SinkBehavior(), name="svc", node=nodes[0])
+    world.registry.bind("svc", proxy.ref)
+    prober = _Prober("svc", deadline=unbind_at + 4 * LEASE_BEAT)
+    # The prober lives away from the authority so hits come from its
+    # lease cache, not the authoritative table.
+    world.create_activity(
+        prober, node=nodes[2], name="prober", root=True, dgc_enabled=False
+    )
+    world.kernel.schedule_fire_at(
+        unbind_at, lambda: world.registry.unbind("svc"), ()
+    )
+    world.run_for(unbind_at + 6 * LEASE_BEAT)
+
+    naming = world.registry
+    assert naming.cache_hits > 0, "probe never exercised the lease cache"
+    assert naming.coherence_staged > 0
+    stale = [t for t in prober.hit_times if t > unbind_at]
+    assert stale, "no stale window at all — the bound is vacuous here"
+    propagation_slack = 0.5
+    bound = unbind_at + LEASE_BEAT + propagation_slack
+    assert max(prober.hit_times) <= bound, (
+        f"stale hit at {max(prober.hit_times)} exceeds the one-beat bound "
+        f"{bound}"
+    )

@@ -32,6 +32,7 @@ from repro.runtime.request import (
     RegistryBind,
     RegistryInvalidate,
     RegistryLookup,
+    RegistryPush,
     RegistryRenew,
     RegistryRenewAck,
     RegistryReply,
@@ -155,6 +156,12 @@ registry_items = st.one_of(
     st.builds(
         RegistryInvalidate,
         names=st.lists(st.text(max_size=10), max_size=5),
+    ),
+    st.builds(
+        RegistryPush,
+        bindings=st.lists(
+            st.tuples(st.text(max_size=10), remote_refs), max_size=5
+        ).map(tuple),
     ),
 )
 

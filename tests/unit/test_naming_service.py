@@ -1,9 +1,11 @@
 """Unit tests for the naming service: config validation, placement
-routing, the lease cache, and root-pin refcounting."""
+routing, the lease cache, root-pin refcounting, and the beat-quantized
+coherence channel's egress lifecycle."""
 
 import pytest
 
 from repro.core.config import (
+    COHERENCE_BEAT,
     PLACEMENT_HASHED,
     PLACEMENT_REPLICATED,
     RegistryConfig,
@@ -53,6 +55,16 @@ def test_with_overrides_is_functional():
     cached = base.with_overrides(lease_ttb=8)
     assert base.lease_ttb == 0
     assert cached.lease_ttb == 8
+
+
+def test_registry_config_coherence_defaults_to_eager():
+    assert RegistryConfig().coherence == "eager"
+    assert RegistryConfig(coherence=COHERENCE_BEAT).coherence == "beat"
+
+
+def test_registry_config_rejects_unknown_coherence():
+    with pytest.raises(ConfigurationError):
+        RegistryConfig(coherence="gossip")
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +208,84 @@ def test_aliasing_across_hashed_authorities_keeps_pin(make_world):
     assert activity.is_root, "pin dropped while an alias is still bound"
     naming.unbind(second)
     assert not activity.is_root
+
+
+# ----------------------------------------------------------------------
+# Beat-coherence egress: queues drain, the sweep stops itself
+# ----------------------------------------------------------------------
+
+
+BEAT_REPLICATED = RegistryConfig(
+    placement=PLACEMENT_REPLICATED, coherence="beat", lease_beat_s=2.0
+)
+
+
+def test_beat_egress_flushes_and_stops_when_drained(make_world):
+    world = make_world(4, dgc=None, registry=BEAT_REPLICATED)
+    naming = world.registry
+    nodes = world.topology.nodes
+    _activity, proxy = _spawn(world)
+    naming.bind("svc", proxy.ref)
+    shard = naming.shard(naming.home_node)
+    # Staged to every other node, nothing on the wire yet, beat running.
+    assert naming.coherence_staged == len(nodes) - 1
+    assert shard.channel.pending() == len(nodes) - 1
+    assert shard.egress_handle is not None
+    for node in nodes[1:]:
+        assert "svc" not in naming.shard(node).replica
+    # One beat: the queues flush as one registry.push per destination.
+    world.run_for(2.1)
+    assert shard.channel.empty
+    assert naming.pushes_sent == len(nodes) - 1
+    assert naming.coherence_messages_sent == len(nodes) - 1
+    assert naming.coherence_names_sent == len(nodes) - 1
+    for node in nodes[1:]:
+        assert naming.shard(node).replica["svc"] is proxy.ref
+    # A second idle beat: the sweep sees empty queues and stops itself.
+    world.run_for(2.1)
+    assert shard.egress_handle is None
+    # New traffic lazily re-registers it.
+    naming.unbind("svc")
+    assert shard.egress_handle is not None
+    world.run_for(2.1)
+    assert naming.invalidations_sent == len(nodes) - 1
+    for node in nodes[1:]:
+        assert "svc" not in naming.shard(node).replica
+
+
+def test_beat_coherence_coalesces_rebind_to_single_push(make_world):
+    """Unbind + rebind inside one beat must cross the wire as one push
+    of the surviving ref — never an invalidate that could drop the
+    replica after the rebind."""
+    world = make_world(3, dgc=None, registry=BEAT_REPLICATED)
+    naming = world.registry
+    nodes = world.topology.nodes
+    _activity, proxy = _spawn(world)
+    naming.bind("svc", proxy.ref)
+    world.run_for(2.1)  # initial push lands everywhere
+    before_invalidates = naming.invalidations_sent
+    naming.unbind("svc")
+    naming.bind("svc", proxy.ref)
+    world.run_for(2.1)
+    assert naming.invalidations_sent == before_invalidates
+    assert naming.coherence_coalesced == len(nodes) - 1
+    for node in nodes[1:]:
+        assert naming.shard(node).replica["svc"] is proxy.ref
+
+
+def test_eager_default_never_touches_the_channel(make_world):
+    world = make_world(
+        3, dgc=None,
+        registry=RegistryConfig(placement=PLACEMENT_REPLICATED),
+    )
+    naming = world.registry
+    _activity, proxy = _spawn(world)
+    naming.bind("svc", proxy.ref)
+    naming.unbind("svc")
+    world.run_for(1.0)
+    assert naming.coherence_staged == 0
+    assert naming.coherence_messages_sent == 0
+    assert naming.shard(naming.home_node).egress_handle is None
 
 
 def test_unbind_of_dead_activity_releases_cleanly(make_world):

@@ -18,6 +18,7 @@ def test_registry_family_contains_all_naming_kinds():
         "registry.bind",
         "registry.invalidate",
         "registry.renew",
+        "registry.push",
     }
     assert set(kinds.APP_KINDS) == {"app.request", "app.reply"}
     assert set(kinds.DGC_KINDS) == {"dgc.message", "dgc.response"}

@@ -32,6 +32,46 @@ def test_stopwatch_stop_before_start_raises():
         Stopwatch().stop()
 
 
+def _git(repo, *argv):
+    import subprocess
+
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *argv],
+        cwd=repo, check=True, capture_output=True,
+    )
+
+
+def test_current_git_sha_marks_dirty_trees(tmp_path):
+    """Artifacts measured on uncommitted code must say so: the short SHA
+    gains a ``-dirty`` suffix when tracked files are modified — but not
+    for merely untracked files, which cannot affect imported code."""
+    from repro.perf.stopwatch import current_git_sha
+
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    _git(repo, "init", "-q")
+    tracked = repo / "code.py"
+    tracked.write_text("x = 1\n")
+    _git(repo, "add", "code.py")
+    _git(repo, "commit", "-q", "-m", "seed")
+
+    clean = current_git_sha(repo)
+    assert clean != "unknown"
+    assert not clean.endswith("-dirty")
+
+    (repo / "scratch.txt").write_text("untracked\n")
+    assert current_git_sha(repo) == clean
+
+    tracked.write_text("x = 2\n")
+    assert current_git_sha(repo) == clean + "-dirty"
+
+
+def test_current_git_sha_outside_a_repo_is_unknown(tmp_path):
+    from repro.perf.stopwatch import current_git_sha
+
+    assert current_git_sha(tmp_path) == "unknown"
+
+
 def test_perf_report_roundtrip(tmp_path):
     report = PerfReport(meta={"scale": "test"})
     report.add(
