@@ -2,18 +2,21 @@
 
 Runs the Fig. 10 torture workload through the sharded live world
 (:class:`repro.shard.ShardedWorld`: one process per shard, per-shard
-LiveKernels in virtual-time mode, struct-packed columnar wire frames
-between them) against the single-process batched simulator on the same
-seed, and records wall clock, events/s, barrier-round and wire-frame
-volume per arm:
+LiveKernels in virtual-time mode, v2 wire frames between them) against
+the single-process batched simulator on the same seed, and records
+wall clock, events/s, barrier-round and wire-frame volume per arm:
 
 * **replay** — :func:`repro.shard.replay_single_process`: the identical
   SPMD builder on one :class:`~repro.sim.kernel.SimKernel` (the
   single-process batched baseline every sharded arm is compared
   against, and the outcome oracle);
-* **1 / 2 / 4 shards** — multi-process arms over a four-site clustered
-  WAN topology (one plan block per site, so the conservative lookahead
-  is the inter-site one-way latency).
+* **1 / 2 / 4 shards** — multi-process arms over a four-site metro-WAN
+  topology (two metro pairs bridged by a wide link, one plan block per
+  site): the 2-shard boundary falls between the metros, so its
+  per-channel lookahead is the WAN one-way latency and a barrier round
+  advances a full second of simulated time, while the 4-shard plan
+  keeps the narrow metro channels — the case per-channel horizons
+  exist for.
 
 Every sharded arm must match the replay's outcome signature exactly
 (same activities created, same explicit terminations, the same set of
@@ -21,12 +24,19 @@ collected ids, zero dead letters / safety violations) — the equivalence
 tier from ``tests/integration/test_sharded_world.py`` enforced at full
 scale.
 
-The **speedup gate** (``MIN_SPEEDUP``x at 4 shards vs the replay
-baseline) is armed only when the machine can actually run four workers
-concurrently (``os.cpu_count() >= 4``) at ``full`` scale; on smaller
-machines the ratio is still measured and recorded in the artifact, so
-the trajectory is honest about the hardware it ran on (see
-PERFORMANCE.md's sharded-world section).
+**Gates.**  The *overhead* gates are machine-independent and always
+armed at ``full`` scale: they compare the sharded arms against the
+replay measured in the same process on the same machine, so they hold
+on a single CPU where sharding buys no parallelism and every ratio is
+pure coordination cost.  PR 9's floors: the 2-shard arm must stay
+within ``MAX_OVERHEAD`` of the replay (speedup_vs_replay >= 0.70 — the
+PR 7 wire/rounds regime measured 0.41x here), its frame stream must be
+at least ``MIN_FRAME_DIET``x smaller than the PR 7 v1 baseline
+(462,974,691 bytes at this scale/seed), and its barrier rounds at most
+half the PR 7 baseline (2093).  The *parallel speedup* gate
+(``MIN_SPEEDUP``x at 4 shards) additionally needs four workers actually
+running concurrently, so it stays armed only when
+``os.cpu_count() >= 4``; the ratio is recorded unconditionally.
 
 Scale is controlled with ``REPRO_LIVE_SCALE``:
 
@@ -34,8 +44,12 @@ Scale is controlled with ``REPRO_LIVE_SCALE``:
   nodes, compressed time (TTB=5 s, TTA=12 s, 150 s active phase), arms
   at 1/2/4 shards;
 * ``smoke`` — 320 slaves on 32 nodes for CI smoke jobs, 2-shard arm
-  only (plus replay); equivalence is asserted, the speedup gate never
-  arms.
+  only (plus replay); equivalence is asserted, the full-scale gates
+  never arm.
+
+``REPRO_LIVE_WIRE_COMPARE=1`` adds a 2-shard arm packed with the v1
+frame format (``live_shards_2_wire_v1``) and gates the v2 diet against
+it directly — the CI live-wire smoke row.
 """
 
 from __future__ import annotations
@@ -47,13 +61,13 @@ from pathlib import Path
 import pytest
 
 from repro.core.config import DgcConfig
-from repro.net.topology import clustered_topology
+from repro.net.topology import metro_wan_topology
 from repro.perf import PerfMeasurement, PerfReport, Stopwatch
 from repro.shard import ShardedWorld, replay_single_process
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "BENCH_live.json"
-PR_LABEL = "PR7"
+PR_LABEL = "PR9"
 
 SCALE = os.environ.get("REPRO_LIVE_SCALE", "full")
 if SCALE == "smoke":
@@ -65,6 +79,8 @@ else:
     NODE_COUNT = 128
     SHARD_ARMS = (1, 2, 4)
 
+WIRE_COMPARE = os.environ.get("REPRO_LIVE_WIRE_COMPARE") == "1"
+
 SEED = 11
 ACTIVE_DURATION = 150.0
 #: Compressed-time Fig. 10 configuration (the scale axis is the
@@ -73,24 +89,40 @@ ACTIVE_DURATION = 150.0
 LIVE_CONFIG = DgcConfig(ttb=5.0, tta=12.0, beat_slots=16)
 PARAMS = dict(slave_count=SLAVE_COUNT, active_duration=ACTIVE_DURATION)
 
-#: Four balanced sites, 0.5 s inter-site RTT: the plan's lookahead is
-#: 0.25 s, so a barrier round advances a quarter second of simulated
-#: time — wide enough that rounds are dominated by event execution, not
-#: pipe round-trips.
+#: Two metro pairs (0.5 s RTT inside a pair — the old uniform
+#: inter-site figure) bridged by a 2 s WAN: the 2-shard boundary only
+#: crosses the WAN, so its safe window per round is 1 s of simulated
+#: time; the 4-shard plan's metro channels stay at 0.25 s, matching the
+#: PR 7 baseline's tightest boundary.
 SITE_COUNT = 4
-INTER_RTT_S = 0.5
+METRO_RTT_S = 0.5
+WAN_RTT_S = 2.0
+
+#: Machine-independent overhead gates (full scale; see module
+#: docstring).  Baselines are the PR 7 artifact at this scale/seed.
+BASELINE_V1_FRAME_BYTES = 462_974_691
+BASELINE_ROUNDS = 2093
+MIN_FRAME_DIET = 5.0
+#: The direct v1-vs-v2 gate of the compare arm is looser than the
+#: full-scale diet gate: interning leverage grows with fan-out, and the
+#: compare arm runs at CI smoke scale (measured there: ~4.4x; ~7x at
+#: full scale).
+MIN_WIRE_COMPARE_DIET = 4.0
+MIN_SPEEDUP_VS_REPLAY_2SHARDS = 0.70
+OVERHEAD_GATE_ARMED = SCALE == "full" and 2 in SHARD_ARMS
 
 MIN_SPEEDUP = 1.5
-#: The 4-shard gate needs four workers actually running concurrently.
+#: The 4-shard parallel gate needs four workers actually running
+#: concurrently.
 GATE_ARMED = (
     SCALE == "full" and 4 in SHARD_ARMS and (os.cpu_count() or 1) >= 4
 )
 
 
 def _topology():
-    return clustered_topology(
-        NODE_COUNT, site_count=SITE_COUNT,
-        intra_rtt_s=0.001, inter_rtt_s=INTER_RTT_S,
+    return metro_wan_topology(
+        NODE_COUNT, site_count=SITE_COUNT, intra_rtt_s=0.001,
+        metro_rtt_s=METRO_RTT_S, wan_rtt_s=WAN_RTT_S,
     )
 
 
@@ -114,14 +146,43 @@ def _run_replay():
     }
 
 
-def _run_sharded(shards: int):
+def _run_sharded(shards: int, wire_version: int = 2):
     gc.collect()
     sharded = ShardedWorld(
         _topology(), shards, workload="torture", params=PARAMS,
-        dgc=LIVE_CONFIG, seed=SEED,
+        dgc=LIVE_CONFIG, seed=SEED, wire_version=wire_version,
     )
     result = sharded.run()  # wall_s is measured around the whole run
     return result
+
+
+def _sharded_measurement(name, result, replay_wall):
+    return PerfMeasurement(
+        name=name,
+        wall_time_s=result.wall_s,
+        events_fired=result.events_fired,
+        peak_pending_events=max(
+            shard["peak_pending"] for shard in result.per_shard
+        ),
+        sim_time_s=result.sim_time_s,
+        extra={
+            "created": result.created,
+            "collected": result.collected_total,
+            "rounds": result.rounds,
+            "frame_count": result.frame_count,
+            "frame_bytes": result.frame_bytes,
+            "frame_entries": result.frame_entries,
+            "bytes_per_entry": round(
+                result.frame_bytes / result.frame_entries, 2
+            ) if result.frame_entries else None,
+            "wire_version": result.wire_version,
+            "frame_digest": result.frame_digest[:16],
+            "events_workload": result.events_workload,
+            "events_coordination": result.events_coordination,
+            "speedup_vs_replay": round(replay_wall / result.wall_s, 3),
+            "overhead_vs_replay": round(result.wall_s / replay_wall, 3),
+        },
+    )
 
 
 @pytest.fixture(scope="module")
@@ -129,6 +190,8 @@ def measurements():
     runs = {"replay": _run_replay()}
     for shards in SHARD_ARMS:
         runs[shards] = _run_sharded(shards)
+    if WIRE_COMPARE and 2 in SHARD_ARMS:
+        runs["2_wire_v1"] = _run_sharded(2, wire_version=1)
 
     replay = runs["replay"]
     report = PerfReport(
@@ -138,12 +201,16 @@ def measurements():
             "slave_count": SLAVE_COUNT,
             "node_count": NODE_COUNT,
             "site_count": SITE_COUNT,
-            "inter_rtt_s": INTER_RTT_S,
+            "metro_rtt_s": METRO_RTT_S,
+            "wan_rtt_s": WAN_RTT_S,
             "ttb": LIVE_CONFIG.ttb,
             "tta": LIVE_CONFIG.tta,
             "active_duration_s": ACTIVE_DURATION,
             "cpu_count": os.cpu_count(),
             "speedup_gate_armed": GATE_ARMED,
+            "overhead_gate_armed": OVERHEAD_GATE_ARMED,
+            "baseline_v1_frame_bytes": BASELINE_V1_FRAME_BYTES,
+            "baseline_rounds": BASELINE_ROUNDS,
         },
         pr_label=PR_LABEL,
     )
@@ -161,27 +228,15 @@ def measurements():
         )
     )
     for shards in SHARD_ARMS:
-        result = runs[shards]
         report.add(
-            PerfMeasurement(
-                name=f"live_shards_{shards}",
-                wall_time_s=result.wall_s,
-                events_fired=result.events_fired,
-                peak_pending_events=max(
-                    shard["peak_pending"] for shard in result.per_shard
-                ),
-                sim_time_s=result.sim_time_s,
-                extra={
-                    "created": result.created,
-                    "collected": result.collected_total,
-                    "rounds": result.rounds,
-                    "frame_count": result.frame_count,
-                    "frame_bytes": result.frame_bytes,
-                    "frame_digest": result.frame_digest[:16],
-                    "speedup_vs_replay": round(
-                        replay["wall"] / result.wall_s, 3
-                    ),
-                },
+            _sharded_measurement(
+                f"live_shards_{shards}", runs[shards], replay["wall"]
+            )
+        )
+    if "2_wire_v1" in runs:
+        report.add(
+            _sharded_measurement(
+                "live_shards_2_wire_v1", runs["2_wire_v1"], replay["wall"]
             )
         )
     report.write(BENCH_PATH)
@@ -212,22 +267,103 @@ def test_full_scale_run_collects_everything(measurements):
 
 
 def test_cross_shard_frames_flow(measurements):
-    """The multi-shard arms actually exercise the wire: struct frames
-    crossed the process boundary, and more shards mean more boundary."""
+    """The multi-shard arms actually exercise the wire: v2 frames
+    crossed the process boundary, and the events split attributes the
+    injection work."""
     for shards in SHARD_ARMS:
         result = measurements[shards]
         if shards == 1:
             assert result.frame_count == 0
+            assert result.events_coordination == 0
         else:
             assert result.frame_count > 0
             assert result.frame_bytes > 0
             assert result.injected_entries > 0
+            assert result.frame_entries >= result.injected_entries
+            assert result.events_coordination > 0
+        assert (
+            result.events_workload + result.events_coordination
+            == result.events_fired
+        )
+
+
+def test_frame_diet(measurements):
+    """The v2 wire format keeps the 2-shard frame stream at least
+    ``MIN_FRAME_DIET``x below the PR 7 v1 baseline at the same
+    scale/seed — machine-independent, so always armed at full scale."""
+    if not OVERHEAD_GATE_ARMED:
+        pytest.skip(
+            f"frame-diet gate runs at scale='full' (scale={SCALE!r})"
+        )
+    frame_bytes = measurements[2].frame_bytes
+    assert frame_bytes * MIN_FRAME_DIET <= BASELINE_V1_FRAME_BYTES, (
+        f"2-shard frame stream is {frame_bytes} bytes; the diet gate "
+        f"requires <= {BASELINE_V1_FRAME_BYTES / MIN_FRAME_DIET:.0f} "
+        f"({MIN_FRAME_DIET}x below the PR 7 baseline)"
+    )
+
+
+def test_round_diet(measurements):
+    """Per-channel lookahead over the metro-WAN topology at most halves
+    the PR 7 barrier-round count for the 2-shard arm."""
+    if not OVERHEAD_GATE_ARMED:
+        pytest.skip(
+            f"round-diet gate runs at scale='full' (scale={SCALE!r})"
+        )
+    rounds = measurements[2].rounds
+    assert rounds * 2 <= BASELINE_ROUNDS, (
+        f"2-shard run took {rounds} barrier rounds; the diet gate "
+        f"requires <= {BASELINE_ROUNDS // 2}"
+    )
+
+
+def test_sharded_overhead_vs_replay(measurements):
+    """Coordination cost, not parallelism: on any machine — including a
+    single CPU, where the arms and the replay compete for the same
+    core — the 2-shard arm must stay within the overhead budget of the
+    replay measured in the same run."""
+    if not OVERHEAD_GATE_ARMED:
+        pytest.skip(
+            f"overhead gate runs at scale='full' (scale={SCALE!r})"
+        )
+    speedup = measurements["replay"]["wall"] / measurements[2].wall_s
+    assert speedup >= MIN_SPEEDUP_VS_REPLAY_2SHARDS, (
+        f"2-shard execution runs at {speedup:.3f}x the replay "
+        f"(required: >= {MIN_SPEEDUP_VS_REPLAY_2SHARDS}x)"
+    )
+
+
+def test_wire_compare(measurements):
+    """With the compare arm enabled, the v2 diet is gated directly
+    against a v1 run of the identical configuration."""
+    if "2_wire_v1" not in measurements:
+        pytest.skip("set REPRO_LIVE_WIRE_COMPARE=1 to run the v1 arm")
+    v1 = measurements["2_wire_v1"]
+    v2 = measurements[2]
+    assert v1.outcome_signature() == v2.outcome_signature()
+    # The wire-row counts are close but not equal by design: v2 frames
+    # decode in run-grouped order, so cross-shard entries sharing a
+    # delivery instant interleave differently than under v1's
+    # insertion order — the outcome converges (asserted above), but
+    # egress drain points shift by a few rounds, moving some DGC
+    # singles in or out of coalesced aggregate rows.
+    assert abs(v1.frame_entries - v2.frame_entries) <= 0.05 * max(
+        v1.frame_entries, v2.frame_entries
+    ), (
+        f"v1/v2 wire-row counts diverged beyond tie-order slack: "
+        f"{v1.frame_entries} vs {v2.frame_entries}"
+    )
+    assert v2.frame_bytes * MIN_WIRE_COMPARE_DIET <= v1.frame_bytes, (
+        f"v2 frames ({v2.frame_bytes} bytes) are not "
+        f"{MIN_WIRE_COMPARE_DIET}x smaller than v1 "
+        f"({v1.frame_bytes} bytes)"
+    )
 
 
 def test_sharded_speedup(measurements):
     if not GATE_ARMED:
         pytest.skip(
-            f"speedup gate needs scale='full' and >= 4 CPUs "
+            f"parallel speedup gate needs scale='full' and >= 4 CPUs "
             f"(scale={SCALE!r}, cpu_count={os.cpu_count()}); the measured "
             f"ratio is still recorded in BENCH_live.json"
         )
@@ -252,7 +388,12 @@ def test_bench_artifact_written(measurements):
         entry = benchmarks[f"live_shards_{shards}"]
         assert entry["wall_time_s"] > 0
         assert entry["speedup_vs_replay"] > 0
+        assert entry["overhead_vs_replay"] > 0
+        assert entry["wire_version"] == 2
+        if shards > 1:
+            assert entry["bytes_per_entry"] > 0
     meta = payload["meta"]
     assert meta["pr_label"] == PR_LABEL
     assert meta["git_sha"]
     assert meta["speedup_gate_armed"] == GATE_ARMED
+    assert meta["overhead_gate_armed"] == OVERHEAD_GATE_ARMED

@@ -132,6 +132,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--live when given)",
     )
     run_cmd.add_argument(
+        "--wire-version", type=int, choices=[1, 2], default=None,
+        help="cross-shard frame format for --live: 1 = the flat v1 "
+        "encoding, 2 = interned/varint runs with persistent per-channel "
+        "state (the default)",
+    )
+    run_cmd.add_argument(
         "--ttb", type=float, default=None, help="heartbeat period override"
     )
     run_cmd.add_argument(
@@ -328,6 +334,14 @@ def _run_workload(args: argparse.Namespace) -> int:
 
     if args.live or args.shards is not None:
         return _run_sharded(args)
+    if args.wire_version is not None:
+        print(
+            "error: --wire-version only applies to --live (it selects "
+            "the cross-shard frame format; a single-process run has no "
+            "wire)",
+            file=sys.stderr,
+        )
+        return 2
 
     def config_for(base):
         if args.no_dgc:
@@ -629,6 +643,8 @@ def _run_sharded(args: argparse.Namespace) -> int:
         sharded = ShardedWorld(
             topology, shards, workload=workload, params=params,
             dgc=dgc, registry=registry, seed=args.seed,
+            **({} if args.wire_version is None
+               else dict(wire_version=args.wire_version)),
         )
         result = sharded.run()
     except ConfigurationError as exc:
@@ -644,11 +660,18 @@ def _run_sharded(args: argparse.Namespace) -> int:
          f"{result.collected_acyclic}/{result.collected_cyclic}"],
         ["dead letters", result.dead_letters],
         ["barrier rounds", result.rounds],
+        ["wire version", f"v{result.wire_version}"],
         ["cross-shard frames", result.frame_count],
         ["frame KB", f"{result.frame_bytes / 1e3:.1f}"],
+        ["frame bytes/entry",
+         f"{result.frame_bytes / result.frame_entries:.1f}"
+         if result.frame_entries else "-"],
         ["frame digest", result.frame_digest[:16]],
         ["total MB", f"{result.total_bytes / 1e6:.2f}"],
-        ["kernel events fired", result.events_fired],
+        ["kernel events fired",
+         f"{result.events_fired} "
+         f"({result.events_workload} workload + "
+         f"{result.events_coordination} coordination)"],
         ["sim time (s)", f"{result.sim_time_s:.1f}"],
         ["wall time (s)", f"{result.wall_s:.2f}"],
         ["events/s", f"{result.events_fired / max(result.wall_s, 1e-9):,.0f}"],

@@ -261,6 +261,15 @@ class Network:
         self.egress_message_count = 0
         self._ingress = _IngressChannel()
         self.injected_entry_count = 0
+        #: Kernel events created *by injection* — pulse instants that
+        #: exist only because a cross-shard frame landed there.  The
+        #: worker subtracts this from the kernel's fired count to split
+        #: coordination work from workload work in its stats (an
+        #: injected instant a local pulse later merges into is charged
+        #: to coordination; the reverse is charged to workload — the
+        #: attribution of shared instants, not the event total, is the
+        #: approximation).
+        self.ingress_pulse_event_count = 0
         #: Hot-path cache: source -> dest -> (sink, channel-or-None).
         #: ``None`` channel means intra-node delivery.  Two nested
         #: string-keyed dicts avoid building a key tuple per message.
@@ -367,6 +376,7 @@ class Network:
         now = kernel._now if self._fast_clock else kernel.now
         ingress = self._ingress
         stage = self._stage
+        pulses_before = self.pulse_event_count
         for delivery, dest, kind, item, payload in entries:
             if delivery < now:
                 raise NetworkError(
@@ -375,6 +385,9 @@ class Network:
                 )
             stage(delivery, (ingress, None, dest, kind, item, payload))
             self.injected_entry_count += 1
+        self.ingress_pulse_event_count += (
+            self.pulse_event_count - pulses_before
+        )
 
     # ------------------------------------------------------------------
     # Send paths

@@ -150,3 +150,54 @@ def clustered_topology(
         for b in range(a + 1, site_count)
     }
     return Topology(sites, inter)
+
+
+def metro_wan_topology(
+    node_count: int,
+    site_count: int = 4,
+    intra_rtt_s: float = 0.001,
+    metro_rtt_s: float = 0.5,
+    wan_rtt_s: float = 2.0,
+) -> Topology:
+    """Balanced sites paired into metros, metros bridged by a WAN.
+
+    Consecutive sites form metro pairs — ``c0``/``c1``, ``c2``/``c3``,
+    … — with ``metro_rtt_s`` between pair members and ``wan_rtt_s``
+    between sites of different pairs.  This is the Grid'5000 shape the
+    paper measures on (nearby clusters, a wide link between regions)
+    reduced to two latency classes, and the topology where per-channel
+    lookahead pays off: a shard boundary that falls *between* metros
+    only crosses WAN channels, so its safe advance window is the WAN
+    latency rather than the plan-wide minimum, while a boundary inside
+    a metro stays bounded by the metro latency — exactly what
+    :attr:`repro.shard.ShardPlan.lookahead_matrix` captures and a
+    single scalar lookahead cannot.
+    """
+    if site_count < 1:
+        raise ConfigurationError(
+            f"site_count must be positive, got {site_count}"
+        )
+    if node_count < site_count:
+        raise ConfigurationError(
+            f"need at least one node per site: {node_count} nodes "
+            f"across {site_count} sites"
+        )
+    if wan_rtt_s < metro_rtt_s:
+        raise ConfigurationError(
+            f"wan_rtt_s ({wan_rtt_s}) must be at least metro_rtt_s "
+            f"({metro_rtt_s}): the WAN is the wide link"
+        )
+    base, extra = divmod(node_count, site_count)
+    sites = [
+        Site(f"c{index}", base + (1 if index < extra else 0),
+             intra_rtt_s=intra_rtt_s)
+        for index in range(site_count)
+    ]
+    inter = {}
+    for a in range(site_count):
+        for b in range(a + 1, site_count):
+            same_metro = a // 2 == b // 2
+            inter[(sites[a].name, sites[b].name)] = (
+                metro_rtt_s if same_metro else wan_rtt_s
+            )
+    return Topology(sites, inter)

@@ -25,6 +25,67 @@ on:
   corrupted buffer raises :class:`WireFormatError` instead of returning
   garbage.
 
+Two frame formats share the header struct and are told apart by magic:
+
+**v1** (magic ``0x5D57``) is the original flat encoding — every entry
+pays a fixed 11-byte head (f64 delivery, u16 dest, u8 kind) and every
+value is encoded in full at every occurrence.
+
+**v2** (magic ``0x5D58``, the default) is the compact encoding.  Layout
+after the shared header:
+
+* entries are grouped into *runs* of adjacent same-kind entries:
+  ``varint run_length, varint kind_index`` then the run's entries —
+  per-entry kind bytes collapse into one column header per run;
+* each entry is ``delivery value, varint dest_index, item value,
+  payload value``;
+* values use the v1 tag set plus ``_T_BACKREF``: strings, floats and
+  the frozen fabric composites (``ActivityClock``, ``RemoteRef``,
+  ``ReplyAddress``, ``DgcMessage``, ``DgcResponse``) are *interned* in
+  a per-frame table in encode order, so every repeat — a beat's one
+  ``DgcMessage`` fanned out across dozens of targets, an activity id
+  recurring through a frame, a constant ``sender_ttb`` — costs a two-
+  or three-byte backref instead of a re-encoding.  Backrefs also
+  restore *sharing* on decode: the fan-out targets get the same
+  message object, exactly as in-process delivery would;
+* integers ride zigzag varints (``_T_BIGINT`` keeps the >64-bit
+  escape); delivery instants are ordinary float values, which the
+  intern table collapses because staged deliveries are quantized to
+  beat-bucket + channel-latency instants — the delta coding is against
+  the table, not the previous entry, so bit-identity is structural;
+* decode is zero-copy: one ``memoryview`` over the frame,
+  ``struct.unpack_from`` for fixed fields and direct ``str(view,
+  "utf-8")`` for text — no intermediate ``bytes`` slices.
+
+Both formats stay decodable (:func:`unpack_frame` dispatches on magic)
+and round-trip bit-identically on the same property suite;
+:func:`pack_frame` takes ``version=`` for the harness knob.
+
+**Channel persistence.**  The v2 intern table is per-frame by default,
+which makes every frame self-contained — but on a shard channel the
+same activity ids, clocks and messages recur frame after frame, so the
+steady state re-encodes the same strings forever.  A
+:class:`ChannelEncoder` / :class:`ChannelDecoder` pair carries the
+table *across* frames: pass them to :func:`pack_frame` /
+:func:`unpack_frame` and a value interned in frame ``n`` is a backref
+in frame ``n+k``.  This is sound exactly because the shard fabric
+already guarantees per-channel FIFO: frames carry a ``(src_shard,
+seq)`` stamp, the coordinator routes them in stamp order and the
+worker decodes each channel's frames in seq order — the decode table
+replays the encoder's registrations move for move.  Two rules follow:
+
+* a channel pair is **one direction of one (src, dst) shard pair** —
+  never share an encoder between destinations or a decoder between
+  sources, and never skip or reorder a frame;
+* a :class:`WireFormatError` mid-frame leaves the channel state
+  desynced — the channel must be discarded (the worker treats any
+  decode error as fatal, so this is moot in the fabric).
+
+The encoder pins every registered value (a strong reference), so the
+``id()``-keyed identity memo can never alias a dead object's reused
+address across frames.  Stateless calls are unchanged and remain the
+default; v1 has no channel state (passing one raises).
+
 Naming note (ROADMAP): the DGC *protocol* message types stay in
 :mod:`repro.core.wire` — they are protocol state, not transport.  This
 module owns only the transport encoding that moves staged pulse entries
@@ -33,6 +94,7 @@ between shard processes.
 
 from __future__ import annotations
 
+import math
 import struct
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -61,8 +123,13 @@ class WireFormatError(NetworkError):
 
 
 #: Frame magic: rejects frames from a foreign protocol (or a desynced
-#: stream) before any lengths are trusted.
+#: stream) before any lengths are trusted.  v1 and v2 share the header
+#: struct; the magic doubles as the format version.
 FRAME_MAGIC = 0x5D57
+FRAME_MAGIC_V2 = 0x5D58
+
+#: The format :func:`pack_frame` emits when no ``version`` is given.
+DEFAULT_WIRE_VERSION = 2
 
 _HEADER = struct.Struct("!HHIId")  # magic, src_shard, seq, count, min_delivery
 _ENTRY_HEAD = struct.Struct("!dHB")  # delivery, dest node index, kind index
@@ -86,6 +153,8 @@ _T_BYTES = 0x07
 _T_TUPLE = 0x08
 _T_LIST = 0x09
 _T_DICT = 0x0A
+#: v2 only: a varint index into the frame's intern table.
+_T_BACKREF = 0x0B
 _T_CLOCK = 0x10
 _T_REMOTE_REF = 0x11
 _T_REPLY_ADDRESS = 0x12
@@ -455,6 +524,511 @@ def _decode_value(reader: _Reader):
 
 
 # ----------------------------------------------------------------------
+# v2 value encoding (per-frame interning + varints)
+# ----------------------------------------------------------------------
+
+#: Sentinel dict keys for the two float zeroes — ``-0.0 == 0.0`` hashes
+#: identically, but bit-identical round-trips must keep them apart.
+_POS_ZERO = ("f64-zero", 1.0)
+_NEG_ZERO = ("f64-zero", -1.0)
+
+
+def _float_key(value: float):
+    if value == 0.0:
+        return _NEG_ZERO if math.copysign(1.0, value) < 0 else _POS_ZERO
+    return value
+
+
+class _V2Encoder:
+    """One frame's encode state: output buffer plus the intern table.
+
+    Interned values get indices in *encode order*, children before the
+    composite that contains them (post-order), which is exactly the
+    order the decoder appends to its table — no index negotiation on
+    the wire.  The identity memo is the fast path (the fabric reuses
+    message/clock/ref objects heavily); the value memo catches
+    equal-but-distinct objects so e.g. two responders constructing the
+    same clock value still share one table slot.
+    """
+
+    __slots__ = ("out", "id_memo", "val_memo", "count", "pins")
+
+    def __init__(self) -> None:
+        self.out = bytearray()
+        self.id_memo: Dict[int, int] = {}
+        self.val_memo: Dict[object, int] = {}
+        self.count = 0
+        # Strong refs to every registered value: the id_memo keys on
+        # id(value), and a collected value's address can be reused by a
+        # new object — harmless within one frame (the entries list pins
+        # everything), fatal for a persistent channel (zero floats key
+        # the value memo through sentinels, so nothing else pins them).
+        self.pins: List[object] = []
+
+    def varint(self, value: int) -> None:
+        out = self.out
+        while value >= 0x80:
+            out.append((value & 0x7F) | 0x80)
+            value >>= 7
+        out.append(value)
+
+    def zigzag(self, value: int) -> None:
+        self.varint((value << 1) ^ (value >> 63))
+
+    def _intern(self, value, key) -> bool:
+        """Emit a backref if ``value`` is already in the table (True);
+        otherwise return False — the caller encodes the value and then
+        calls :meth:`_register`."""
+        index = self.id_memo.get(id(value))
+        if index is None:
+            index = self.val_memo.get(key)
+        if index is None:
+            return False
+        out = self.out
+        out.append(_T_BACKREF)
+        if index < 0x80:
+            out.append(index)
+        elif index < 0x4000:
+            out.append((index & 0x7F) | 0x80)
+            out.append(index >> 7)
+        else:
+            self.varint(index)
+        return True
+
+    def _register(self, value, key) -> None:
+        index = self.count
+        self.count = index + 1
+        self.id_memo[id(value)] = index
+        self.val_memo[key] = index
+        self.pins.append(value)
+
+    def value(self, value) -> None:
+        # The dispatch chain is frequency-ordered for the sharded
+        # fabric's traffic mix — activity-id strings, then the DGC
+        # message/response payloads and their clock/ref constituents —
+        # because every staged entry funnels through here and the chain
+        # itself shows up in profiles.
+        out = self.out
+        cls = value.__class__
+        if cls is str:
+            # Strings skip the identity memo: equal strings hash fast
+            # (CPython caches str hashes), so the value memo alone is
+            # both the fast path and the dedup.
+            memo = self.val_memo
+            index = memo.get(value)
+            if index is not None:
+                out.append(_T_BACKREF)
+                if index < 0x80:
+                    out.append(index)
+                elif index < 0x4000:
+                    out.append((index & 0x7F) | 0x80)
+                    out.append(index >> 7)
+                else:
+                    self.varint(index)
+                return
+            raw = value.encode("utf-8")
+            out.append(_T_STR)
+            self.varint(len(raw))
+            out += raw
+            memo[value] = self.count
+            self.count += 1
+        elif cls is DgcMessage:
+            if self._intern(value, value):
+                return
+            out.append(_T_DGC_MESSAGE)
+            self.value(value.sender)
+            self.value(value.clock)
+            out.append(1 if value.consensus else 0)
+            self.value(value.sender_ref)
+            self.value(value.sender_ttb)
+            self._register(value, value)
+        elif cls is DgcResponse:
+            if self._intern(value, value):
+                return
+            out.append(_T_DGC_RESPONSE)
+            self.value(value.responder)
+            self.value(value.clock)
+            out.append(1 if value.has_parent else 0)
+            out.append(1 if value.consensus_reached else 0)
+            self.value(value.depth)
+            self._register(value, value)
+        elif cls is ActivityClock:
+            if self._intern(value, value):
+                return
+            out.append(_T_CLOCK)
+            self.zigzag(value.value)
+            self.value(value.owner)
+            self._register(value, value)
+        elif cls is RemoteRef:
+            if self._intern(value, value):
+                return
+            out.append(_T_REMOTE_REF)
+            self.value(value.activity_id)
+            self.value(value.node)
+            self._register(value, value)
+        elif value is None:
+            out.append(_T_NONE)
+        elif cls is bool:
+            out.append(_T_TRUE if value else _T_FALSE)
+        elif cls is int:
+            if _INT64_MIN <= value <= _INT64_MAX:
+                out.append(_T_INT)
+                self.zigzag(value)
+            else:
+                raw = value.to_bytes(
+                    (value.bit_length() + 8) // 8, "big", signed=True
+                )
+                out.append(_T_BIGINT)
+                self.varint(len(raw))
+                out += raw
+        elif cls is float:
+            key = _float_key(value)
+            if self._intern(value, key):
+                return
+            out.append(_T_FLOAT)
+            out += _F64.pack(value)
+            self._register(value, key)
+        elif cls is bytes:
+            out.append(_T_BYTES)
+            self.varint(len(value))
+            out += value
+        elif cls is tuple:
+            out.append(_T_TUPLE)
+            self.varint(len(value))
+            for element in value:
+                self.value(element)
+        elif cls is list:
+            out.append(_T_LIST)
+            self.varint(len(value))
+            for element in value:
+                self.value(element)
+        elif cls is dict:
+            out.append(_T_DICT)
+            self.varint(len(value))
+            for key, entry in value.items():
+                self.value(key)
+                self.value(entry)
+        elif cls is ReplyAddress:
+            if self._intern(value, value):
+                return
+            out.append(_T_REPLY_ADDRESS)
+            self.value(value.node)
+            self.value(value.activity)
+            self.zigzag(value.future_id)
+            self._register(value, value)
+        elif cls is Request:
+            out.append(_T_REQUEST)
+            self.value(value.method)
+            self.value(value.sender)
+            self.value(value.target)
+            self.zigzag(value.payload_bytes)
+            self.zigzag(value.request_id)
+            self.value(tuple(value.refs))
+            self.value(value.data)
+            self.value(value.reply_to)
+        elif type(value) is Reply:
+            out.append(_T_REPLY)
+            self.zigzag(value.future_id)
+            self.value(value.target_activity)
+            self.zigzag(value.payload_bytes)
+            self.value(tuple(value.refs))
+            self.value(value.data)
+        elif type(value) is RegistryLookup:
+            out.append(_T_REG_LOOKUP)
+            self.value(value.name)
+            self.value(value.reply_to)
+        elif type(value) is RegistryReply:
+            out.append(_T_REG_REPLY)
+            self.zigzag(value.future_id)
+            self.value(value.target_activity)
+            self.value(value.name)
+            self.value(value.ref)
+            self.value(value.lease_s)
+        elif type(value) is RegistryBind:
+            out.append(_T_REG_BIND)
+            self.value(value.name)
+            self.value(value.ref)
+            self.value(value.reply_to)
+        elif type(value) is RegistryAck:
+            out.append(_T_REG_ACK)
+            self.zigzag(value.future_id)
+            self.value(value.target_activity)
+            self.value(value.name)
+            out.append(1 if value.ok else 0)
+            self.value(value.error)
+        elif type(value) is RegistryRenew:
+            out.append(_T_REG_RENEW)
+            self.value(value.node)
+            self.value(value.names)
+        elif type(value) is RegistryRenewAck:
+            out.append(_T_REG_RENEW_ACK)
+            self.value(value.names)
+            self.value(value.lease_s)
+        elif type(value) is RegistryInvalidate:
+            out.append(_T_REG_INVALIDATE)
+            self.value(value.names)
+        elif type(value) is RegistryPush:
+            out.append(_T_REG_PUSH)
+            self.value(value.bindings)
+        else:
+            raise WireFormatError(
+                f"cannot encode {type(value).__name__!r} on the shard wire"
+            )
+
+
+# ----------------------------------------------------------------------
+# v2 value decoding
+# ----------------------------------------------------------------------
+
+
+class _V2Reader:
+    """Bounds-checked zero-copy cursor over one v2 frame.
+
+    Fixed fields go through ``struct.unpack_from`` on the shared
+    memoryview, text through ``str(view, "utf-8")`` — nothing slices
+    into intermediate ``bytes``.  ``table`` is the decode-side intern
+    table; it grows in exactly the encoder's registration order.
+    """
+
+    __slots__ = ("buf", "pos", "end", "table")
+
+    def __init__(self, buf, pos: int, end: int) -> None:
+        self.buf = buf
+        self.pos = pos
+        self.end = end
+        self.table: List[object] = []
+
+    def _need(self, count: int) -> int:
+        pos = self.pos
+        stop = pos + count
+        if stop > self.end:
+            raise WireFormatError(
+                f"truncated frame: wanted {count} bytes at offset {pos}, "
+                f"{self.end - pos} available"
+            )
+        self.pos = stop
+        return pos
+
+    def u8(self) -> int:
+        return self.buf[self._need(1)]
+
+    def f64(self) -> float:
+        return _F64.unpack_from(self.buf, self._need(8))[0]
+
+    def varint(self) -> int:
+        buf = self.buf
+        pos = self.pos
+        end = self.end
+        if pos >= end:
+            raise WireFormatError(
+                f"truncated frame: varint at offset {pos} past end"
+            )
+        byte = buf[pos]
+        if byte < 0x80:
+            self.pos = pos + 1
+            return byte
+        result = byte & 0x7F
+        shift = 7
+        pos += 1
+        while True:
+            if pos >= end:
+                raise WireFormatError(
+                    f"truncated frame: varint at offset {self.pos} past end"
+                )
+            if shift > 63:
+                raise WireFormatError(
+                    f"overlong varint at offset {self.pos}"
+                )
+            byte = buf[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                self.pos = pos
+                return result
+            shift += 7
+
+    def zigzag(self) -> int:
+        raw = self.varint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def text(self) -> str:
+        length = self.varint()
+        pos = self._need(length)
+        try:
+            return str(self.buf[pos:pos + length], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"corrupt string field: {exc}") from None
+
+
+def _decode_value_v2(reader: _V2Reader):
+    # Tag dispatch is frequency-ordered to mirror the encoder: the
+    # sharded fabric's frames are dominated by backrefs, activity-id
+    # strings and the DGC payload types, so those exit the chain first.
+    pos = reader.pos
+    if pos >= reader.end:
+        raise WireFormatError(
+            f"truncated frame: wanted 1 bytes at offset {pos}, 0 available"
+        )
+    reader.pos = pos + 1
+    tag = reader.buf[pos]
+    if tag == _T_BACKREF:
+        # Inlined varint: backrefs are the single hottest tag, and a
+        # persistent channel's indices live mostly in the two-byte band.
+        buf = reader.buf
+        pos = reader.pos
+        end = reader.end
+        if pos < end and buf[pos] < 0x80:
+            reader.pos = pos + 1
+            index = buf[pos]
+        elif pos + 1 < end and buf[pos + 1] < 0x80:
+            reader.pos = pos + 2
+            index = (buf[pos] & 0x7F) | (buf[pos + 1] << 7)
+        else:
+            index = reader.varint()
+        table = reader.table
+        if index < len(table):
+            return table[index]
+        raise WireFormatError(
+            f"backref {index} out of range ({len(table)} interned)"
+        )
+    if tag == _T_STR:
+        value = reader.text()
+        reader.table.append(value)
+        return value
+    if tag == _T_DGC_MESSAGE:
+        sender = _decode_value_v2(reader)
+        clock = _decode_value_v2(reader)
+        consensus = reader.u8() != 0
+        sender_ref = _decode_value_v2(reader)
+        sender_ttb = _decode_value_v2(reader)
+        value = DgcMessage(sender, clock, consensus, sender_ref, sender_ttb)
+        reader.table.append(value)
+        return value
+    if tag == _T_DGC_RESPONSE:
+        responder = _decode_value_v2(reader)
+        clock = _decode_value_v2(reader)
+        has_parent = reader.u8() != 0
+        consensus_reached = reader.u8() != 0
+        depth = _decode_value_v2(reader)
+        value = DgcResponse(
+            responder, clock, has_parent, consensus_reached, depth
+        )
+        reader.table.append(value)
+        return value
+    if tag == _T_CLOCK:
+        value = ActivityClock(reader.zigzag(), _decode_value_v2(reader))
+        reader.table.append(value)
+        return value
+    if tag == _T_REMOTE_REF:
+        value = RemoteRef(_decode_value_v2(reader), _decode_value_v2(reader))
+        reader.table.append(value)
+        return value
+    if tag == _T_FLOAT:
+        value = reader.f64()
+        reader.table.append(value)
+        return value
+    if tag == _T_INT:
+        return reader.zigzag()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_TUPLE:
+        count = reader.varint()
+        return tuple(_decode_value_v2(reader) for _ in range(count))
+    if tag == _T_LIST:
+        count = reader.varint()
+        return [_decode_value_v2(reader) for _ in range(count)]
+    if tag == _T_DICT:
+        count = reader.varint()
+        return {
+            _decode_value_v2(reader): _decode_value_v2(reader)
+            for _ in range(count)
+        }
+    if tag == _T_BIGINT:
+        length = reader.varint()
+        pos = reader._need(length)
+        return int.from_bytes(
+            reader.buf[pos:pos + length], "big", signed=True
+        )
+    if tag == _T_BYTES:
+        length = reader.varint()
+        pos = reader._need(length)
+        return bytes(reader.buf[pos:pos + length])
+    if tag == _T_REPLY_ADDRESS:
+        value = ReplyAddress(
+            _decode_value_v2(reader), _decode_value_v2(reader),
+            reader.zigzag(),
+        )
+        reader.table.append(value)
+        return value
+    if tag == _T_REQUEST:
+        method = _decode_value_v2(reader)
+        sender = _decode_value_v2(reader)
+        target = _decode_value_v2(reader)
+        payload_bytes = reader.zigzag()
+        request_id = reader.zigzag()
+        refs = _decode_value_v2(reader)
+        data = _decode_value_v2(reader)
+        reply_to = _decode_value_v2(reader)
+        return Request(
+            method,
+            sender,
+            target,
+            payload_bytes=payload_bytes,
+            refs=refs,
+            data=data,
+            reply_to=reply_to,
+            request_id=request_id,
+        )
+    if tag == _T_REPLY:
+        future_id = reader.zigzag()
+        target_activity = _decode_value_v2(reader)
+        payload_bytes = reader.zigzag()
+        refs = _decode_value_v2(reader)
+        data = _decode_value_v2(reader)
+        return Reply(
+            future_id,
+            target_activity,
+            payload_bytes=payload_bytes,
+            refs=refs,
+            data=data,
+        )
+    if tag == _T_REG_LOOKUP:
+        return RegistryLookup(_decode_value_v2(reader), _decode_value_v2(reader))
+    if tag == _T_REG_REPLY:
+        future_id = reader.zigzag()
+        target_activity = _decode_value_v2(reader)
+        name = _decode_value_v2(reader)
+        ref = _decode_value_v2(reader)
+        lease_s = _decode_value_v2(reader)
+        return RegistryReply(future_id, target_activity, name, ref, lease_s)
+    if tag == _T_REG_BIND:
+        name = _decode_value_v2(reader)
+        ref = _decode_value_v2(reader)
+        reply_to = _decode_value_v2(reader)
+        return RegistryBind(name, ref, reply_to)
+    if tag == _T_REG_ACK:
+        future_id = reader.zigzag()
+        target_activity = _decode_value_v2(reader)
+        name = _decode_value_v2(reader)
+        ok = reader.u8() != 0
+        error = _decode_value_v2(reader)
+        return RegistryAck(future_id, target_activity, name, ok, error)
+    if tag == _T_REG_RENEW:
+        return RegistryRenew(_decode_value_v2(reader), _decode_value_v2(reader))
+    if tag == _T_REG_RENEW_ACK:
+        return RegistryRenewAck(_decode_value_v2(reader), _decode_value_v2(reader))
+    if tag == _T_REG_INVALIDATE:
+        return RegistryInvalidate(_decode_value_v2(reader))
+    if tag == _T_REG_PUSH:
+        return RegistryPush(_decode_value_v2(reader))
+    raise WireFormatError(f"unknown value tag 0x{tag:02X}")
+
+
+# ----------------------------------------------------------------------
 # Frames
 # ----------------------------------------------------------------------
 
@@ -480,11 +1054,68 @@ class Frame:
         )
 
 
+class ChannelEncoder(_V2Encoder):
+    """Persistent encode state for one ordered (src, dst) frame stream.
+
+    Pass the same instance to every :func:`pack_frame` call on the
+    channel (v2 only) and the intern table survives between frames:
+    the steady state re-sends recurring ids, clocks and messages as
+    backrefs instead of full encodings.  Sound only if the peer decodes
+    the channel's frames in pack order with a matching
+    :class:`ChannelDecoder` — the shard fabric's ``(src_shard, seq)``
+    stamps guarantee exactly that.
+    """
+
+    __slots__ = ()
+
+
+class ChannelDecoder:
+    """Decode half of a persistent channel: the cross-frame intern
+    table, grown in the paired :class:`ChannelEncoder`'s registration
+    order.  Discard after any decode error — the table is desynced."""
+
+    __slots__ = ("table",)
+
+    def __init__(self) -> None:
+        self.table: List[object] = []
+
+
+def frame_stamp(buf: bytes) -> Tuple[int, int]:
+    """The ``(src_shard, seq)`` stamp from a packed frame's header —
+    the global merge key — without decoding the body.  Lets a worker
+    order raw buffers *before* decoding, which persistent channel
+    decoders require (each channel's frames must decode in seq order).
+    """
+    if len(buf) < _HEADER.size:
+        raise WireFormatError(
+            f"truncated frame: {len(buf)} bytes, header needs "
+            f"{_HEADER.size}"
+        )
+    magic, src_shard, seq, _count, _min_delivery = _HEADER.unpack_from(buf, 0)
+    if magic != FRAME_MAGIC and magic != FRAME_MAGIC_V2:
+        raise WireFormatError(f"bad frame magic 0x{magic:04X}")
+    return src_shard, seq
+
+
+def frame_version(buf: bytes) -> int:
+    """The format version of a packed frame (1 or 2), from its magic."""
+    if len(buf) < 2:
+        raise WireFormatError("truncated frame: no magic")
+    magic = (buf[0] << 8) | buf[1]
+    if magic == FRAME_MAGIC:
+        return 1
+    if magic == FRAME_MAGIC_V2:
+        return 2
+    raise WireFormatError(f"bad frame magic 0x{magic:04X}")
+
+
 def pack_frame(
     src_shard: int,
     seq: int,
     entries: Sequence[Tuple[float, str, str, object, object]],
     node_index: Dict[str, int],
+    version: int = DEFAULT_WIRE_VERSION,
+    channel: Optional[ChannelEncoder] = None,
 ) -> bytes:
     """Pack staged pulse entries into one wire frame.
 
@@ -492,8 +1123,17 @@ def pack_frame(
     exactly the columns a staged pulse entry carries minus the channel
     (the receiving shard re-binds its own ingress channel).  ``kind``
     may be any registered kind or a site-pair aggregate marker, in which
-    case item/payload are the flat target/message columns.
+    case item/payload are the flat target/message columns.  ``version``
+    selects the frame format; both decode through :func:`unpack_frame`.
+    ``channel`` (v2 only) persists the intern table across the frames
+    of one ordered shard channel.
     """
+    if version == 2:
+        return _pack_frame_v2(src_shard, seq, entries, node_index, channel)
+    if version != 1:
+        raise WireFormatError(f"unknown wire version {version!r}")
+    if channel is not None:
+        raise WireFormatError("wire v1 has no channel state")
     index = kind_index()
     out = bytearray(
         _HEADER.pack(
@@ -523,21 +1163,103 @@ def pack_frame(
     return bytes(out)
 
 
-def unpack_frame(buf: bytes, node_names: Sequence[str]) -> Frame:
+def _pack_frame_v2(
+    src_shard: int,
+    seq: int,
+    entries: Sequence[Tuple[float, str, str, object, object]],
+    node_index: Dict[str, int],
+    channel: Optional[ChannelEncoder] = None,
+) -> bytes:
+    # Entries sharing (kind, delivery instant, destination node) are
+    # coalesced into one run that spells those three columns out once —
+    # beat-quantized DGC traffic shares delivery instants heavily, so
+    # the common frame carries several items per run.  Runs appear in
+    # first-occurrence order and items keep their staged order within a
+    # run, so the decoded entry list is a deterministic, order-
+    # normalized permutation of the input (same multiset, bit-identical
+    # values); per-channel FIFO order survives because a channel's
+    # equal-delivery sends land in the same run.  The float key goes
+    # through its IEEE bits so -0.0/0.0 (and NaN payloads) never merge.
+    pack_f64 = _F64.pack
+    groups: Dict[tuple, list] = {}
+    get_group = groups.get
+    for entry in entries:
+        delivery = entry[0]
+        if type(delivery) is not float:
+            # struct "d" coerced ints in v1; keep that contract.
+            delivery = float(delivery)
+        key = (entry[2], pack_f64(delivery), entry[1])
+        bucket = get_group(key)
+        if bucket is None:
+            groups[key] = bucket = [delivery, entry[1], entry[2]]
+        bucket.append(entry[3])
+        bucket.append(entry[4])
+    index = kind_index()
+    if channel is None:
+        encoder = _V2Encoder()
+    else:
+        encoder = channel
+        encoder.out = bytearray()  # fresh frame body, memos persist
+    varint = encoder.varint
+    value = encoder.value
+    for bucket in groups.values():
+        delivery = bucket[0]
+        dest = bucket[1]
+        kind = bucket[2]
+        try:
+            kind_position = index[kind]
+        except KeyError:
+            raise WireFormatError(
+                f"kind {kind!r} is not registered with the fabric"
+            ) from None
+        try:
+            dest_position = node_index[dest]
+        except KeyError:
+            raise WireFormatError(
+                f"destination node {dest!r} is not in the shared "
+                f"topology"
+            ) from None
+        varint((len(bucket) - 3) >> 1)
+        varint(kind_position)
+        value(delivery)
+        varint(dest_position)
+        for field in range(3, len(bucket)):
+            value(bucket[field])
+    return _HEADER.pack(
+        FRAME_MAGIC_V2,
+        src_shard,
+        seq,
+        len(entries),
+        min((entry[0] for entry in entries), default=0.0),
+    ) + bytes(encoder.out)
+
+
+def unpack_frame(
+    buf: bytes,
+    node_names: Sequence[str],
+    channel: Optional[ChannelDecoder] = None,
+) -> Frame:
     """Decode one frame; inverse of :func:`pack_frame`.
 
     ``node_names`` is the shared topology's node tuple (both sides
     derive it from the same :class:`~repro.net.topology.Topology`).
     Kinds come back as the canonical interned constants, so identity
     dispatch in the columnar fire loop works on injected entries.
+    ``channel`` (v2 only) persists the intern table across the frames
+    of one ordered shard channel; it must mirror the packing side's
+    :class:`ChannelEncoder` frame for frame.
     """
     if len(buf) < _HEADER.size:
         raise WireFormatError(
             f"truncated frame: {len(buf)} bytes, header needs {_HEADER.size}"
         )
     magic, src_shard, seq, count, _min_delivery = _HEADER.unpack_from(buf, 0)
+    if magic == FRAME_MAGIC_V2:
+        return _unpack_frame_v2(buf, node_names, src_shard, seq, count, channel)
     if magic != FRAME_MAGIC:
         raise WireFormatError(f"bad frame magic 0x{magic:04X}")
+    if channel is not None:
+        raise WireFormatError("wire v1 has no channel state")
     table = kind_table()
     reader = _Reader(memoryview(buf), _HEADER.size, len(buf))
     entries: List[Tuple[float, str, str, object, object]] = []
@@ -561,6 +1283,63 @@ def unpack_frame(buf: bytes, node_names: Sequence[str]) -> Frame:
             (delivery, node_names[dest_position], table[kind_position],
              item, payload)
         )
+    if reader.pos != reader.end:
+        raise WireFormatError(
+            f"frame has {reader.end - reader.pos} trailing bytes"
+        )
+    return Frame(src_shard, seq, entries)
+
+
+def _unpack_frame_v2(
+    buf: bytes,
+    node_names: Sequence[str],
+    src_shard: int,
+    seq: int,
+    count: int,
+    channel: Optional[ChannelDecoder] = None,
+) -> Frame:
+    table = kind_table()
+    node_count = len(node_names)
+    reader = _V2Reader(memoryview(buf), _HEADER.size, len(buf))
+    if channel is not None:
+        reader.table = channel.table
+    decode = _decode_value_v2
+    varint = reader.varint
+    entries: List[Tuple[float, str, str, object, object]] = []
+    append = entries.append
+    decoded = 0
+    while decoded < count:
+        run_length = varint()
+        if run_length == 0:
+            raise WireFormatError("empty kind run")
+        decoded += run_length
+        if decoded > count:
+            raise WireFormatError(
+                f"kind run of {run_length} overflows entry count {count}"
+            )
+        kind_position = varint()
+        if kind_position >= len(table):
+            raise WireFormatError(
+                f"kind index {kind_position} out of range "
+                f"({len(table)} kinds)"
+            )
+        kind = table[kind_position]
+        delivery = decode(reader)
+        if type(delivery) is not float:
+            raise WireFormatError(
+                f"delivery instant decodes as "
+                f"{type(delivery).__name__}, expected float"
+            )
+        dest_position = varint()
+        if dest_position >= node_count:
+            raise WireFormatError(
+                f"destination index {dest_position} out of range "
+                f"({node_count} nodes)"
+            )
+        dest = node_names[dest_position]
+        for _ in range(run_length):
+            item = decode(reader)
+            append((delivery, dest, kind, item, decode(reader)))
     if reader.pos != reader.end:
         raise WireFormatError(
             f"frame has {reader.end - reader.pos} trailing bytes"

@@ -5,27 +5,66 @@
 :func:`~repro.shard.worker.worker_main` process per shard, and drives
 them in *barrier rounds*:
 
-1. every worker reports its next local event time and the wire frames
-   its last window produced;
+1. every worker reports its *earliest output time* — the earliest
+   instant it could still produce a cross-shard send (its next local
+   event time; the egress is drained into the same report) — and the
+   wire frames its last window produced;
 2. the coordinator routes each frame to its destination shard and
-   computes the global minimum ``M`` over all reported next-event times
-   and all undelivered frames' earliest delivery instants;
-3. it grants every worker the horizon ``H = M + L`` (``L`` the plan's
-   lookahead — the minimum cross-shard one-way latency), injecting the
-   frames destined to each shard first.
+   computes each shard's *bid* ``B_i``: the minimum of its earliest
+   output time and the delivery instants of undelivered frames
+   destined to it (an injected frame fires an event, and that event
+   can send);
+3. it grants each shard ``j`` its own horizon: the earliest instant
+   any chain of cross-shard hops, starting from any shard's bid and
+   crossing the plan's per-channel lookahead matrix ``L``, could
+   arrive at ``j``.  In exact arithmetic that is
+   ``H_j = min(min_{i != j} (B_i + D*[i][j]), B_j + cycle_j)`` over
+   the matrix's shortest-path closure
+   (:attr:`~repro.shard.plan.ShardPlan.horizon_matrix`, whose diagonal
+   ``cycle_j`` bounds a shard's own output echoing back); the
+   implementation instead runs a per-round Bellman–Ford relaxation in
+   *arrival-time space*, accumulating each chain with the same
+   left-folded float additions a real chain of sends accumulates —
+   float ``+`` is monotone in each argument but not associative, so
+   ``bid + precomputed_closure`` could exceed a real two-hop arrival
+   by a few ULPs and trip the late-injection guard, while the folded
+   bound provably cannot.  Frames destined to a shard are injected
+   before it advances.  Only shards whose horizon grew (or that have
+   frames to receive) are advanced; the others' last reports stay
+   exact because they have not moved.
 
-Safety is the classic conservative-synchronization induction: every
-event fired inside a round happens at ``t >= M``, so every cross-shard
-delivery it generates is at ``t + L >= M + L = H`` — at or after the
-*next* round's injection point, never in its past.  Workers enforce the
-invariant (:meth:`~repro.net.network.Network.inject_remote_entries`
-raises on a late entry) rather than trusting it.
+Safety is the classic conservative-synchronization induction, per
+channel: a chain of hops that starts from shard ``i``'s current state
+and ends at ``j`` pays each edge's latency with a monotone float add,
+so its final delivery is at or after the relaxation's arrival bound —
+at or after ``j``'s injection point, never in its past.  Granted
+horizons are monotone (a shrinking computed bound is clamped to the
+previous grant, which stays safe because every bound computed in
+round ``r`` lower-bounds deliveries generated in *all* rounds
+``>= r``).  On a non-uniform
+topology — metro site pairs bridged by a WAN, the Grid'5000 shape the
+paper measures on — per-channel horizons beat the single global
+``H = M + min L``: a shard bordered only by wide channels advances
+through windows the narrowest boundary anywhere in the plan would have
+denied it, cutting barrier rounds.  Workers enforce the invariant
+(:meth:`~repro.net.network.Network.inject_remote_entries` raises on a
+late entry) rather than trusting it.
+
+Because horizons are per shard, worker clocks diverge between rounds.
+Phase transitions still happen at one shared instant: once a phase
+predicate is satisfied the coordinator runs *alignment rounds* —
+ordinary conservative rounds with horizons capped at the current
+maximum grant — until every worker stands at the same virtual time,
+then broadcasts the phase entry (whose driver-side actions run at that
+shared time, exactly as under the global-horizon protocol).
 
 **Determinism.**  Frames are stamped ``(src_shard, seq)`` by their
 producer and merged by the coordinator in shard order, frames in
 sequence order — a total order independent of OS scheduling, pipe
-timing or process count.  The coordinator folds every routed frame, in
-that order, into a SHA-256 running digest: two runs of the same
+timing or process count (which shards advance each round is itself a
+deterministic function of the reports, so selective advance preserves
+it).  The coordinator folds every routed frame, in that order, into a
+SHA-256 running digest: two runs of the same
 configuration produce byte-identical frame streams and therefore equal
 digests (the whole cross-shard conversation is replayable from the
 log; pass ``record_frames=True`` to keep the raw frames).  Workers
@@ -52,6 +91,7 @@ entries, whose driver-side actions run at the shared current horizon.
 from __future__ import annotations
 
 import hashlib
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -59,6 +99,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.config import DgcConfig, RegistryConfig
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.topology import Topology
+from repro.net.wire import DEFAULT_WIRE_VERSION
 from repro.shard.plan import ShardPlan, make_plan
 from repro.shard.worker import (
     REGISTRY_COUNTERS,
@@ -71,15 +112,23 @@ from repro.shard.workloads import Phase, workload_phases
 
 @dataclass
 class _Report:
-    """One worker's state at a barrier point."""
+    """One worker's state at a barrier point.
+
+    A skipped worker's report stays valid until it is next advanced —
+    the worker has not moved, so every field (including ``eot``) is
+    stale but exact.
+    """
 
     next_time: Optional[float]
     live_non_root: int
     counters: Tuple[int, int, int, int]
     all_idle: bool
     flags: Dict[str, bool]
-    #: (dest_shard, has_app, min_delivery, frame_bytes) rows.
-    frames: List[Tuple[int, bool, float, bytes]]
+    #: (dest_shard, has_app, min_delivery, n_entries, frame_bytes) rows.
+    frames: List[Tuple[int, bool, float, int, bytes]]
+    #: Earliest instant this worker could still produce a cross-shard
+    #: send (``None``: it cannot until something is injected).
+    eot: Optional[float]
 
 
 @dataclass
@@ -103,8 +152,19 @@ class ShardedRunResult:
     phase_times: List[float]
     frame_count: int
     frame_bytes: int
+    #: Total staged pulse entries carried by all frames (the
+    #: denominator of bytes-per-entry).
+    frame_entries: int
     frame_digest: str
+    #: Frame format the workers packed egress with.
+    wire_version: int
     events_fired: int
+    #: :attr:`events_fired` split into events the workload itself
+    #: scheduled vs. pulse instants that exist only because a
+    #: cross-shard frame was injected (coordination overhead; zero for
+    #: a single-process run).
+    events_workload: int
+    events_coordination: int
     egress_messages: int
     injected_entries: int
     total_bytes: int
@@ -136,6 +196,59 @@ class ShardedRunResult:
         )
 
 
+def _arrival_bounds(
+    bids: List[float],
+    lookahead_rows: Tuple[Tuple[float, ...], ...],
+) -> List[float]:
+    """Per-shard earliest-arrival bounds — the granted horizons.
+
+    ``bids[i]`` is the earliest instant shard ``i`` can still act (its
+    earliest output time, or the earliest undelivered frame destined to
+    it).  The returned ``arrive[j]`` is the earliest instant *any*
+    chain of cross-shard hops over the lookahead matrix could land a
+    delivery on ``j`` — shard ``j`` may safely fire every event
+    strictly before it.
+
+    A Bellman–Ford relaxation in arrival-time space: ``act[u]`` tracks
+    the earliest instant shard ``u`` can act (its bid, lowered by
+    chained arrivals into it), and every candidate is folded
+    left-to-right — ``(bid + L1) + L2``, never ``bid + (L1 + L2)`` —
+    exactly as a real chain of sends folds its delivery times.  Float
+    ``+`` is monotone in each argument, so each real hop's delivery is
+    at or above the corresponding fold and the bound survives float
+    rounding (a presummed closure would not: ``+`` is not
+    associative).  Positive latencies make cycles non-improving, so
+    the fixpoint is reached in at most ``len(bids)`` sweeps.  In exact
+    arithmetic this equals
+    ``min(min_{i != j}(B_i + D*[i][j]), B_j + cycle_j)`` over
+    :attr:`~repro.shard.plan.ShardPlan.horizon_matrix`.
+    """
+    count = len(bids)
+    act = list(bids)
+    arrive = [math.inf] * count
+    changed = True
+    while changed:
+        changed = False
+        for u in range(count):
+            departure = act[u]
+            if departure == math.inf:
+                continue
+            row = lookahead_rows[u]
+            for v in range(count):
+                if v == u:
+                    continue
+                latency = row[v]
+                if latency == math.inf:
+                    continue
+                candidate = departure + latency
+                if candidate < arrive[v]:
+                    arrive[v] = candidate
+                    if candidate < act[v]:
+                        act[v] = candidate
+                    changed = True
+    return arrive
+
+
 class ShardedWorld:
     """A world partitioned over ``shard_count`` worker processes."""
 
@@ -153,7 +266,12 @@ class ShardedWorld:
         record_frames: bool = False,
         max_sim_time: float = 72_000.0,
         io_timeout_s: float = 300.0,
+        wire_version: int = DEFAULT_WIRE_VERSION,
     ) -> None:
+        if wire_version not in (1, 2):
+            raise ConfigurationError(
+                f"unknown wire version {wire_version!r} (have: 1, 2)"
+            )
         if dgc is None:
             raise ConfigurationError(
                 "the sharded world needs a DgcConfig: collection drives "
@@ -177,12 +295,14 @@ class ShardedWorld:
         self.record_frames = record_frames
         self.max_sim_time = max_sim_time
         self.io_timeout_s = io_timeout_s
+        self.wire_version = wire_version
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def run(self) -> ShardedRunResult:
+        import gc
         import multiprocessing
 
         mp = multiprocessing.get_context("fork")
@@ -190,26 +310,21 @@ class ShardedWorld:
         conns = []
         procs = []
         try:
-            for shard in range(self.plan.shard_count):
-                parent_conn, child_conn = mp.Pipe()
-                spec = WorkerSpec(
-                    shard=shard,
-                    plan=self.plan,
-                    topology=self.topology,
-                    workload=self.workload,
-                    params=self.params,
-                    dgc=self.dgc,
-                    registry=self.registry,
-                    seed=self.seed,
-                    trace=self.trace,
-                )
-                proc = mp.Process(
-                    target=worker_main, args=(child_conn, spec), daemon=True
-                )
-                proc.start()
-                child_conn.close()
-                conns.append(parent_conn)
-                procs.append(proc)
+            # Freeze the caller's heap across the forks.  Whatever the
+            # parent holds at fork time (a replay world, earlier
+            # benchmark arms) is unreachable garbage from a worker's
+            # point of view, but its gen-2 collections would still
+            # traverse every inherited object — dirtying copy-on-write
+            # pages and burning CPU proportional to the *caller's*
+            # heap, not the worker's.  Parking it in the permanent
+            # generation makes child GC skip it; the parent thaws as
+            # soon as the workers are spawned.
+            gc.collect()
+            gc.freeze()
+            try:
+                self._spawn(mp, conns, procs)
+            finally:
+                gc.unfreeze()
             return self._drive(conns, start)
         finally:
             for conn in conns:
@@ -219,18 +334,41 @@ class ShardedWorld:
                 if proc.is_alive():  # pragma: no cover - hang backstop
                     proc.terminate()
 
+    def _spawn(self, mp, conns, procs) -> None:
+        for shard in range(self.plan.shard_count):
+            parent_conn, child_conn = mp.Pipe()
+            spec = WorkerSpec(
+                shard=shard,
+                plan=self.plan,
+                topology=self.topology,
+                workload=self.workload,
+                params=self.params,
+                dgc=self.dgc,
+                registry=self.registry,
+                seed=self.seed,
+                trace=self.trace,
+                wire_version=self.wire_version,
+            )
+            proc = mp.Process(
+                target=worker_main, args=(child_conn, spec), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
     # ------------------------------------------------------------------
     # The barrier-round loop
     # ------------------------------------------------------------------
 
     def _drive(self, conns, start: float) -> ShardedRunResult:
         shard_count = self.plan.shard_count
-        lookahead = self.plan.lookahead
-        if lookahead == float("inf"):
-            # One shard: no boundary constrains the window, but rounds
-            # must stay finite so the phase predicate is re-evaluated —
-            # one DGC beat per round is the natural granularity.
-            lookahead = self.dgc.ttb
+        lookahead_rows = self.plan.lookahead_matrix
+        # One shard: no boundary constrains the window, but rounds must
+        # stay finite so the phase predicate is re-evaluated — one DGC
+        # beat per round is the natural granularity (the cycle bound is
+        # infinite: there is nobody to echo output back).
+        single_step = self.dgc.ttb if shard_count == 1 else None
         phases = self.phases
         digest = hashlib.sha256()
         frame_log: Optional[List[Tuple[int, int, bytes]]] = (
@@ -243,72 +381,113 @@ class ShardedWorld:
         state = {
             "frame_count": 0,
             "frame_bytes": 0,
+            "frame_entries": 0,
             "pending_app": 0,
         }
 
-        def route(reports: List[_Report]) -> None:
-            for src, report in enumerate(reports):
-                for dest, has_app, min_delivery, buf in report.frames:
+        def route(shards: List[int]) -> None:
+            # Shard order == stamp order: each worker's seqs ascend, so
+            # folding reports in ascending shard index keeps the digest
+            # a pure function of the (src_shard, seq)-ordered stream.
+            for src in shards:
+                for dest, has_app, min_delivery, n_entries, buf in (
+                    reports[src].frames
+                ):
                     digest.update(buf)
                     state["frame_count"] += 1
                     state["frame_bytes"] += len(buf)
+                    state["frame_entries"] += n_entries
                     state["pending_app"] += has_app
                     pending[dest].append((has_app, min_delivery, buf))
                     if frame_log is not None:
                         frame_log.append((src, dest, buf))
 
+        every_shard = list(range(shard_count))
         reports = [self._recv_report(conn) for conn in conns]
-        route(reports)
+        route(every_shard)
+        #: Each worker's current virtual time (its last granted horizon);
+        #: grants are monotone per shard.
+        granted = [0.0] * shard_count
         phase = 0
         rounds = 0
-        sim_time = 0.0
         phase_times: List[float] = []
 
         while True:
-            if self._satisfied(phases[phase], reports, state["pending_app"]):
-                phase_times.append(sim_time)
+            target = max(granted)
+            aligned = all(g == target for g in granted)
+            satisfied = self._satisfied(
+                phases[phase], reports, state["pending_app"]
+            )
+            if satisfied and aligned:
+                phase_times.append(target)
                 if phase == len(phases) - 1:
                     break
                 phase += 1
                 for conn in conns:
                     conn.send(("phase", phase))
                 reports = [self._recv_report(conn) for conn in conns]
-                route(reports)
+                route(every_shard)
                 continue
-            minimum = None
-            for report in reports:
-                if report.next_time is not None and (
-                    minimum is None or report.next_time < minimum
-                ):
-                    minimum = report.next_time
-            for frames in pending:
-                for _, min_delivery, _ in frames:
-                    if minimum is None or min_delivery < minimum:
-                        minimum = min_delivery
-            if minimum is None:
+            # Each shard's bid: the earliest instant anything can still
+            # happen there — its own earliest output time, or a frame
+            # delivery that would wake it.
+            bids = []
+            for j, report in enumerate(reports):
+                bid = math.inf if report.eot is None else report.eot
+                for _, min_delivery, _ in pending[j]:
+                    if min_delivery < bid:
+                        bid = min_delivery
+                bids.append(bid)
+            minimum = min(bids)
+            if minimum == math.inf and not satisfied:
                 raise SimulationError(
                     f"sharded {self.workload!r} deadlocked in phase "
-                    f"{phases[phase].name!r} at t={sim_time}: no shard "
+                    f"{phases[phase].name!r} at t={target}: no shard "
                     f"has pending events and no frames are in flight, "
                     f"but the phase predicate is unsatisfied"
                 )
-            if minimum > self.max_sim_time:
+            if minimum != math.inf and minimum > self.max_sim_time:
                 raise SimulationError(
                     f"sharded {self.workload!r} exceeded max_sim_time="
                     f"{self.max_sim_time} in phase {phases[phase].name!r}"
                 )
-            horizon = minimum + lookahead
-            for shard, conn in enumerate(conns):
-                frames = pending[shard]
-                pending[shard] = []
-                conn.send(("advance", horizon, len(frames)))
-                for has_app, _, buf in frames:
-                    conn.send_bytes(buf)
-                    state["pending_app"] -= has_app
-            reports = [self._recv_report(conn) for conn in conns]
-            route(reports)
-            sim_time = horizon
+            # Alignment cap: once the phase predicate holds, stop
+            # opening new windows — only walk the laggards up to the
+            # leader so the phase transition happens at one shared
+            # instant.  (With no events left anywhere the cap is the
+            # grant itself.)
+            cap = target if satisfied else math.inf
+            if single_step is not None:
+                arrive = [bids[0] + single_step]
+            else:
+                arrive = _arrival_bounds(bids, lookahead_rows)
+            advanced = []
+            for j, conn in enumerate(conns):
+                horizon = arrive[j]
+                if horizon > cap:
+                    horizon = cap
+                grew = granted[j] < horizon < math.inf
+                if grew:
+                    granted[j] = horizon
+                if grew or pending[j]:
+                    frames = pending[j]
+                    pending[j] = []
+                    conn.send(("advance", granted[j], len(frames)))
+                    for has_app, _, buf in frames:
+                        conn.send_bytes(buf)
+                        state["pending_app"] -= has_app
+                    advanced.append(j)
+            if not advanced:  # pragma: no cover - progress guard
+                raise SimulationError(
+                    f"sharded {self.workload!r} stalled in phase "
+                    f"{phases[phase].name!r} at t={target}: no shard's "
+                    f"horizon grew and no frames are deliverable"
+                )
+            for j in advanced:
+                reports[j] = self._recv_report(conns[j])
+            route(advanced)
             rounds += 1
+        sim_time = max(granted)
 
         # Final phase satisfied: stop the workers and merge.  Any frames
         # still pending carry post-outcome DGC chatter to activities that
@@ -361,8 +540,10 @@ class ShardedWorld:
                 f"expected a report, got {message[0]!r}"
             )
         frames = []
-        for dest, has_app, min_delivery in message[6]:
-            frames.append((dest, has_app, min_delivery, conn.recv_bytes()))
+        for dest, has_app, min_delivery, n_entries in message[6]:
+            frames.append(
+                (dest, has_app, min_delivery, n_entries, conn.recv_bytes())
+            )
         return _Report(
             next_time=message[1],
             live_non_root=message[2],
@@ -370,6 +551,7 @@ class ShardedWorld:
             all_idle=message[4],
             flags=message[5],
             frames=frames,
+            eot=message[7],
         )
 
     def _recv_result(self, conn) -> Dict[str, Any]:
@@ -435,8 +617,14 @@ class ShardedWorld:
             phase_times=phase_times,
             frame_count=state["frame_count"],
             frame_bytes=state["frame_bytes"],
+            frame_entries=state["frame_entries"],
             frame_digest=digest.hexdigest(),
+            wire_version=self.wire_version,
             events_fired=sum(r["events_fired"] for r in results),
+            events_workload=sum(r["events_workload"] for r in results),
+            events_coordination=sum(
+                r["events_coordination"] for r in results
+            ),
             egress_messages=sum(r["egress_messages"] for r in results),
             injected_entries=sum(r["injected_entries"] for r in results),
             total_bytes=sum(r["total_bytes"] for r in results),

@@ -1,17 +1,37 @@
-"""Node-to-shard assignment and the conservative lookahead bound.
+"""Node-to-shard assignment and the conservative lookahead bounds.
 
 The plan slices the topology's node list (which is grouped by site)
 into contiguous, balanced blocks — one per shard — so co-located nodes
 stay on the same shard whenever the shard count divides the site
-structure.  That matters because the protocol's *lookahead* is the
-minimum one-way latency across any shard boundary: events a worker
-executes in the window ``[M, M + lookahead)`` can only generate
-cross-shard deliveries at ``>= M + lookahead``, which is exactly what
-lets every shard advance through the window without waiting for the
-others (the classic conservative-synchronization argument; see
+structure.  That matters because the protocol's *lookahead* is bounded
+by cross-boundary latency: events a worker executes in a granted
+window can only generate cross-shard deliveries later than the
+boundary's one-way latency, which is exactly what lets every shard
+advance through the window without waiting for the others (the classic
+conservative-synchronization argument; see
 :mod:`repro.shard.coordinator`).  Splitting a low-latency site across
 shards is legal but collapses the lookahead to the intra-site latency
 and with it the useful window per barrier round.
+
+Lookahead is tracked **per channel**: ``lookahead_matrix[i][j]`` is the
+minimum one-way latency from any node on shard ``i`` to any node on
+shard ``j``.  On a non-uniform topology (a WAN between metro pairs,
+the Grid'5000 shape the paper measures on) the matrix beats the single
+global minimum: a shard's horizon is constrained by the latency of the
+channels that can actually reach it, not by the tightest boundary
+anywhere in the plan.  Chains of hops matter too — shard ``i`` can
+reach ``j`` through ``k`` — so the per-shard bound is the matrix's
+shortest-path closure, :attr:`ShardPlan.horizon_matrix`, whose
+diagonal holds each shard's shortest *round-trip cycle* (the bound for
+a shard's own sends echoing back to it).  The closure is the
+exact-arithmetic reference (and what the unit tests pin down); the
+coordinator re-derives the same bounds each round by relaxing over
+:attr:`ShardPlan.lookahead_matrix` with left-folded float additions,
+because float ``+`` is not associative and a presummed closure can
+overshoot a real chain's arrival by a few ULPs (see
+:mod:`repro.shard.coordinator`).  The scalar
+:attr:`ShardPlan.lookahead` stays as the matrix minimum for reporting
+and back-compatibility.
 """
 
 from __future__ import annotations
@@ -34,8 +54,20 @@ class ShardPlan:
     #: ``node_names[i]`` lives on shard ``assignment[i]``.
     assignment: Tuple[int, ...]
     #: Minimum one-way latency across any shard boundary (seconds);
-    #: ``inf`` for a single shard (there is no boundary).
+    #: ``inf`` for a single shard (there is no boundary).  Equals the
+    #: off-diagonal minimum of :attr:`lookahead_matrix`.
     lookahead: float
+    #: ``lookahead_matrix[i][j]``: minimum one-way latency from any
+    #: node on shard ``i`` to any node on shard ``j`` (``inf`` on the
+    #: diagonal and for a single shard).
+    lookahead_matrix: Tuple[Tuple[float, ...], ...] = ()
+    #: Shortest-path closure of :attr:`lookahead_matrix`:
+    #: ``horizon_matrix[i][j]`` (``i != j``) lower-bounds the latency
+    #: of *any* chain of cross-shard hops from ``i`` to ``j``;
+    #: ``horizon_matrix[j][j]`` is shard ``j``'s shortest nontrivial
+    #: cycle — the bound for its own output echoing back.  The
+    #: exact-arithmetic form of the coordinator's per-shard horizons.
+    horizon_matrix: Tuple[Tuple[float, ...], ...] = ()
     _shard_of: Dict[str, int] = field(repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
@@ -44,6 +76,20 @@ class ShardPlan:
             "_shard_of",
             dict(zip(self.node_names, self.assignment)),
         )
+        if not self.lookahead_matrix:
+            count = self.shard_count
+            object.__setattr__(
+                self,
+                "lookahead_matrix",
+                tuple(tuple(math.inf for _ in range(count))
+                      for _ in range(count)),
+            )
+        if not self.horizon_matrix:
+            object.__setattr__(
+                self,
+                "horizon_matrix",
+                _closure(self.lookahead_matrix),
+            )
 
     def shard_of(self, node: str) -> int:
         try:
@@ -57,6 +103,48 @@ class ShardPlan:
             for name, owner in zip(self.node_names, self.assignment)
             if owner == shard
         ]
+
+
+def _closure(
+    matrix: Tuple[Tuple[float, ...], ...]
+) -> Tuple[Tuple[float, ...], ...]:
+    """Shortest-path closure with cycle diagonal.
+
+    Floyd–Warshall over the one-hop latencies gives the cheapest chain
+    ``i -> ... -> j`` for ``i != j``; the diagonal is then the cheapest
+    nontrivial cycle through each shard, ``min_k (L[j][k] + D[k][j])``
+    — any chain that leaves ``j`` and returns pays at least one
+    outbound hop plus the cheapest way back.
+    """
+    count = len(matrix)
+    dist = [[matrix[i][j] for j in range(count)] for i in range(count)]
+    for i in range(count):
+        dist[i][i] = math.inf
+    for via in range(count):
+        row_via = dist[via]
+        for i in range(count):
+            if i == via:
+                continue
+            through = dist[i][via]
+            if through == math.inf:
+                continue
+            row = dist[i]
+            for j in range(count):
+                if j == via or j == i:
+                    continue
+                candidate = through + row_via[j]
+                if candidate < row[j]:
+                    row[j] = candidate
+    for j in range(count):
+        cycle = math.inf
+        for k in range(count):
+            if k == j:
+                continue
+            candidate = matrix[j][k] + dist[k][j]
+            if candidate < cycle:
+                cycle = candidate
+        dist[j][j] = cycle
+    return tuple(tuple(row) for row in dist)
 
 
 def make_plan(topology: Topology, shard_count: int) -> ShardPlan:
@@ -83,22 +171,35 @@ def make_plan(topology: Topology, shard_count: int) -> ShardPlan:
     for shard in range(shard_count):
         assignment.extend([shard] * (base + (1 if shard < extra else 0)))
 
+    matrix = [
+        [math.inf] * shard_count for _ in range(shard_count)
+    ]
     lookahead = math.inf
     if shard_count > 1:
         # Site-pair latencies are uniform, so it suffices to probe one
-        # representative node pair per (site, site) combination that
-        # actually crosses a shard boundary.
+        # representative node pair per (site, site, shard, shard)
+        # combination that actually crosses a shard boundary.
         seen = set()
         for i, a in enumerate(nodes):
-            for j in range(i + 1, total):
-                if assignment[i] == assignment[j]:
+            for j in range(total):
+                if i == j or assignment[i] == assignment[j]:
                     continue
                 b = nodes[j]
-                key = (topology.site_of(a).name, topology.site_of(b).name)
+                key = (
+                    topology.site_of(a).name,
+                    topology.site_of(b).name,
+                    assignment[i],
+                    assignment[j],
+                )
                 if key in seen:
                     continue
                 seen.add(key)
-                lookahead = min(lookahead, topology.one_way_latency(a, b))
+                latency = topology.one_way_latency(a, b)
+                row = matrix[assignment[i]]
+                if latency < row[assignment[j]]:
+                    row[assignment[j]] = latency
+                if latency < lookahead:
+                    lookahead = latency
         if lookahead <= 0.0:
             raise ConfigurationError(
                 "shard plan has zero lookahead: some cross-shard node "
@@ -110,4 +211,5 @@ def make_plan(topology: Topology, shard_count: int) -> ShardPlan:
         node_names=nodes,
         assignment=tuple(assignment),
         lookahead=lookahead,
+        lookahead_matrix=tuple(tuple(row) for row in matrix),
     )

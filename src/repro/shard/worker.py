@@ -11,7 +11,11 @@ it through barrier rounds:
 ``("advance", horizon, n_frames)``
     inject ``n_frames`` wire frames (sorted by ``(src_shard, seq)`` —
     the deterministic global merge order), fire every local event
-    strictly before ``horizon``, then report.
+    strictly before ``horizon``, then report.  Horizons are granted
+    *per shard* (see :mod:`repro.shard.coordinator`), so this worker's
+    clock may run ahead of or behind its peers between rounds; a round
+    that only flushes frames re-grants the current horizon, which
+    :meth:`~repro.live.LiveKernel.advance` accepts as a no-op.
 
 ``("phase", index)``
     run the workload's phase-entry action (driver-shard traffic) at the
@@ -21,12 +25,20 @@ it through barrier rounds:
     reply with the shard's final result blob and exit.
 
 Every report carries the shard's next event time, live non-root count,
-the summable traffic counters, readiness flags, and the round's egress
-packed as one struct frame per destination shard (stamped with this
-shard's monotonically increasing frame sequence).  The data plane —
-the frames — is pickle-free (:mod:`repro.net.wire`); the low-rate
-control plane (specs, reports, final results) rides the pipe's regular
-pickled channel.
+the summable traffic counters, readiness flags, the round's egress
+packed as one wire frame per destination shard (stamped with this
+shard's monotonically increasing frame sequence), and the shard's
+*earliest output time* — a worker-side promise that no cross-shard
+send can be produced strictly before it.  Because the egress buffer is
+drained into this very report's frames, any future output must be
+caused by a local event, so the promise is the next event time (or
+``None`` when the event heap is empty: an idle shard cannot
+spontaneously emit, which is what lets the coordinator grant its
+neighbours horizons far beyond the global minimum).  The data plane —
+the frames — is pickle-free (:mod:`repro.net.wire`; the spec's
+``wire_version`` selects the frame format); the low-rate control plane
+(specs, reports, final results) rides the pipe's regular pickled
+channel.
 """
 
 from __future__ import annotations
@@ -40,7 +52,14 @@ from repro.core.config import DgcConfig, RegistryConfig
 from repro.live import LiveKernel
 from repro.net import kinds as _kinds
 from repro.net.topology import Topology
-from repro.net.wire import pack_frame, unpack_frame
+from repro.net.wire import (
+    DEFAULT_WIRE_VERSION,
+    ChannelDecoder,
+    ChannelEncoder,
+    frame_stamp,
+    pack_frame,
+    unpack_frame,
+)
 from repro.runtime.future import reset_future_ids
 from repro.runtime.ids import reset_id_counter
 from repro.runtime.request import reset_request_ids
@@ -72,6 +91,9 @@ class WorkerSpec:
     registry: Optional[RegistryConfig] = None
     seed: int = 0
     trace: bool = False
+    #: Frame format for this worker's egress (:mod:`repro.net.wire`);
+    #: ingress is self-describing (the magic names the version).
+    wire_version: int = DEFAULT_WIRE_VERSION
 
 
 def _reset_process_counters() -> None:
@@ -124,16 +146,82 @@ def _unknown_workload(name: str):
     )
 
 
+#: DGC single kinds -> their aggregate (run) kinds, for the egress
+#: coalescer.  Canonical constants: kind identity survives the wire.
+_AGGREGATE_OF: Dict[str, str] = {
+    _kinds.KIND_DGC_MESSAGE: _kinds.AGGREGATE_KINDS[_kinds.KIND_DGC_MESSAGE],
+    _kinds.KIND_DGC_RESPONSE: _kinds.AGGREGATE_KINDS[_kinds.KIND_DGC_RESPONSE],
+}
+
+
+def _coalesce_dgc_singles(entries: List[tuple]) -> List[tuple]:
+    """Merge same-instant, same-destination DGC singles into aggregate
+    run entries before packing.
+
+    Beat-quantized DGC traffic lands many independent senders' singles
+    on one ``(delivery, dest_node)`` pair; each group becomes one
+    ``dgc.*[]`` entry with flat (target, message) columns — the same
+    shape the sender-side site-pair aggregation already ships and the
+    ingress fire loop already unwraps, so the receiver delivers the
+    identical messages at the identical instant, just through the batch
+    lane (one staged entry and one sink call per run instead of per
+    message).  Groups keep first-occurrence order and their items keep
+    send order, matching the wire codec's own run normalization;
+    singletons stay plain singles.  Non-DGC traffic is untouched.
+    """
+    out: List[tuple] = []
+    groups: Dict[tuple, list] = {}
+    for entry in entries:
+        kind = entry[2]
+        aggregate = _AGGREGATE_OF.get(kind)
+        if aggregate is None:
+            out.append(entry)
+            continue
+        key = (entry[0], entry[1], kind)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = bucket = [
+                entry[0], entry[1], kind, aggregate,
+                [entry[3]], [entry[4]],
+            ]
+            out.append(bucket)  # placeholder, finalized below
+        else:
+            bucket[4].append(entry[3])
+            bucket[5].append(entry[4])
+    if not groups:
+        return out
+    for position, entry in enumerate(out):
+        if type(entry) is list:
+            if len(entry[4]) == 1:
+                out[position] = (
+                    entry[0], entry[1], entry[2], entry[4][0], entry[5][0]
+                )
+            else:
+                out[position] = (
+                    entry[0], entry[1], entry[3], entry[4], entry[5]
+                )
+    return out
+
+
 def _pack_egress(
     world: World, spec: WorkerSpec, node_index: Dict[str, int], seq,
-) -> List[Tuple[int, bool, float, bytes]]:
+    encoders: Dict[int, ChannelEncoder],
+) -> List[Tuple[int, bool, float, int, bytes]]:
     """Drain the network egress into one frame per destination shard.
 
-    Returns ``(dest_shard, has_app, min_delivery, frame_bytes)`` rows;
-    ``has_app`` flags frames carrying non-DGC traffic (the coordinator's
-    balance predicate must see application frames in flight, while pure
-    heartbeat frames must not stall it) and ``min_delivery`` feeds the
-    global minimum the next horizon is computed from.
+    Returns ``(dest_shard, has_app, min_delivery, n_entries,
+    frame_bytes)`` rows; ``has_app`` flags frames carrying non-DGC
+    traffic (the coordinator's balance predicate must see application
+    frames in flight, while pure heartbeat frames must not stall it),
+    ``min_delivery`` feeds the bid the destination's next horizon is
+    computed from, and ``n_entries`` feeds the coordinator's
+    bytes-per-entry accounting without decoding the frame (after DGC
+    singles are coalesced into runs, so it counts wire rows).
+
+    ``encoders`` holds one persistent :class:`ChannelEncoder` per
+    destination shard (v2 only): this worker's frames to a given peer
+    form one ordered channel, so recurring ids and messages backref
+    into the channel's cross-frame intern table.
     """
     entries = world.network.drain_egress()
     if not entries:
@@ -144,35 +232,48 @@ def _pack_egress(
         groups.setdefault(plan.shard_of(entry[1]), []).append(entry)
     frames = []
     for dest in sorted(groups):
-        group = groups[dest]
+        group = _coalesce_dgc_singles(groups[dest])
         has_app = any(not e[2].startswith("dgc.") for e in group)
         min_delivery = min(e[0] for e in group)
-        buf = pack_frame(spec.shard, next(seq), group, node_index)
-        frames.append((dest, has_app, min_delivery, buf))
+        channel = encoders.get(dest)
+        if channel is None and spec.wire_version == 2:
+            encoders[dest] = channel = ChannelEncoder()
+        buf = pack_frame(
+            spec.shard, next(seq), group, node_index,
+            version=spec.wire_version, channel=channel,
+        )
+        frames.append((dest, has_app, min_delivery, len(group), buf))
     return frames
 
 
 def _send_report(
     conn, world: World, env: ShardEnv, spec: WorkerSpec,
     node_index: Dict[str, int], seq, phase: int,
+    encoders: Dict[int, ChannelEncoder],
 ) -> None:
-    frames = _pack_egress(world, spec, node_index, seq)
+    frames = _pack_egress(world, spec, node_index, seq, encoders)
     needs_idle = env.phases[phase].predicate == "ready"
     all_idle = (
         all(a.is_idle() for a in world.live_non_roots()) if needs_idle else True
     )
+    next_time = world.kernel.next_event_time()
+    # Earliest output time: the egress is fully drained into this
+    # report's frames, so any future cross-shard send must be caused by
+    # a local event — the next event time bounds it (None: this shard
+    # cannot produce output until something is injected).
     conn.send((
         "report",
-        world.kernel.next_event_time(),
+        next_time,
         world.live_non_root_count,
         (world.requests_sent, world.requests_delivered,
          world.replies_sent, world.replies_delivered),
         all_idle,
         env.flags(),
-        [(dest, has_app, min_delivery)
-         for dest, has_app, min_delivery, _ in frames],
+        [(dest, has_app, min_delivery, n_entries)
+         for dest, has_app, min_delivery, n_entries, _ in frames],
+        next_time,
     ))
-    for _, _, _, buf in frames:
+    for _, _, _, _, buf in frames:
         conn.send_bytes(buf)
 
 
@@ -205,6 +306,11 @@ def _final_result(world: World, env: ShardEnv, spec: WorkerSpec) -> Dict[str, An
         "traffic": traffic,
         "total_bytes": accountant.total_bytes,
         "events_fired": world.kernel.fired_count,
+        "events_coordination": world.network.ingress_pulse_event_count,
+        "events_workload": (
+            world.kernel.fired_count
+            - world.network.ingress_pulse_event_count
+        ),
         "peak_pending": world.kernel.peak_pending_count,
         "egress_messages": world.network.egress_message_count,
         "injected_entries": world.network.injected_entry_count,
@@ -224,26 +330,40 @@ def _serve(conn, spec: WorkerSpec) -> None:
     node_index = {name: index for index, name in enumerate(node_names)}
     seq = itertools.count()
     phase = 0
-    _send_report(conn, world, env, spec, node_index, seq, phase)
+    # Persistent codec channels (v2): one encoder per destination shard,
+    # one decoder per source shard.  Sound because each channel's frames
+    # are packed and decoded in seq order — the coordinator routes in
+    # stamp order and we sort raw buffers by stamp *before* decoding.
+    encoders: Dict[int, ChannelEncoder] = {}
+    decoders: Dict[int, ChannelDecoder] = {}
+    stateful = spec.wire_version == 2
+    _send_report(conn, world, env, spec, node_index, seq, phase, encoders)
     while True:
         message = conn.recv()
         op = message[0]
         if op == "advance":
             _, horizon, n_frames = message
             if n_frames:
-                frames = [
-                    unpack_frame(conn.recv_bytes(), node_names)
-                    for _ in range(n_frames)
+                stamped = [
+                    (frame_stamp(buf), buf)
+                    for buf in (conn.recv_bytes() for _ in range(n_frames))
                 ]
-                frames.sort(key=lambda f: (f.src_shard, f.seq))
-                for frame in frames:
-                    network.inject_remote_entries(frame.entries)
+                stamped.sort(key=lambda pair: pair[0])
+                for (src, _), buf in stamped:
+                    channel = decoders.get(src)
+                    if channel is None and stateful:
+                        decoders[src] = channel = ChannelDecoder()
+                    network.inject_remote_entries(
+                        unpack_frame(buf, node_names, channel).entries
+                    )
             kernel.advance(horizon)
-            _send_report(conn, world, env, spec, node_index, seq, phase)
+            _send_report(conn, world, env, spec, node_index, seq, phase,
+                         encoders)
         elif op == "phase":
             phase = message[1]
             env.enter_phase(phase)
-            _send_report(conn, world, env, spec, node_index, seq, phase)
+            _send_report(conn, world, env, spec, node_index, seq, phase,
+                         encoders)
         elif op == "stop":
             conn.send(("result", _final_result(world, env, spec)))
             return

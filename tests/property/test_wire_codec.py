@@ -8,9 +8,25 @@ aggregate columns (flat target/message lists) the relaxed tier emits.
 Kinds must come back as the *canonical interned constants* (the columnar
 fire loop dispatches on kind identity).  Truncated or corrupted buffers
 must raise :class:`WireFormatError`, never return garbage.
+
+Both frame formats are under test: every property holds for v1 and v2,
+v1 and v2 packings of the same batch decode to equal entry multisets
+(cross-decode parity), and the v2-specific paths — varints, the intern
+table and its backrefs, coalesced runs — have targeted corruption
+coverage.
+
+v1 preserves staged order exactly.  v2 normalizes it: entries sharing
+``(kind, delivery instant, destination)`` coalesce into one run, runs
+appear in first-occurrence order, and items keep their staged order
+within a run — a deterministic permutation with every value still
+bit-identical (the run key uses the delivery's IEEE bits, so -0.0 and
+0.0 never merge).  :func:`v2_normalized` is the reference model of
+that permutation.
 """
 
 from __future__ import annotations
+
+import struct
 
 import pytest
 from hypothesis import given, settings
@@ -20,8 +36,12 @@ from repro.core.clock import ActivityClock
 from repro.core.wire import DgcMessage, DgcResponse
 from repro.net import kinds
 from repro.net.wire import (
+    ChannelDecoder,
+    ChannelEncoder,
     Frame,
     WireFormatError,
+    frame_stamp,
+    frame_version,
     kind_table,
     pack_frame,
     unpack_frame,
@@ -202,18 +222,43 @@ stamps = st.tuples(
 # ----------------------------------------------------------------------
 
 
+def _delivery_bits(delivery: float) -> bytes:
+    return struct.pack("!d", delivery)
+
+
+def v2_normalized(entries):
+    """The v2 order normalization, modelled independently of the codec:
+    group by (kind, delivery IEEE bits, dest) in first-occurrence
+    order, entries keeping staged order within a group."""
+    groups = {}
+    for entry in entries:
+        delivery = entry[0]
+        if type(delivery) is not float:
+            delivery = float(delivery)
+        key = (entry[2], _delivery_bits(delivery), entry[1])
+        groups.setdefault(key, []).append(
+            (delivery, entry[1], entry[2], entry[3], entry[4])
+        )
+    return [entry for bucket in groups.values() for entry in bucket]
+
+
+@pytest.mark.parametrize("version", [1, 2])
 @settings(max_examples=200, deadline=None)
 @given(batch=staged_batches, stamp=stamps)
-def test_roundtrip_bit_identical(batch, stamp):
+def test_roundtrip_bit_identical(version, batch, stamp):
     shard, seq = stamp
-    buf = pack_frame(shard, seq, batch, NODE_INDEX)
+    buf = pack_frame(shard, seq, batch, NODE_INDEX, version=version)
+    assert frame_version(buf) == version
     frame = unpack_frame(buf, NODES)
     assert isinstance(frame, Frame)
     assert frame.src_shard == shard
     assert frame.seq == seq
     assert len(frame.entries) == len(batch)
-    for original, decoded in zip(batch, frame.entries):
+    expected = batch if version == 1 else v2_normalized(batch)
+    for original, decoded in zip(expected, frame.entries):
         assert decoded == original
+        # Bit identity for the delivery instant (== conflates ±0.0).
+        assert _delivery_bits(decoded[0]) == _delivery_bits(float(original[0]))
         # Kind identity, not just equality: the columnar fire loop
         # dispatches with ``is`` against the canonical constants.
         assert decoded[2] is original[2]
@@ -221,8 +266,25 @@ def test_roundtrip_bit_identical(batch, stamp):
 
 @settings(max_examples=100, deadline=None)
 @given(batch=staged_batches, stamp=stamps)
-def test_truncation_always_raises(batch, stamp):
-    buf = pack_frame(stamp[0], stamp[1], batch, NODE_INDEX)
+def test_cross_decode_parity(batch, stamp):
+    """v1 and v2 packings of one batch decode to the same entries, v2's
+    in the normalized order."""
+    v1 = unpack_frame(
+        pack_frame(stamp[0], stamp[1], batch, NODE_INDEX, version=1), NODES
+    )
+    v2 = unpack_frame(
+        pack_frame(stamp[0], stamp[1], batch, NODE_INDEX, version=2), NODES
+    )
+    assert v2_normalized(v1.entries) == v2.entries
+    for left, right in zip(v2_normalized(v1.entries), v2.entries):
+        assert left[2] is right[2]
+
+
+@pytest.mark.parametrize("version", [1, 2])
+@settings(max_examples=100, deadline=None)
+@given(batch=staged_batches, stamp=stamps)
+def test_truncation_always_raises(version, batch, stamp):
+    buf = pack_frame(stamp[0], stamp[1], batch, NODE_INDEX, version=version)
     for cut in range(0, len(buf), max(1, len(buf) // 17)):
         if cut == len(buf):
             continue
@@ -255,12 +317,243 @@ def test_bad_magic_rejected():
 def test_unknown_tag_rejected():
     entry = (1.0, NODES[0], kinds.KIND_APP_REQUEST,
              Request("do_ping", "ao-1:a", "ao-2:b"), None)
-    buf = pack_frame(0, 0, [entry], NODE_INDEX)
+    buf = pack_frame(0, 0, [entry], NODE_INDEX, version=1)
     # The first tag byte follows the entry head; stomp it.
     offset = 20 + 11  # header (20) + entry head (11)
     corrupt = buf[:offset] + b"\xff" + buf[offset + 1:]
     with pytest.raises(WireFormatError, match="tag"):
         unpack_frame(corrupt, NODES)
+
+
+# ----------------------------------------------------------------------
+# v2-specific paths: varints, intern table, kind runs
+# ----------------------------------------------------------------------
+
+_V2_HEADER_SIZE = 20  # shared !HHIId header
+
+
+def _v2_single_entry_frame():
+    """A one-entry v2 frame whose run head is exactly two one-byte
+    varints (run length 1, then a kind index < 128), so the first value
+    tag sits at a known offset for surgical corruption."""
+    entry = (1.0, NODES[0], kinds.KIND_APP_REQUEST,
+             Request("do_ping", "ao-1:a", "ao-2:b"), None)
+    buf = pack_frame(0, 0, [entry], NODE_INDEX, version=2)
+    assert buf[_V2_HEADER_SIZE] == 1  # run length
+    assert buf[_V2_HEADER_SIZE + 1] < 0x80  # kind index fits one byte
+    return buf
+
+
+def test_v2_unknown_tag_rejected():
+    buf = _v2_single_entry_frame()
+    offset = _V2_HEADER_SIZE + 2  # first value tag (the delivery float)
+    corrupt = buf[:offset] + b"\xff" + buf[offset + 1:]
+    with pytest.raises(WireFormatError, match="tag"):
+        unpack_frame(corrupt, NODES)
+
+
+def test_v2_backref_out_of_range_rejected():
+    buf = _v2_single_entry_frame()
+    # Replace the delivery float value (tag + 8 bytes) with a backref
+    # into the still-empty intern table.
+    offset = _V2_HEADER_SIZE + 2
+    corrupt = buf[:offset] + b"\x0b\x05" + buf[offset + 9:]
+    with pytest.raises(WireFormatError, match="backref"):
+        unpack_frame(corrupt, NODES)
+
+
+def test_v2_non_float_delivery_rejected():
+    buf = _v2_single_entry_frame()
+    # Replace the delivery float (tag + 8 payload bytes) with _T_NONE.
+    offset = _V2_HEADER_SIZE + 2
+    corrupt = buf[:offset] + b"\x00" + buf[offset + 9:]
+    with pytest.raises(WireFormatError, match="delivery"):
+        unpack_frame(corrupt, NODES)
+
+
+def test_v2_empty_run_rejected():
+    buf = _v2_single_entry_frame()
+    corrupt = bytearray(buf)
+    corrupt[_V2_HEADER_SIZE] = 0  # run length 0
+    with pytest.raises(WireFormatError, match="run"):
+        unpack_frame(bytes(corrupt), NODES)
+
+
+def test_v2_run_overflowing_count_rejected():
+    buf = _v2_single_entry_frame()
+    corrupt = bytearray(buf)
+    corrupt[_V2_HEADER_SIZE] = 2  # run claims 2 entries, header says 1
+    with pytest.raises(WireFormatError, match="overflows"):
+        unpack_frame(bytes(corrupt), NODES)
+
+
+def test_v2_overlong_varint_rejected():
+    buf = _v2_single_entry_frame()
+    # An 11-byte all-continuation varint where the run length belongs.
+    corrupt = (buf[:_V2_HEADER_SIZE] + b"\x80" * 10 + b"\x01"
+               + buf[_V2_HEADER_SIZE + 1:])
+    with pytest.raises(WireFormatError, match="varint"):
+        unpack_frame(corrupt, NODES)
+
+
+def test_v2_bad_kind_index_rejected():
+    buf = _v2_single_entry_frame()
+    corrupt = bytearray(buf)
+    corrupt[_V2_HEADER_SIZE + 1] = 0x7F  # kind index 127: out of range
+    with pytest.raises(WireFormatError, match="kind index"):
+        unpack_frame(bytes(corrupt), NODES)
+
+
+def test_v2_interning_shares_decoded_objects():
+    """A beat's one DgcMessage fanned out across an aggregate's targets
+    decodes back to *one* shared object — the in-process sharing the
+    fan-out had before it crossed the wire."""
+    clock = ActivityClock(3, "ao-00000001:slave1")
+    message = DgcMessage(
+        sender="ao-00000001:slave1",
+        clock=clock,
+        consensus=True,
+        sender_ref=RemoteRef("ao-00000001:slave1", NODES[1]),
+        sender_ttb=5.0,
+    )
+    targets = [f"ao-{n:08d}:slave{n}" for n in range(8)]
+    entries = [
+        (7.5, NODES[0], AGG_DGC_MESSAGE, list(targets), [message] * 8),
+        (7.5, NODES[2], AGG_DGC_MESSAGE, list(targets), [message] * 8),
+    ]
+    frame = unpack_frame(
+        pack_frame(0, 0, entries, NODE_INDEX, version=2), NODES
+    )
+    first = frame.entries[0][4][0]
+    assert first == message
+    for entry in frame.entries:
+        assert all(decoded is first for decoded in entry[4])
+
+
+def test_v2_shrinks_fanout_traffic():
+    """The intern table must collapse repeated messages/ids: a sharing-
+    heavy aggregate batch packs at least 5x smaller in v2 than v1."""
+    clock = ActivityClock(9, "ao-00000042:slave42")
+    message = DgcMessage(
+        sender="ao-00000042:slave42",
+        clock=clock,
+        consensus=False,
+        sender_ref=RemoteRef("ao-00000042:slave42", NODES[3]),
+        sender_ttb=5.0,
+    )
+    targets = [f"ao-{n:08d}:slave{n % 7}" for n in range(32)]
+    entries = [
+        (100.25, NODES[index % len(NODES)], AGG_DGC_MESSAGE,
+         list(targets), [message] * 32)
+        for index in range(16)
+    ]
+    v1 = pack_frame(0, 0, entries, NODE_INDEX, version=1)
+    v2 = pack_frame(0, 0, entries, NODE_INDEX, version=2)
+    assert len(v2) * 5 <= len(v1)
+    assert (
+        v2_normalized(unpack_frame(v1, NODES).entries)
+        == unpack_frame(v2, NODES).entries
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistent channels: the intern table across frames
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(batches=st.lists(staged_batches, min_size=1, max_size=4))
+def test_channel_roundtrip_across_frames(batches):
+    """A ChannelEncoder/ChannelDecoder pair round-trips a whole frame
+    stream: every frame decodes to its own normalized batch, values
+    bit-identical, regardless of what earlier frames interned."""
+    encoder = ChannelEncoder()
+    decoder = ChannelDecoder()
+    for seq, batch in enumerate(batches):
+        buf = pack_frame(3, seq, batch, NODE_INDEX, version=2,
+                         channel=encoder)
+        assert frame_stamp(buf) == (3, seq)
+        frame = unpack_frame(buf, NODES, channel=decoder)
+        expected = v2_normalized(batch)
+        assert len(frame.entries) == len(batch)
+        for original, decoded in zip(expected, frame.entries):
+            assert decoded == original
+            assert _delivery_bits(decoded[0]) == _delivery_bits(
+                float(original[0])
+            )
+            assert decoded[2] is original[2]
+
+
+def test_channel_backrefs_carry_across_frames():
+    """The second frame of a repetitive stream is almost pure backrefs —
+    and decoding it *without* the channel state proves the dependency
+    (its backrefs point into a table only frame one built)."""
+    clock = ActivityClock(3, "ao-00000001:slave1")
+    message = DgcMessage(
+        sender="ao-00000001:slave1",
+        clock=clock,
+        consensus=True,
+        sender_ref=RemoteRef("ao-00000001:slave1", NODES[1]),
+        sender_ttb=5.0,
+    )
+    batch = [(7.5, NODES[0], kinds.KIND_DGC_MESSAGE,
+              "ao-00000002:slave2", message)]
+    encoder = ChannelEncoder()
+    first = pack_frame(0, 0, batch, NODE_INDEX, version=2, channel=encoder)
+    second = pack_frame(0, 1, batch, NODE_INDEX, version=2, channel=encoder)
+    assert len(second) < len(first) - 20  # body shrank to backrefs
+    decoder = ChannelDecoder()
+    one = unpack_frame(first, NODES, channel=decoder)
+    two = unpack_frame(second, NODES, channel=decoder)
+    assert one.entries == two.entries
+    # Cross-frame sharing: both frames decode to the *same* objects.
+    assert one.entries[0][4] is two.entries[0][4]
+    assert one.entries[0][3] is two.entries[0][3]
+    # Stateless decode of frame two must fail, not fabricate values.
+    with pytest.raises(WireFormatError, match="backref"):
+        unpack_frame(second, NODES)
+
+
+def test_channel_skipped_frame_desyncs_loudly():
+    """Frames must decode in pack order: skipping one leaves backrefs
+    pointing past the decoder's table."""
+    encoder = ChannelEncoder()
+    batch_of = lambda text: [(1.0, NODES[0], kinds.KIND_APP_REQUEST,
+                              Request("do_ping", "ao-1:a", text), None)]
+    pack_frame(0, 0, batch_of("ao-2:b"), NODE_INDEX, version=2,
+               channel=encoder)
+    pack_frame(0, 1, batch_of("ao-3:c"), NODE_INDEX, version=2,
+               channel=encoder)
+    third = pack_frame(0, 2, batch_of("ao-3:c"), NODE_INDEX, version=2,
+                       channel=encoder)
+    decoder = ChannelDecoder()
+    # Decode frame 0 then frame 2: frame 2's backref to "ao-3:c" points
+    # at an index only frame 1 would have registered.
+    first = pack_frame(0, 0, batch_of("ao-2:b"), NODE_INDEX, version=2)
+    unpack_frame(first, NODES, channel=decoder)
+    with pytest.raises(WireFormatError, match="backref"):
+        unpack_frame(third, NODES, channel=decoder)
+
+
+def test_channel_state_is_v2_only():
+    entry = (0.0, NODES[0], kinds.KIND_APP_REPLY, Reply(1, "ao-1:a"), None)
+    with pytest.raises(WireFormatError, match="channel"):
+        pack_frame(0, 0, [entry], NODE_INDEX, version=1,
+                   channel=ChannelEncoder())
+    v1 = pack_frame(0, 0, [entry], NODE_INDEX, version=1)
+    with pytest.raises(WireFormatError, match="channel"):
+        unpack_frame(v1, NODES, channel=ChannelDecoder())
+
+
+def test_frame_stamp_matches_header():
+    entry = (2.5, NODES[1], kinds.KIND_APP_REPLY, Reply(4, "ao-9:z"), None)
+    for version in (1, 2):
+        buf = pack_frame(6, 12345, [entry], NODE_INDEX, version=version)
+        assert frame_stamp(buf) == (6, 12345)
+    with pytest.raises(WireFormatError, match="truncated"):
+        frame_stamp(buf[:10])
+    with pytest.raises(WireFormatError, match="magic"):
+        frame_stamp(b"\x00\x00" + buf[2:])
 
 
 def test_trailing_garbage_rejected():
