@@ -1,0 +1,82 @@
+"""Data model of the fabric-invariant analyzer.
+
+A :class:`Finding` is one rule violation anchored to a source line; a
+:class:`Suppression` is one ``# repro: allow[RULE-id] reason`` comment.
+Both are plain frozen records so reporters and tests can compare them
+structurally — the engine (:mod:`repro.analysis.walker`) owns all
+behavior.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``path`` is the file's path relative to the analysis root (stable
+    across machines, so JSON reports diff cleanly in CI artifacts);
+    ``line``/``col`` are 1-based line and 0-based column, matching
+    ``ast`` node coordinates.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# repro: allow[...]`` comment.
+
+    ``rules`` is the tuple of rule ids the comment names; ``target_line``
+    is the line whose findings it silences (the comment's own line for a
+    trailing comment, the next line for a comment standing alone);
+    ``reason`` is the free text after the bracket — mandatory, enforced
+    by the ``META-suppression`` rule.
+    """
+
+    rules: Tuple[str, ...]
+    reason: str
+    comment_line: int
+    target_line: int
+
+    def covers(self, rule: str, line: int) -> bool:
+        return line == self.target_line and rule in self.rules
+
+
+#: Matches ``repro: allow[DET-entropy] why`` / ``repro: allow[A,B] why``
+#: comments (hash-prefixed in source).
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s-]+)\]\s*(.*)$"
+)
+
+#: Matches the ``repro: hot-path`` comment tag marking a module as hot:
+#: every class there must be slotted and loops may not allocate
+#: closures (the HOT rule family).
+HOT_TAG_RE = re.compile(r"#\s*repro:\s*hot-path\b")
+
+
+@dataclass
+class AnalysisResult:
+    """What one analyzer run produced, for reporters and callers."""
+
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: Tuple[str, ...] = ()
+    suppressed_count: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings

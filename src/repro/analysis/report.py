@@ -1,0 +1,63 @@
+"""Reporters: render an :class:`AnalysisResult` for humans or CI.
+
+The JSON shape is stable (``schema`` version bumps on breaking change)
+so the CI artifact diffs cleanly between runs; the human format is one
+``path:line:col  RULE  message`` line per finding, grep- and
+editor-jump-friendly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict
+
+from repro.analysis.model import AnalysisResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(result: AnalysisResult) -> str:
+    lines = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}  {finding.rule}  {finding.message}"
+        )
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    summary = (
+        f"{len(result.findings)} {noun} in {result.files_scanned} files "
+        f"({result.suppressed_count} suppressed, "
+        f"{result.elapsed_s:.2f}s)"
+    )
+    if result.clean:
+        summary = (
+            f"clean: {result.files_scanned} files, all invariants hold "
+            f"({result.suppressed_count} suppressed, "
+            f"{result.elapsed_s:.2f}s)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    counts: Dict[str, int] = Counter(f.rule for f in result.findings)
+    payload = {
+        "schema": JSON_SCHEMA_VERSION,
+        "root": result.root,
+        "rules_run": list(result.rules_run),
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed_count,
+        "elapsed_s": round(result.elapsed_s, 3),
+        "counts": dict(sorted(counts.items())),
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

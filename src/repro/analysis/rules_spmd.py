@@ -1,0 +1,102 @@
+"""SPMD — the sharded-world contract checker.
+
+Every shard runs the *same* workload builder over the *same* topology;
+a create whose node lives elsewhere still mints the activity id so the
+process-global id counter stays aligned across shards.  The contract
+breaks the moment id-minting, activity construction, or RNG stream
+consumption happens under a branch that only some shards take — the
+exact bug class PR 8 shipped over: ``build_naming`` created the binder
+(whose ``on_start`` minted service ids inline on its local shard only)
+before the clients, skewing ghost-shard id alignment, and nothing
+caught it until a 100k-name run diverged.
+
+The rule flags any call that mints ids, creates activities, or draws
+from an RNG stream inside a branch whose condition mentions shard
+locality (``is_local``/``shard_of``/``local_nodes``/``shard``).  The
+one sanctioned locality branch — :class:`SpmdContext.create`, where
+*both* arms mint the same id — carries a reasoned suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.model import Finding
+from repro.analysis.walker import Rule, SourceFile, register_rule
+
+#: Names whose appearance in a branch condition marks it as
+#: locality-dependent (different shards take different arms).
+_LOCALITY_MARKERS = {"is_local", "shard_of", "local_nodes", "shard"}
+
+#: Calls whose count or order must be identical on every shard: id
+#: minting, activity construction, and RNG stream consumption.
+_SENSITIVE_CALLS = {
+    "make_activity_id", "create", "create_driver", "create_activity",
+    "stream", "sample", "random", "randint", "choice", "shuffle",
+    "randrange", "fork",
+}
+
+
+@register_rule
+class SpmdLocality(Rule):
+    id = "SPMD-locality"
+    summary = (
+        "workload builders may not mint ids, create activities, or "
+        "draw RNG under a shard-locality branch: every shard must "
+        "replay the identical construction sequence"
+    )
+    scope = "spmd"
+
+    def check(self, sf: SourceFile, facts) -> Iterator[Finding]:
+        reported: Set[tuple] = set()
+        for node in ast.walk(sf.tree):
+            guarded: List[ast.AST] = []
+            test = None
+            if isinstance(node, (ast.If, ast.While)):
+                test = node.test
+                guarded.extend(node.body)
+                guarded.extend(getattr(node, "orelse", []))
+            elif isinstance(node, ast.IfExp):
+                test = node.test
+                guarded.extend([node.body, node.orelse])
+            if test is None or not _mentions_locality(test):
+                continue
+            for stmt in guarded:
+                for inner in ast.walk(stmt):
+                    name = _sensitive_call_name(inner)
+                    if name is None:
+                        continue
+                    key = (inner.lineno, inner.col_offset)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield self.finding(
+                        sf, inner,
+                        f"call to {name}() under a shard-locality branch: "
+                        f"id-minting/creation/RNG order must be identical "
+                        f"on every shard (the PR-8 ghost-id skew class) — "
+                        f"run it unconditionally, or prove both arms "
+                        f"advance the counters identically and suppress "
+                        f"with a reason",
+                    )
+
+
+def _mentions_locality(test: ast.AST) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr in _LOCALITY_MARKERS:
+            return True
+        if isinstance(node, ast.Name) and node.id in _LOCALITY_MARKERS:
+            return True
+    return False
+
+
+def _sensitive_call_name(node: ast.AST):
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _SENSITIVE_CALLS:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in _SENSITIVE_CALLS:
+        return func.attr
+    return None

@@ -11,6 +11,7 @@ the active object IDs if the clock values are identical."
 Clocks are immutable value objects; ``incremented(owner)`` returns a new
 clock ``owner:value+1`` and merging is simply ``max``.
 """
+# repro: hot-path — every class slotted, no closure allocation in loops (HOT rules)
 
 from __future__ import annotations
 

@@ -6,6 +6,7 @@ share one FIFO connection and therefore never race each other.  We model a
 FIFO channel per ordered node pair: delivery times are non-decreasing in
 send order even when the latency model would allow overtaking.
 """
+# repro: hot-path — every class slotted, no closure allocation in loops (HOT rules)
 
 from __future__ import annotations
 

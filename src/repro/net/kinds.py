@@ -19,8 +19,13 @@ by ``network.py``/``node.py`` at their import for hot-path speed, so a
 kind that needs the paired payload shape must be registered before
 those modules are imported (i.e. from a module imported ahead of world
 construction); plain single-object kinds — everything the naming
-service adds — can register at any time.  :mod:`repro.net.message`
-re-exports everything for backward compatibility.
+service adds — can register at any time.  The binders record
+themselves via :func:`bind_dispatch_shapes`, and :func:`register_kind`
+raises on a too-late paired/aggregate registration instead of silently
+routing the kind down the single-object lane (the static
+``KIND-late-paired`` rule in :mod:`repro.analysis` catches the same
+mistake before it runs).  :mod:`repro.net.message` re-exports
+everything for backward compatibility.
 """
 
 from __future__ import annotations
@@ -75,6 +80,28 @@ REGISTRY_KINDS: Tuple[str, ...] = ()
 _FAMILY_ROLLUPS = {"app": "APP_KINDS", "dgc": "DGC_KINDS",
                    "registry": "REGISTRY_KINDS"}
 
+#: Modules that snapshot the dispatch-shape sets at their import
+#: (``network.py`` binds the aggregate fast-lane constants, ``node.py``
+#: the typed-sink shapes).  Each calls :func:`bind_dispatch_shapes`
+#: right after snapshotting; once any binder is recorded, a
+#: paired-payload or aggregate registration arrives too late to be seen
+#: by the hot path, so :func:`register_kind` rejects it instead of
+#: silently routing the kind down the single-object lane.
+_DISPATCH_SHAPE_BINDERS: Tuple[str, ...] = ()
+
+
+def bind_dispatch_shapes(binder: str) -> None:
+    """Record that *binder* has snapshot the dispatch-shape sets.
+
+    Called by ``network.py``/``node.py`` at the end of their import.
+    From this point on, registering a kind with ``paired=True`` or an
+    ``aggregate`` marker raises — the snapshot would not include it.
+    Plain single-object kinds stay registrable at any time.
+    """
+    global _DISPATCH_SHAPE_BINDERS
+    if binder not in _DISPATCH_SHAPE_BINDERS:
+        _DISPATCH_SHAPE_BINDERS = _DISPATCH_SHAPE_BINDERS + (binder,)
+
 
 def register_kind(
     kind: str,
@@ -94,6 +121,15 @@ def register_kind(
     global ALL_KINDS, PAIRED_PAYLOAD_KINDS
     if kind in ALL_KINDS:
         raise ValueError(f"traffic kind {kind!r} registered twice")
+    if (paired or aggregate is not None) and _DISPATCH_SHAPE_BINDERS:
+        raise RuntimeError(
+            f"traffic kind {kind!r} needs the paired-payload/aggregate "
+            f"dispatch shape, but "
+            f"{', '.join(_DISPATCH_SHAPE_BINDERS)} already bound the "
+            f"dispatch-shape sets at import — register it at the top "
+            f"level of repro.net.kinds (before network/node import) so "
+            f"the fast path can see it"
+        )
     ALL_KINDS = ALL_KINDS + (kind,)
     if paired:
         PAIRED_PAYLOAD_KINDS = PAIRED_PAYLOAD_KINDS | {kind}

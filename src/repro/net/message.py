@@ -160,3 +160,25 @@ class WireSizeModel:
         return self.registry_batch_header_bytes + binding_count * (
             self.registry_name_bytes + self.reference_bytes
         )
+
+
+#: Which :class:`WireSizeModel` attribute prices each registered kind.
+#: The mapping is deliberately explicit rather than name-derived — a
+#: bind is priced as an *update* and invalidations/renewals share the
+#: *batch* formula, so no naming convention could express it.  The
+#: ``KIND-price`` rule in :mod:`repro.analysis` checks this manifest
+#: stays total over the registry and free of stale entries; registering
+#: a kind without pricing it here fails the lint, not the bandwidth
+#: tables.
+KIND_SIZE_SOURCES = {
+    KIND_DGC_MESSAGE: "dgc_message_bytes",
+    KIND_DGC_RESPONSE: "dgc_response_bytes",
+    KIND_APP_REQUEST: "request_size",
+    KIND_APP_REPLY: "reply_size",
+    KIND_REGISTRY_LOOKUP: "registry_lookup_size",
+    KIND_REGISTRY_REPLY: "registry_reply_size",
+    KIND_REGISTRY_BIND: "registry_update_size",
+    KIND_REGISTRY_INVALIDATE: "registry_batch_size",
+    KIND_REGISTRY_RENEW: "registry_batch_size",
+    KIND_REGISTRY_PUSH: "registry_push_size",
+}

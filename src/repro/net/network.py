@@ -75,6 +75,7 @@ staged entries at Fig. 10 scale; collection outcomes and safety remain
 identical to the per-event core (the relaxed equivalence tier, see
 PERFORMANCE.md).
 """
+# repro: hot-path — every class slotted, no closure allocation in loops (HOT rules)
 
 from __future__ import annotations
 
@@ -90,6 +91,7 @@ from repro.net.kinds import (
     KIND_DGC_MESSAGE,
     KIND_DGC_RESPONSE,
     PAIRED_PAYLOAD_KINDS,
+    bind_dispatch_shapes,
 )
 from repro.net.message import Envelope
 from repro.net.topology import Topology
@@ -99,6 +101,10 @@ from repro.sim.kernel import SimKernel
 #: bound to module globals so the hot paths compare by identity.
 _AGG_DGC_MESSAGE = AGGREGATE_KINDS[KIND_DGC_MESSAGE]
 _AGG_DGC_RESPONSE = AGGREGATE_KINDS[KIND_DGC_RESPONSE]
+
+# The snapshot above means later paired/aggregate registrations would be
+# invisible here; tell the registry so register_kind can reject them.
+bind_dispatch_shapes("repro.net.network")
 
 #: Free-list high-water mark: distinct in-flight delivery instants are
 #: bounded by distinct channel latencies, so a short list suffices; the
@@ -126,6 +132,7 @@ class _IngressChannel:
         self.delivered_count = 0
 
 
+# repro: allow[HOT-slots] one Network per world (no per-event instances), and benchmarks monkeypatch send on the instance, which needs the __dict__
 class Network:
     """Connects registered node sinks through FIFO channels.
 

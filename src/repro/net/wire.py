@@ -91,6 +91,7 @@ Naming note (ROADMAP): the DGC *protocol* message types stay in
 module owns only the transport encoding that moves staged pulse entries
 between shard processes.
 """
+# repro: hot-path — every class slotted, no closure allocation in loops (HOT rules)
 
 from __future__ import annotations
 
@@ -102,6 +103,18 @@ from repro.core.clock import ActivityClock
 from repro.core.wire import DgcMessage, DgcResponse
 from repro.errors import NetworkError
 from repro.net import kinds as _kinds
+from repro.net.kinds import (
+    KIND_APP_REPLY,
+    KIND_APP_REQUEST,
+    KIND_DGC_MESSAGE,
+    KIND_DGC_RESPONSE,
+    KIND_REGISTRY_BIND,
+    KIND_REGISTRY_INVALIDATE,
+    KIND_REGISTRY_LOOKUP,
+    KIND_REGISTRY_PUSH,
+    KIND_REGISTRY_RENEW,
+    KIND_REGISTRY_REPLY,
+)
 from repro.runtime.proxy import RemoteRef
 from repro.runtime.request import (
     RegistryAck,
@@ -213,6 +226,29 @@ def kind_index() -> Dict[str, int]:
 
 
 _KIND_INDEX_CACHE: Optional[Tuple[Tuple[str, ...], Dict[str, int]]] = None
+
+
+#: Which payload classes each registered kind puts on the cross-shard
+#: wire — ``registry.reply`` and ``registry.renew`` each carry two
+#: (the reply doubles as the bind/unbind ack; the renew kind carries
+#: both the batch and its ack).  The ``KIND-codec`` rule in
+#: :mod:`repro.analysis` checks the manifest stays total over the
+#: registry and that every class named here has matching branches in
+#: all four codec functions, so adding a kind without teaching both
+#: wire versions to carry it fails the lint instead of raising
+#: :class:`WireFormatError` mid-run.
+KIND_PAYLOAD_TYPES = {
+    KIND_DGC_MESSAGE: (DgcMessage,),
+    KIND_DGC_RESPONSE: (DgcResponse,),
+    KIND_APP_REQUEST: (Request,),
+    KIND_APP_REPLY: (Reply,),
+    KIND_REGISTRY_LOOKUP: (RegistryLookup,),
+    KIND_REGISTRY_REPLY: (RegistryReply, RegistryAck),
+    KIND_REGISTRY_BIND: (RegistryBind,),
+    KIND_REGISTRY_INVALIDATE: (RegistryInvalidate,),
+    KIND_REGISTRY_RENEW: (RegistryRenew, RegistryRenewAck),
+    KIND_REGISTRY_PUSH: (RegistryPush,),
+}
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.net.kinds import (
     KIND_REGISTRY_RENEW,
     KIND_REGISTRY_REPLY,
     PAIRED_PAYLOAD_KINDS,
+    bind_dispatch_shapes,
 )
 from repro.net.message import Envelope
 from repro.runtime.activeobject import Activity
@@ -42,6 +43,12 @@ from repro.runtime.request import (
 )
 from repro.runtime.serialization import deserialize_refs, serialize_refs
 from repro.sim.beats import SlotController
+
+# The typed sink below hard-codes the (item, payload) shape of the DGC
+# kinds and the aggregate unwrap; a paired/aggregate kind registered
+# after this module imports would silently miss those branches, so the
+# registry rejects such registrations from here on.
+bind_dispatch_shapes("repro.runtime.node")
 
 
 class Node:

@@ -306,7 +306,7 @@ class ShardedWorld:
         import multiprocessing
 
         mp = multiprocessing.get_context("fork")
-        start = time.monotonic()
+        start = time.monotonic()  # repro: allow[DET-wallclock] wall-clock is reported in the result, never scheduled on
         conns = []
         procs = []
         try:
@@ -497,7 +497,7 @@ class ShardedWorld:
         for conn in conns:
             conn.send(("stop",))
             results.append(self._recv_result(conn))
-        wall = time.monotonic() - start
+        wall = time.monotonic() - start  # repro: allow[DET-wallclock] wall-clock is reported in the result, never scheduled on
         return self._merge(
             results, rounds, sim_time, wall, phase_times, digest,
             state, frame_log,

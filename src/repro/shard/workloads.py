@@ -70,6 +70,7 @@ class SpmdContext:
         """The driver root; returns the Activity locally, ``None`` on
         shards where the driver is a ghost (its id is still minted)."""
         if self.is_local(node):
+            # repro: allow[SPMD-locality] both paths mint exactly one id for `name`: a real driver here, the ghost make_activity_id below
             self.driver = self.world.create_driver(node=node, name=name)
             return self.driver
         make_activity_id(name)
@@ -95,10 +96,12 @@ class SpmdContext:
         """
         if self.is_local(node):
             if self.driver is not None:
+                # repro: allow[SPMD-locality] every arm mints exactly one id for `name` (real create here, ghost id below), keeping counters shard-aligned
                 return self.world.create_activity(
                     behavior, node=node, name=name, root=root,
                     dgc_enabled=dgc_enabled, creator=self.driver,
                 )
+            # repro: allow[SPMD-locality] every arm mints exactly one id for `name` (real create here, ghost id below), keeping counters shard-aligned
             return self.world.create_activity(
                 behavior, node=node, name=name, root=root,
                 dgc_enabled=dgc_enabled,

@@ -32,6 +32,7 @@ the outer level is the kernel's time-ordered heap (one entry per live
 bucket), the inner level is the bucket's ordered member table; the
 kernel only ever sees the outer level.
 """
+# repro: hot-path — every class slotted, no closure allocation in loops (HOT rules)
 
 from __future__ import annotations
 
@@ -187,6 +188,11 @@ class BeatWheel:
     under the lock may register/stop members).  The simulation kernel is
     single-threaded and uses no lock.
     """
+
+    __slots__ = (
+        "_kernel", "_lock", "_seq", "_buckets", "_registered",
+        "_bucket_events",
+    )
 
     def __init__(self, kernel, lock: Optional[ContextManager] = None) -> None:
         self._kernel = kernel

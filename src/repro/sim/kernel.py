@@ -10,6 +10,7 @@ Determinism matters here because the DGC algorithm is specified in terms of
 physical-time bounds (``TTA > 2*TTB + MaxComm``); a deterministic clock lets
 the test-suite probe exactly the boundary cases the paper reasons about.
 """
+# repro: hot-path — every class slotted, no closure allocation in loops (HOT rules)
 
 from __future__ import annotations
 
@@ -87,6 +88,11 @@ class SimKernel:
     allocation entirely for callbacks that are never cancelled — message
     deliveries, the bulk of all events on big runs.
     """
+
+    __slots__ = (
+        "_now", "_heap", "_seq", "_fired", "_scheduled", "_pending",
+        "_peak_pending", "_running", "_stop_requested", "_beat_wheel",
+    )
 
     def __init__(self) -> None:
         self._now = 0.0

@@ -16,7 +16,7 @@ sequences.
 from __future__ import annotations
 
 import hashlib
-import random
+import random  # repro: allow[DET-entropy] this module IS the sanctioned router: streams are seeded below, never from process entropy
 from bisect import bisect_left
 from typing import Dict, List
 
@@ -41,7 +41,7 @@ class RngRegistry:
             f"{self._root_seed}:{name}".encode("utf-8")
         ).digest()
         seed = int.from_bytes(digest[:8], "big")
-        stream = random.Random(seed)
+        stream = random.Random(seed)  # repro: allow[DET-entropy] seeded from the root-seed digest above, not process entropy
         self._streams[name] = stream
         return stream
 

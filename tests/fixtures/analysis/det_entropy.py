@@ -1,0 +1,19 @@
+"""Seeded DET-entropy violations: process entropy in core code.
+
+Each ``expect[...]`` marker names the finding the analyzer must raise
+on that line; lines without a marker must stay silent.
+"""
+
+import os
+
+import random  # expect[DET-entropy]
+import secrets  # expect[DET-entropy]
+from random import Random  # sanctioned: seeded Random instances are fine
+
+
+def draw():
+    token = os.urandom(8)  # expect[DET-entropy]
+    roll = random.random()  # expect[DET-entropy]
+    pick = secrets.choice([1, 2])  # expect[DET-entropy]
+    rng = Random(42)  # negative: explicit seed, no process entropy
+    return token, roll, pick, rng.getrandbits(8)

@@ -1,0 +1,10 @@
+"""Seeded DET-id-order violations: ordering by object address."""
+
+
+def stable_order(items):
+    ranked = sorted(items, key=id)  # expect[DET-id-order]
+    worst = max(items, key=lambda item: id(item))  # expect[DET-id-order]
+    if id(items[0]) < id(items[1]):  # expect[DET-id-order]
+        return worst
+    named = sorted(items, key=lambda item: item.name)  # negative: stable key
+    return ranked, named

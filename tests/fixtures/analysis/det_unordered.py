@@ -1,0 +1,14 @@
+"""Seeded DET-unordered-iter violations: set iteration feeding order."""
+
+
+def fan_out(targets, spares, send):
+    for target in {"a", "b", "c"}:  # expect[DET-unordered-iter]
+        send(target)
+    for target in targets.union(spares):  # expect[DET-unordered-iter]
+        send(target)
+    order = [t for t in set(targets)]  # expect[DET-unordered-iter]
+    for target in sorted(targets):  # negative: sorted() fixes the order
+        send(target)
+    for target in order:  # negative: lists are insertion-ordered
+        send(target)
+    return order

@@ -1,0 +1,14 @@
+"""Seeded DET-wallclock violations: wall-clock reads in core code."""
+
+import time
+from datetime import datetime
+
+from time import monotonic, sleep  # expect[DET-wallclock]
+
+
+def stamp(kernel):
+    started = time.monotonic()  # expect[DET-wallclock]
+    wall = time.time()  # expect[DET-wallclock]
+    born = datetime.now()  # expect[DET-wallclock]
+    virtual = kernel.now  # negative: the kernel's virtual clock is the law
+    return started, wall, born, virtual, monotonic, sleep

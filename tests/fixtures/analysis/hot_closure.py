@@ -1,0 +1,21 @@
+"""Seeded HOT-closure violations: closure allocation inside loops."""
+
+
+def fire_all(entries, schedule):
+    callbacks = []
+    for entry in entries:
+        callbacks.append(lambda: entry)  # expect[HOT-closure]
+
+        def deliver():  # expect[HOT-closure]
+            return entry
+
+        callbacks.append(deliver)
+    hoisted = make_noop()  # negative: allocation hoisted out of the loop
+    while entries:
+        schedule(lambda: None)  # expect[HOT-closure]
+        entries.pop()
+    return callbacks, hoisted
+
+
+def make_noop():
+    return None

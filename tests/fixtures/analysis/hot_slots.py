@@ -1,0 +1,24 @@
+"""Seeded HOT-slots violations: unslotted classes on the hot path."""
+
+from dataclasses import dataclass
+
+
+class PulseRecord:  # expect[HOT-slots]
+    def __init__(self, instant):
+        self.instant = instant
+
+
+class SlottedRecord:  # negative: declares __slots__
+    __slots__ = ("instant",)
+
+    def __init__(self, instant):
+        self.instant = instant
+
+
+@dataclass(slots=True)
+class Columns:  # negative: dataclass(slots=True) generates the slots
+    items: tuple
+
+
+class FixtureError(ValueError):  # negative: exception classes are exempt
+    pass

@@ -1,0 +1,32 @@
+"""Fixture wire-size manifest: plays the role of ``repro/net/message.py``."""
+
+from dataclasses import dataclass
+
+from kinds_reg import (
+    KIND_FAB_ALIEN,
+    KIND_FAB_LOST,
+    KIND_FAB_MUTE,
+    KIND_FAB_PAIR,
+    KIND_FAB_PING,
+    KIND_FAB_RETIRED,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class WireSizeModel:
+    fab_ping_bytes: int = 32
+    fab_bytes: int = 16
+
+    def fab_pair_size(self, count):
+        return self.fab_bytes * count
+
+
+KIND_SIZE_SOURCES = {
+    KIND_FAB_PING: "fab_ping_bytes",
+    KIND_FAB_LOST: "fab_bytes",
+    KIND_FAB_MUTE: "fab_bytes",
+    KIND_FAB_PAIR: "missing_attr",  # expect[KIND-price]
+    KIND_FAB_ALIEN: "fab_bytes",
+    KIND_FAB_GHOST: "fab_bytes",  # expect[KIND-price]
+    KIND_FAB_RETIRED: "fab_bytes",  # expect[KIND-price]
+}

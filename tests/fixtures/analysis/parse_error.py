@@ -1,0 +1,6 @@
+"""Seeded META-parse violation: the analyzer reports syntax errors as
+findings instead of crashing."""
+
+
+def broken(:  # expect[META-parse]
+    return None

@@ -1,0 +1,20 @@
+"""Seeded SPMD-locality violations: shard-dependent construction.
+
+The PR-8 bug class: id-minting or activity construction under a branch
+only some shards take skews the process-global id counter between a
+shard and its ghosts.
+"""
+
+
+def build(ctx, world, make_activity_id):
+    activity = None
+    for name in ("svc-0", "svc-1"):
+        if ctx.is_local(name):
+            activity = world.create_activity(name)  # expect[SPMD-locality]
+    if ctx.shard == 0:
+        seed = ctx.rng.sample()  # expect[SPMD-locality]
+    else:
+        seed = None
+    ghost = make_activity_id if ctx.is_local("svc-2") else None  # negative: no call in either arm
+    minted = [make_activity_id(name) for name in ("a", "b")]  # negative: unconditional on every shard
+    return activity, seed, ghost, minted

@@ -1,0 +1,17 @@
+"""Suppression model fixture: reasons are mandatory, ids must be known,
+coverage is per-line."""
+
+import uuid  # repro: allow[DET-entropy] fixture: a reasoned suppression silences the finding
+
+
+def entropy(namespace):
+    token = uuid.uuid4()  # expect[DET-entropy] # repro: allow[DET-wallclock] a different rule's suppression does not cover this
+    raw = uuid.uuid1()  # expect[DET-entropy,META-suppression] # repro: allow[DET-entropy]
+    # repro: allow[DET-entropy] fixture: an alone-on-line suppression covers the next line
+    nonce = uuid.uuid3(namespace, "x")
+    return token, raw, nonce
+
+
+def unknown():
+    value = 1  # expect[META-suppression] # repro: allow[NOT-a-rule] unknown rule ids are flagged
+    return value
